@@ -1,0 +1,72 @@
+//! Static-compiler cost: equality saturation + extraction over the tDFGs that
+//! exercise the Appendix-A rules hardest (the Fig 6 convolution with shared
+//! constant weights and a multi-tap stencil).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infs_egraph::{optimize, CostParams};
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_sdfg::DataType;
+use std::hint::black_box;
+
+fn conv2d_tdfg(n: u64) -> infs_tdfg::Tdfg {
+    let mut k = KernelBuilder::new("conv2d", DataType::F32);
+    let a = k.array("A", vec![n, n]);
+    let b = k.array("B", vec![n, n]);
+    let i = k.parallel_loop("i", 1, n as i64 - 1);
+    let j = k.parallel_loop("j", 1, n as i64 - 1);
+    let tap = |di: i64, dj: i64, w: f32| {
+        ScalarExpr::mul(
+            ScalarExpr::load(a, vec![Idx::var_plus(i, di), Idx::var_plus(j, dj)]),
+            ScalarExpr::Const(w),
+        )
+    };
+    let mut acc = tap(0, 0, 0.25);
+    for (di, dj, w) in [
+        (-1, -1, 0.0625),
+        (1, -1, 0.0625),
+        (-1, 1, 0.0625),
+        (1, 1, 0.0625),
+        (-1, 0, 0.125),
+        (1, 0, 0.125),
+        (0, -1, 0.125),
+        (0, 1, 0.125),
+    ] {
+        acc = ScalarExpr::add(acc, tap(di, dj, w));
+    }
+    k.assign(b, vec![Idx::var(i), Idx::var(j)], acc);
+    k.build().expect("builds").tensorize(&[]).expect("tensorizes")
+}
+
+fn three_tap_tdfg(n: u64) -> infs_tdfg::Tdfg {
+    let mut k = KernelBuilder::new("stencil1d", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let b = k.array("B", vec![n]);
+    let i = k.parallel_loop("i", 1, n as i64 - 1);
+    let e = ScalarExpr::add(
+        ScalarExpr::add(
+            ScalarExpr::load(a, vec![Idx::var_plus(i, -1)]),
+            ScalarExpr::load(a, vec![Idx::var(i)]),
+        ),
+        ScalarExpr::load(a, vec![Idx::var_plus(i, 1)]),
+    );
+    k.assign(b, vec![Idx::var(i)], e);
+    k.build().expect("builds").tensorize(&[]).expect("tensorizes")
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let params = CostParams::default();
+    let conv = conv2d_tdfg(2048);
+    let sten = three_tap_tdfg(1 << 20);
+    let mut group = c.benchmark_group("egraph_optimize");
+    group.sample_size(10);
+    group.bench_function("conv2d_9tap", |b| {
+        b.iter(|| black_box(optimize(black_box(&conv), &params).expect("optimizes")))
+    });
+    group.bench_function("stencil1d_3tap", |b| {
+        b.iter(|| black_box(optimize(black_box(&sten), &params).expect("optimizes")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

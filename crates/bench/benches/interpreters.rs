@@ -1,0 +1,69 @@
+//! Reference-interpreter throughput (the functional half of the simulator):
+//! tDFG and sDFG execution of a 64k-element vector add, and one full simulated
+//! machine region under Inf-S.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_isa::Compiler;
+use infs_sdfg::{DataType, Memory};
+use infs_sim::{ExecMode, Machine, SystemConfig};
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn vec_add_kernel(n: u64) -> infs_frontend::Kernel {
+    let mut k = KernelBuilder::new("vec_add", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let b = k.array("B", vec![n]);
+    let c = k.array("C", vec![n]);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        c,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::load(a, vec![Idx::var(i)]),
+            ScalarExpr::load(b, vec![Idx::var(i)]),
+        ),
+    );
+    k.build().expect("builds")
+}
+
+fn bench_interpreters(c: &mut Criterion) {
+    let n = 64u64 << 10;
+    let kernel = vec_add_kernel(n);
+    let tg = kernel.tensorize(&[]).expect("tensorizes");
+    let sg = kernel.streamize(&[]).expect("streamizes");
+    let mut group = c.benchmark_group("interpreters");
+    group.sample_size(20);
+    group.bench_function("tdfg_vec_add_64k", |b| {
+        let mut mem = Memory::for_arrays(tg.arrays());
+        b.iter(|| {
+            black_box(
+                infs_tdfg::interp::execute(&tg, &mut mem, &[], &HashMap::new())
+                    .expect("executes"),
+            )
+        })
+    });
+    group.bench_function("sdfg_vec_add_64k", |b| {
+        let mut mem = Memory::for_arrays(sg.arrays());
+        b.iter(|| black_box(infs_sdfg::interp::execute(&sg, &mut mem, &[]).expect("executes")))
+    });
+    group.finish();
+}
+
+fn bench_machine_region(c: &mut Criterion) {
+    let kernel = vec_add_kernel(64 << 10);
+    let compiled = Compiler::default().compile(kernel, &[]).expect("compiles");
+    let region = compiled.instantiate(&[]).expect("instantiates");
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(20);
+    group.bench_function("infs_region_timing_only", |b| {
+        let mut m = Machine::new(SystemConfig::default(), region.sdfg.arrays());
+        m.set_functional(false);
+        m.set_assume_transposed(true);
+        b.iter(|| black_box(m.run_region(&region, &[], ExecMode::InfS).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpreters, bench_machine_region);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Host-side cost of the JIT runtime itself (§4.2 "Reducing JIT Overheads"):
+//! Algorithm 1 + Algorithm 2 + bank mapping over real stencil regions, plus
+//! the memoization-hit path. The paper reports an average 220 µs lowering
+//! time after >1000× of optimization; this measures our implementation's
+//! real wall-clock for the same job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_isa::Schedule;
+use infs_runtime::{JitCache, TransposedLayout};
+use infs_sdfg::DataType;
+use infs_sim::SystemConfig;
+use std::hint::black_box;
+
+fn stencil_tdfg(n: u64) -> infs_tdfg::Tdfg {
+    let mut k = KernelBuilder::new("stencil2d", DataType::F32);
+    let a = k.array("A", vec![n, n]);
+    let b = k.array("B", vec![n, n]);
+    let i = k.parallel_loop("i", 1, n as i64 - 1);
+    let j = k.parallel_loop("j", 1, n as i64 - 1);
+    let tap = |di, dj| ScalarExpr::load(a, vec![Idx::var_plus(i, di), Idx::var_plus(j, dj)]);
+    let sum = ScalarExpr::add(
+        ScalarExpr::add(tap(0, 0), ScalarExpr::add(tap(-1, 0), tap(1, 0))),
+        ScalarExpr::add(tap(0, -1), tap(0, 1)),
+    );
+    k.assign(b, vec![Idx::var(i), Idx::var(j)], sum);
+    k.build().expect("builds").tensorize(&[]).expect("tensorizes")
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let hw = SystemConfig::default().hw();
+    let mut group = c.benchmark_group("jit_lowering");
+    group.sample_size(20);
+    for n in [256u64, 1024, 2048] {
+        let g = stencil_tdfg(n);
+        let schedule = Schedule::compute(&g, hw.geometry).expect("schedules");
+        let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).expect("plans");
+        group.bench_with_input(BenchmarkId::new("stencil2d", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    infs_runtime::lower(black_box(&g), &schedule, &layout, &hw)
+                        .expect("lowers"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_memoization(c: &mut Criterion) {
+    let hw = SystemConfig::default().hw();
+    let g = stencil_tdfg(1024);
+    let schedule = Schedule::compute(&g, hw.geometry).expect("schedules");
+    let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).expect("plans");
+    let cache = JitCache::new();
+    cache
+        .get_or_lower("stencil", &[0], layout.tile().dims(), || {
+            infs_runtime::lower(&g, &schedule, &layout, &hw)
+        })
+        .expect("first lowering");
+    c.bench_function("jit_cache_hit", |b| {
+        b.iter(|| {
+            black_box(
+                cache
+                    .get_or_lower("stencil", &[0], layout.tile().dims(), || {
+                        Err::<infs_runtime::CommandStream, infs_runtime::RuntimeError>(
+                            infs_runtime::RuntimeError::NotInMemory,
+                        )
+                    })
+                    .expect("hit"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_lowering, bench_memoization);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Figure/table regeneration CLI.
+//!
+//! ```text
+//! cargo run --release -p infs-bench --bin figures -- all          # paper scale
+//! cargo run --release -p infs-bench --bin figures -- fig11 --quick
+//! ```
+//!
+//! Results land under `results/` as Markdown and are echoed to stdout.
+
+use infs_bench::{figures, Ctx};
+
+const ALL: &[&str] = &[
+    "eq1", "area", "table3", "fig2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17", "fig18", "fig19", "jit", "tiling", "ablate", "ablate_dtype",
+];
+
+fn run(name: &str, ctx: &Ctx) {
+    let t0 = std::time::Instant::now();
+    match name {
+        "fig2" => figures::fig2(ctx),
+        "fig11" => figures::fig11(ctx),
+        "fig12" => figures::fig12(ctx),
+        "fig13" => figures::fig13(ctx),
+        "fig14" => figures::fig14(ctx),
+        "fig15" => figures::fig15(ctx),
+        "fig16" => figures::fig16(ctx),
+        "fig17" => figures::fig17(ctx),
+        "fig18" => figures::fig18(ctx),
+        "fig19" => figures::fig19(ctx),
+        "jit" => figures::jit(ctx),
+        "tiling" => figures::tiling(ctx),
+        "eq1" => figures::eq1(ctx),
+        "area" => figures::area(ctx),
+        "table3" => figures::table3(ctx),
+        "ablate" => figures::ablate(ctx),
+        "ablate_dtype" => figures::ablate_dtype(ctx),
+        other => {
+            eprintln!("unknown figure '{other}'; known: all {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[figures] {name} done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ctx = Ctx::new(quick);
+    if targets.is_empty() || targets.contains(&"all") {
+        for name in ALL {
+            run(name, &ctx);
+        }
+    } else {
+        for name in targets {
+            run(name, &ctx);
+        }
+    }
+}

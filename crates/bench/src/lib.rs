@@ -1,0 +1,64 @@
+//! Figure/table regeneration harness for the Infinity Stream reproduction.
+//!
+//! One runner per table and figure of the paper's evaluation (§8). Each runner
+//! executes the relevant workloads on the simulated machine, derives the same
+//! rows/series the paper plots, prints them as Markdown, and writes them under
+//! `results/`. Absolute cycle counts are not expected to match gem5; the
+//! qualitative shape — who wins, by roughly what factor, where crossovers
+//! fall — is the reproduction target (see EXPERIMENTS.md).
+//!
+//! Runners share a cached *run matrix* (`results/matrix.json`): every
+//! (workload, configuration) pair is simulated once and Fig 11/12/13/14/18 and
+//! the JIT/tiling analyses all derive from it.
+
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod matrix;
+pub mod table;
+
+pub use matrix::{ConfigName, MatrixEntry, RunMatrix};
+pub use table::Table;
+
+use infs_sim::SystemConfig;
+use std::path::PathBuf;
+
+/// Shared context for figure runners.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Machine parameters (Table 2 defaults).
+    pub cfg: SystemConfig,
+    /// Use reduced input sizes (CI/tests); full paper sizes otherwise.
+    pub quick: bool,
+    /// Output directory for results (default `results/`).
+    pub out_dir: PathBuf,
+}
+
+impl Ctx {
+    /// Default context at paper scale.
+    pub fn new(quick: bool) -> Self {
+        Ctx {
+            cfg: SystemConfig::default(),
+            quick,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Workload scale for this context.
+    pub fn scale(&self) -> infs_workloads::Scale {
+        if self.quick {
+            infs_workloads::Scale::Test
+        } else {
+            infs_workloads::Scale::Paper
+        }
+    }
+
+    /// Writes a rendered table under the output directory and echoes it.
+    pub fn emit(&self, name: &str, t: &Table) {
+        std::fs::create_dir_all(&self.out_dir).ok();
+        let path = self.out_dir.join(format!("{name}.md"));
+        let text = t.to_markdown();
+        std::fs::write(&path, &text).ok();
+        println!("## {name}\n\n{text}");
+    }
+}

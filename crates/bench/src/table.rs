@@ -1,0 +1,78 @@
+//! Minimal Markdown table builder for figure output.
+
+/// A rendered results table: header row plus data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a caption and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Formats a float with sensible precision for ratios.
+    pub fn f(x: f64) -> String {
+        if x == 0.0 {
+            "0".into()
+        } else if x.abs() >= 100.0 {
+            format!("{x:.0}")
+        } else if x.abs() >= 1.0 {
+            format!("{x:.2}")
+        } else {
+            format!("{x:.3}")
+        }
+    }
+
+    /// Renders as GitHub-flavoured Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("**{}**\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), Table::f(2.5)]);
+        let md = t.to_markdown();
+        assert!(md.contains("**Demo**"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2.50 |"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(Table::f(0.0), "0");
+        assert_eq!(Table::f(0.123), "0.123");
+        assert_eq!(Table::f(12.3456), "12.35");
+        assert_eq!(Table::f(1234.0), "1234");
+    }
+}

@@ -1,0 +1,15 @@
+//! Diagnostic: which benchmark constructor is slow (e-graph saturation cost).
+use infs_workloads::{by_name, Scale};
+
+#[test]
+#[ignore]
+fn time_constructors() {
+    for name in [
+        "stencil1d", "stencil2d", "stencil3d", "dwt2d", "gauss_elim", "conv2d", "conv3d",
+        "mm/in", "mm/out", "kmeans/in", "kmeans/out", "gather_mlp/in", "gather_mlp/out",
+    ] {
+        let t0 = std::time::Instant::now();
+        let _b = by_name(name, Scale::Test).unwrap();
+        eprintln!("{name}: {:.2}s", t0.elapsed().as_secs_f64());
+    }
+}

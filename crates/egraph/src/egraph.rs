@@ -1,0 +1,460 @@
+use crate::ENode;
+use infs_geom::HyperRect;
+use infs_tdfg::{Node, NodeId, Tdfg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EClassId(pub u32);
+
+impl fmt::Display for EClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct EClass {
+    nodes: Vec<ENode>,
+    domain: Option<HyperRect>, // None = infinite (constant) tensor
+    parents: Vec<(ENode, EClassId)>,
+}
+
+/// A domain-aware e-graph over tDFG nodes.
+///
+/// Each e-class carries its tensor domain as an analysis; two classes may only
+/// be unioned when their domains agree, which is the paper's definition of tDFG
+/// node equivalence ("same result *and* same domain in the lattice space").
+#[derive(Debug, Clone)]
+pub struct EGraph {
+    ndim: usize,
+    bounding: HyperRect,
+    uf: Vec<u32>,
+    classes: Vec<EClass>,
+    memo: HashMap<ENode, EClassId>,
+    dirty: Vec<EClassId>,
+    n_enodes: usize,
+    node_class: Vec<EClassId>, // original tDFG NodeId -> class
+}
+
+impl EGraph {
+    /// Builds an e-graph seeded with every node of a validated tDFG.
+    pub fn from_tdfg(g: &Tdfg) -> Self {
+        let mut eg = EGraph {
+            ndim: g.ndim(),
+            bounding: g.bounding().clone(),
+            uf: Vec::new(),
+            classes: Vec::new(),
+            memo: HashMap::new(),
+            dirty: Vec::new(),
+            n_enodes: 0,
+            node_class: Vec::new(),
+        };
+        for (i, n) in g.nodes().iter().enumerate() {
+            let map = |x: &NodeId| eg.node_class[x.0 as usize];
+            let en = match n {
+                Node::Input {
+                    array,
+                    rect,
+                    array_offset,
+                } => ENode::Input {
+                    array: *array,
+                    rect: rect.clone(),
+                    array_offset: array_offset.clone(),
+                },
+                Node::ConstVal { value } => ENode::ConstVal {
+                    bits: value.to_bits(),
+                },
+                Node::Param { index } => ENode::Param { index: *index },
+                Node::Compute { op, inputs } => ENode::Compute {
+                    op: *op,
+                    inputs: inputs.iter().map(map).collect(),
+                },
+                Node::Mv { input, dim, dist } => ENode::Mv {
+                    input: map(input),
+                    dim: *dim,
+                    dist: *dist,
+                },
+                Node::Bc {
+                    input,
+                    dim,
+                    dist,
+                    count,
+                } => ENode::Bc {
+                    input: map(input),
+                    dim: *dim,
+                    dist: *dist,
+                    count: *count,
+                },
+                Node::Shrink { input, dim, p, q } => ENode::Shrink {
+                    input: map(input),
+                    dim: *dim,
+                    p: *p,
+                    q: *q,
+                },
+                Node::Reduce { input, dim, op } => ENode::Reduce {
+                    input: map(input),
+                    dim: *dim,
+                    op: *op,
+                },
+                Node::StreamIn { stream, rect } => ENode::StreamIn {
+                    stream: *stream,
+                    rect: rect.clone(),
+                },
+            };
+            let class = eg
+                .add(en)
+                .expect("nodes of a validated tDFG have non-empty domains");
+            debug_assert_eq!(
+                eg.domain(class).cloned(),
+                g.domain(NodeId(i as u32)).cloned(),
+                "e-graph domain analysis must match tDFG build for node %{i}"
+            );
+            eg.node_class.push(class);
+        }
+        eg
+    }
+
+    /// Lattice dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// The global bounding hyperrectangle inherited from the source graph.
+    pub fn bounding(&self) -> &HyperRect {
+        &self.bounding
+    }
+
+    /// Total e-nodes currently stored (across all classes).
+    pub fn num_enodes(&self) -> usize {
+        self.n_enodes
+    }
+
+    /// Canonical class currently holding an original tDFG node.
+    pub fn class_of_node(&self, id: NodeId) -> EClassId {
+        self.find(self.node_class[id.0 as usize])
+    }
+
+    /// Canonical representative of a class.
+    pub fn find(&self, id: EClassId) -> EClassId {
+        let mut x = id.0;
+        while self.uf[x as usize] != x {
+            x = self.uf[x as usize];
+        }
+        EClassId(x)
+    }
+
+    fn find_mut(&mut self, id: EClassId) -> EClassId {
+        let mut x = id.0;
+        while self.uf[x as usize] != x {
+            // Path halving.
+            self.uf[x as usize] = self.uf[self.uf[x as usize] as usize];
+            x = self.uf[x as usize];
+        }
+        EClassId(x)
+    }
+
+    /// The domain analysis of a class.
+    pub fn domain(&self, id: EClassId) -> Option<&HyperRect> {
+        self.classes[self.find(id).0 as usize].domain.as_ref()
+    }
+
+    /// Canonicalized, deduplicated e-nodes of a class.
+    pub fn nodes(&self, id: EClassId) -> Vec<ENode> {
+        let c = &self.classes[self.find(id).0 as usize];
+        let mut out: Vec<ENode> = Vec::with_capacity(c.nodes.len());
+        for n in &c.nodes {
+            let canon = n.map_children(|x| self.find(x));
+            if !out.contains(&canon) {
+                out.push(canon);
+            }
+        }
+        out
+    }
+
+    /// Iterates over canonical class ids.
+    pub fn class_ids(&self) -> Vec<EClassId> {
+        (0..self.uf.len() as u32)
+            .map(EClassId)
+            .filter(|&i| self.find(i) == i)
+            .collect()
+    }
+
+    /// Computes the domain an e-node would have, per the tDFG domain rules.
+    ///
+    /// Returns `Err(())` when the node is ill-formed (empty domain, broadcast of
+    /// a non-thin tensor, movement of an infinite tensor) — rules treat this as
+    /// "skip this rewrite".
+    #[allow(clippy::result_unit_err)]
+    pub fn compute_domain(&self, n: &ENode) -> Result<Option<HyperRect>, ()> {
+        let dom_of = |c: &EClassId| self.domain(*c).cloned();
+        match n {
+            ENode::Input { rect, .. } | ENode::StreamIn { rect, .. } => Ok(Some(rect.clone())),
+            ENode::ConstVal { .. } | ENode::Param { .. } => Ok(None),
+            ENode::Compute { inputs, .. } => {
+                let mut acc: Option<HyperRect> = None;
+                for c in inputs {
+                    if let Some(d) = dom_of(c) {
+                        acc = Some(match acc {
+                            Some(a) => a.intersect(&d).map_err(|_| ())?.ok_or(())?,
+                            None => d,
+                        });
+                    }
+                }
+                Ok(acc)
+            }
+            ENode::Mv { input, dim, dist } => {
+                let d = dom_of(input).ok_or(())?;
+                let moved = d.translated(*dim, *dist).map_err(|_| ())?;
+                Ok(Some(
+                    moved.intersect(&self.bounding).map_err(|_| ())?.ok_or(())?,
+                ))
+            }
+            ENode::Bc {
+                input,
+                dim,
+                dist,
+                count,
+            } => {
+                let d = dom_of(input).ok_or(())?;
+                if d.extent(*dim) != 1 {
+                    return Err(());
+                }
+                let spread = d
+                    .with_interval(*dim, *dist, *dist + *count as i64)
+                    .map_err(|_| ())?;
+                Ok(Some(
+                    spread.intersect(&self.bounding).map_err(|_| ())?.ok_or(())?,
+                ))
+            }
+            ENode::Shrink { input, dim, p, q } => {
+                let d = dom_of(input).ok_or(())?;
+                let (ip, iq) = d.interval(*dim);
+                let (np, nq) = ((*p).max(ip), (*q).min(iq));
+                if np >= nq {
+                    return Err(());
+                }
+                Ok(Some(d.with_interval(*dim, np, nq).map_err(|_| ())?))
+            }
+            ENode::Reduce { input, dim, .. } => {
+                let d = dom_of(input).ok_or(())?;
+                let s = d.start(*dim);
+                Ok(Some(d.with_interval(*dim, s, s + 1).map_err(|_| ())?))
+            }
+        }
+    }
+
+    /// Adds an e-node (hash-consed), returning its class, or `None` if the node
+    /// is ill-formed (see [`compute_domain`](Self::compute_domain)).
+    pub fn add(&mut self, n: ENode) -> Option<EClassId> {
+        let canon = n.map_children(|x| self.find(x));
+        if let Some(&id) = self.memo.get(&canon) {
+            return Some(self.find(id));
+        }
+        let domain = self.compute_domain(&canon).ok()?;
+        let id = EClassId(self.uf.len() as u32);
+        self.uf.push(id.0);
+        self.classes.push(EClass {
+            nodes: vec![canon.clone()],
+            domain,
+            parents: Vec::new(),
+        });
+        self.n_enodes += 1;
+        for c in canon.children() {
+            let c = self.find(c);
+            self.classes[c.0 as usize].parents.push((canon.clone(), id));
+        }
+        self.memo.insert(canon, id);
+        Some(id)
+    }
+
+    /// Unions two classes; returns true if they were distinct and their domains
+    /// agree (the tDFG equivalence precondition).
+    pub fn union(&mut self, a: EClassId, b: EClassId) -> bool {
+        let a = self.find_mut(a);
+        let b = self.find_mut(b);
+        if a == b {
+            return false;
+        }
+        let da = &self.classes[a.0 as usize].domain;
+        let db = &self.classes[b.0 as usize].domain;
+        if da != db {
+            // Not an error: rewrite rules attempt unions and rely on this check
+            // to reject rewrites invalidated by bounding-box clipping.
+            return false;
+        }
+        // Keep the smaller id canonical for determinism.
+        let (keep, merge) = if a < b { (a, b) } else { (b, a) };
+        self.uf[merge.0 as usize] = keep.0;
+        let merged = std::mem::take(&mut self.classes[merge.0 as usize]);
+        let kc = &mut self.classes[keep.0 as usize];
+        kc.nodes.extend(merged.nodes);
+        kc.parents.extend(merged.parents);
+        self.dirty.push(keep);
+        true
+    }
+
+    /// Restores congruence after unions: parents of merged classes are
+    /// re-canonicalized and congruent parents are unioned transitively.
+    pub fn rebuild(&mut self) {
+        while let Some(c) = self.dirty.pop() {
+            let c = self.find_mut(c);
+            let parents = std::mem::take(&mut self.classes[c.0 as usize].parents);
+            let mut new_parents: Vec<(ENode, EClassId)> = Vec::with_capacity(parents.len());
+            for (pnode, pclass) in parents {
+                self.memo.remove(&pnode);
+                let canon = pnode.map_children(|x| self.find(x));
+                let pclass = self.find_mut(pclass);
+                if let Some(&existing) = self.memo.get(&canon) {
+                    let existing = self.find_mut(existing);
+                    if existing != pclass {
+                        self.union(existing, pclass);
+                    }
+                }
+                let pclass = self.find_mut(pclass);
+                self.memo.insert(canon.clone(), pclass);
+                if !new_parents.iter().any(|(n, c2)| *n == canon && *c2 == pclass) {
+                    new_parents.push((canon, pclass));
+                }
+            }
+            let c = self.find_mut(c);
+            self.classes[c.0 as usize].parents.extend(new_parents);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_sdfg::{ArrayDecl, ArrayId, DataType};
+    use infs_tdfg::{ComputeOp, OutputTarget, TdfgBuilder};
+
+    fn rect(iv: &[(i64, i64)]) -> HyperRect {
+        HyperRect::new(iv.to_vec()).unwrap()
+    }
+
+    fn sample_graph() -> Tdfg {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![8], DataType::F32));
+        let x = b.input(a, rect(&[(0, 8)])).unwrap();
+        let y = b.mv(x, 0, 1).unwrap();
+        let s = b.compute(ComputeOp::Add, &[x, y]).unwrap();
+        b.output(s, OutputTarget::array(a, rect(&[(1, 8)])));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn from_tdfg_hashconses() {
+        let g = sample_graph();
+        let eg = EGraph::from_tdfg(&g);
+        assert_eq!(eg.num_enodes(), 3);
+        assert_eq!(eg.class_ids().len(), 3);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let g = sample_graph();
+        let mut eg = EGraph::from_tdfg(&g);
+        let c0 = eg.class_of_node(NodeId(0));
+        let dup = eg
+            .add(ENode::Mv {
+                input: c0,
+                dim: 0,
+                dist: 1,
+            })
+            .unwrap();
+        assert_eq!(dup, eg.class_of_node(NodeId(1)));
+        assert_eq!(eg.num_enodes(), 3);
+    }
+
+    #[test]
+    fn add_rejects_empty_domains() {
+        let g = sample_graph();
+        let mut eg = EGraph::from_tdfg(&g);
+        let c0 = eg.class_of_node(NodeId(0));
+        // Move everything outside the bounding box.
+        assert!(eg
+            .add(ENode::Mv {
+                input: c0,
+                dim: 0,
+                dist: 100,
+            })
+            .is_none());
+        // Shrink to an empty interval.
+        assert!(eg
+            .add(ENode::Shrink {
+                input: c0,
+                dim: 0,
+                p: 5,
+                q: 5,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn union_requires_matching_domains() {
+        let g = sample_graph();
+        let mut eg = EGraph::from_tdfg(&g);
+        let full = eg.class_of_node(NodeId(0)); // [0,8)
+        let moved = eg.class_of_node(NodeId(1)); // [1,8)
+        // Different domains: refuse.
+        assert!(!eg.union(full, moved));
+        let c = eg
+            .add(ENode::Compute {
+                op: ComputeOp::Copy,
+                inputs: vec![moved],
+            })
+            .unwrap();
+        // Same domain [1,8): union succeeds.
+        assert!(eg.union(c, moved));
+        assert!(!eg.union(c, moved));
+        assert_eq!(eg.find(c), eg.find(moved));
+    }
+
+    #[test]
+    fn congruence_closure_merges_parents() {
+        let g = sample_graph();
+        let mut eg = EGraph::from_tdfg(&g);
+        let x = eg.class_of_node(NodeId(0));
+        // Two copies-of-copies: cp1 = Copy(x); cp2 = Copy(cp1). If cp1 ≡ x then
+        // Copy(cp1) must become congruent to Copy(x) = cp1 ≡ x after rebuild.
+        let cp1 = eg
+            .add(ENode::Compute {
+                op: ComputeOp::Copy,
+                inputs: vec![x],
+            })
+            .unwrap();
+        let cp2 = eg
+            .add(ENode::Compute {
+                op: ComputeOp::Copy,
+                inputs: vec![cp1],
+            })
+            .unwrap();
+        assert_ne!(eg.find(cp1), eg.find(cp2));
+        eg.union(cp1, x);
+        eg.rebuild();
+        assert_eq!(eg.find(cp2), eg.find(cp1), "congruence must merge Copy(x) chain");
+    }
+
+    #[test]
+    fn nodes_are_canonicalized_and_deduped() {
+        let g = sample_graph();
+        let mut eg = EGraph::from_tdfg(&g);
+        let x = eg.class_of_node(NodeId(0));
+        let cp = eg
+            .add(ENode::Compute {
+                op: ComputeOp::Copy,
+                inputs: vec![x],
+            })
+            .unwrap();
+        eg.union(cp, x);
+        eg.rebuild();
+        let nodes = eg.nodes(x);
+        // Input + Copy(self-loop).
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes
+            .iter()
+            .any(|n| matches!(n, ENode::Input { array, .. } if *array == ArrayId(0))));
+    }
+}

@@ -1,0 +1,118 @@
+use crate::EClassId;
+use infs_geom::HyperRect;
+use infs_sdfg::{ArrayId, ReduceOp, StreamId};
+use infs_tdfg::ComputeOp;
+
+/// An e-graph node: structurally identical to [`infs_tdfg::Node`] but with
+/// children referring to e-classes instead of SSA ids, and the constant value
+/// stored as raw bits so the node is `Eq + Hash` for hash-consing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ENode {
+    /// Array region tensor (leaf).
+    Input {
+        /// Source array.
+        array: ArrayId,
+        /// Lattice domain.
+        rect: HyperRect,
+        /// Lattice→array coordinate offset.
+        array_offset: Vec<i64>,
+    },
+    /// Compile-time constant (leaf); `bits` is the `f32` bit pattern.
+    ConstVal {
+        /// `f32::to_bits` of the constant.
+        bits: u32,
+    },
+    /// Runtime parameter (leaf).
+    Param {
+        /// Parameter index.
+        index: u32,
+    },
+    /// Element-wise compute.
+    Compute {
+        /// Operation.
+        op: ComputeOp,
+        /// Operand e-classes.
+        inputs: Vec<EClassId>,
+    },
+    /// Shift along a dimension.
+    Mv {
+        /// Operand e-class.
+        input: EClassId,
+        /// Shifted dimension.
+        dim: usize,
+        /// Distance.
+        dist: i64,
+    },
+    /// Broadcast along a dimension.
+    Bc {
+        /// Operand e-class.
+        input: EClassId,
+        /// Broadcast dimension.
+        dim: usize,
+        /// First destination coordinate.
+        dist: i64,
+        /// Copy count.
+        count: u64,
+    },
+    /// Domain restriction (no-op at lowering).
+    Shrink {
+        /// Operand e-class.
+        input: EClassId,
+        /// Restricted dimension.
+        dim: usize,
+        /// New start.
+        p: i64,
+        /// New end.
+        q: i64,
+    },
+    /// Reduction along a dimension (opaque to rewrites).
+    Reduce {
+        /// Operand e-class.
+        input: EClassId,
+        /// Reduced dimension.
+        dim: usize,
+        /// Operator.
+        op: ReduceOp,
+    },
+    /// Stream-produced tensor (leaf, opaque).
+    StreamIn {
+        /// Producing stream.
+        stream: StreamId,
+        /// Domain.
+        rect: HyperRect,
+    },
+}
+
+impl ENode {
+    /// Child e-classes, in operand order.
+    pub fn children(&self) -> Vec<EClassId> {
+        match self {
+            ENode::Input { .. } | ENode::ConstVal { .. } | ENode::Param { .. } | ENode::StreamIn { .. } => {
+                Vec::new()
+            }
+            ENode::Compute { inputs, .. } => inputs.clone(),
+            ENode::Mv { input, .. }
+            | ENode::Bc { input, .. }
+            | ENode::Shrink { input, .. }
+            | ENode::Reduce { input, .. } => vec![*input],
+        }
+    }
+
+    /// The same node with children rewritten through `f` (canonicalization).
+    pub fn map_children(&self, mut f: impl FnMut(EClassId) -> EClassId) -> ENode {
+        let mut n = self.clone();
+        match &mut n {
+            ENode::Compute { inputs, .. } => {
+                for i in inputs {
+                    *i = f(*i);
+                }
+            }
+            ENode::Mv { input, .. }
+            | ENode::Bc { input, .. }
+            | ENode::Shrink { input, .. }
+            | ENode::Reduce { input, .. } => *input = f(*input),
+            _ => {}
+        }
+        n
+    }
+}

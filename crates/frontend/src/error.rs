@@ -1,0 +1,103 @@
+use infs_sdfg::{ArrayId, SdfgError};
+use infs_tdfg::TdfgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from kernel construction and compilation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FrontendError {
+    /// A reference used an undeclared array.
+    UnknownArray(ArrayId),
+    /// An index list's length does not match the array's rank.
+    IndexArity {
+        /// The array.
+        array: ArrayId,
+        /// Indices supplied.
+        got: usize,
+        /// Array rank.
+        expected: usize,
+    },
+    /// A symbol value was not supplied at instantiation.
+    UnboundSym(usize),
+    /// A loop bound evaluated to an empty or inverted range.
+    EmptyLoop {
+        /// Loop index.
+        index: usize,
+        /// Evaluated lower bound.
+        lo: i64,
+        /// Evaluated upper bound.
+        hi: i64,
+    },
+    /// The kernel cannot be unrolled into tensors (e.g. an indirect reference,
+    /// a non-unit loop coefficient, or an index mixing several loop variables).
+    /// Such kernels still lower to streams ([`Kernel::streamize`]).
+    ///
+    /// [`Kernel::streamize`]: crate::Kernel::streamize
+    NotTensorizable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The kernel cannot be lowered to streams (e.g. an indirect index that is
+    /// not itself a plain load).
+    NotStreamizable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A reduction dimension was not the outermost lattice dimension(s).
+    ReduceNotOutermost,
+    /// Error from tDFG construction.
+    Tdfg(TdfgError),
+    /// Error from sDFG construction.
+    Sdfg(SdfgError),
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::UnknownArray(a) => write!(f, "unknown array {a}"),
+            FrontendError::IndexArity {
+                array,
+                got,
+                expected,
+            } => write!(f, "array {array} indexed with {got} indices but has rank {expected}"),
+            FrontendError::UnboundSym(s) => write!(f, "symbol #{s} was not bound"),
+            FrontendError::EmptyLoop { index, lo, hi } => {
+                write!(f, "loop {index} has empty range [{lo}, {hi})")
+            }
+            FrontendError::NotTensorizable { reason } => {
+                write!(f, "kernel cannot be unrolled into tensors: {reason}")
+            }
+            FrontendError::NotStreamizable { reason } => {
+                write!(f, "kernel cannot be lowered to streams: {reason}")
+            }
+            FrontendError::ReduceNotOutermost => {
+                write!(f, "reduced loops must be the outermost lattice dimensions")
+            }
+            FrontendError::Tdfg(e) => write!(f, "tDFG construction failed: {e}"),
+            FrontendError::Sdfg(e) => write!(f, "sDFG construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for FrontendError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrontendError::Tdfg(e) => Some(e),
+            FrontendError::Sdfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TdfgError> for FrontendError {
+    fn from(e: TdfgError) -> Self {
+        FrontendError::Tdfg(e)
+    }
+}
+
+impl From<SdfgError> for FrontendError {
+    fn from(e: SdfgError) -> Self {
+        FrontendError::Sdfg(e)
+    }
+}

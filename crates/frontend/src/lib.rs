@@ -1,0 +1,70 @@
+//! Compiler front end for Infinity Stream: a loop-nest kernel IR playing the
+//! role of "plain C", with stream extraction and tensor unrolling.
+//!
+//! The paper's static compiler consumes plain C, decouples memory accesses into
+//! streams (the sDFG, §3.1), and fully unrolls hyperrectangular streams into
+//! tensors (the tDFG, §3.2). This crate provides the equivalent pipeline over an
+//! explicit loop-nest IR — every evaluated workload is an affine (or one-level
+//! indirect) nest, so the IR expresses exactly what the paper's front end
+//! analyzes out of C:
+//!
+//! * [`Kernel`] — a perfectly-nested loop nest over declared arrays. All loops
+//!   are *parallel* (they become lattice dimensions); sequential outer loops —
+//!   e.g. the `k` loop of Gaussian elimination or the iteration loop of a
+//!   stencil — live in the host driver and enter the kernel as integer
+//!   [symbols](KernelBuilder::sym), mirroring how `inf_cfg` re-configures a
+//!   region with fresh runtime parameters each entry (§3.4).
+//! * [`Kernel::tensorize`] — unrolls the kernel into a tDFG: loads become
+//!   tensors at their canonical lattice placement, constant offsets become
+//!   explicit `mv` alignment nodes, loop-invariant references become `bc`
+//!   broadcast nodes, and reduction dimensions become `reduce` nodes.
+//! * [`Kernel::streamize`] — lowers the kernel into an sDFG for near-memory
+//!   execution: loads/stores/updates become streams, arithmetic becomes
+//!   near-stream computation. Indirect references (`A[B[i]]`) are only
+//!   expressible here, which is precisely the paper's irregularity story
+//!   (§3.3): regular phases go in-memory, indirect phases stay near-memory.
+//!
+//! # Example: vector add
+//!
+//! ```
+//! use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+//! use infs_sdfg::{DataType, Memory};
+//! use infs_tdfg::ComputeOp;
+//! use std::collections::HashMap;
+//!
+//! let mut k = KernelBuilder::new("vec_add", DataType::F32);
+//! let n = 16u64;
+//! let a = k.array("A", vec![n]);
+//! let b = k.array("B", vec![n]);
+//! let c = k.array("C", vec![n]);
+//! let i = k.parallel_loop("i", 0, n as i64);
+//! let sum = ScalarExpr::bin(
+//!     ComputeOp::Add,
+//!     ScalarExpr::load(a, vec![Idx::var(i)]),
+//!     ScalarExpr::load(b, vec![Idx::var(i)]),
+//! );
+//! k.assign(c, vec![Idx::var(i)], sum);
+//! let kernel = k.build().unwrap();
+//!
+//! // In-memory path: unroll into a tDFG and run the reference interpreter.
+//! let g = kernel.tensorize(&[]).unwrap();
+//! let mut mem = Memory::for_arrays(g.arrays());
+//! mem.write_array(a, &vec![1.0; n as usize]);
+//! mem.write_array(b, &vec![2.0; n as usize]);
+//! infs_tdfg::interp::execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+//! assert!(mem.array(c).iter().all(|&x| x == 3.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod expr;
+mod kernel;
+mod streamize;
+mod tensorize;
+
+pub use error::FrontendError;
+pub use expr::{Idx, ScalarExpr, Stmt};
+pub use kernel::{Kernel, KernelBuilder, LoopVar, SymVar};
+pub use streamize::indirect_update;

@@ -1,0 +1,92 @@
+//! Property test: the two compilation paths — tensorize (in-memory) and
+//! streamize (near-memory) — are semantically equivalent on randomized affine
+//! kernels. This is the core compiler-correctness guarantee: whatever the
+//! runtime decides under Eq 2, the program means the same thing.
+
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_sdfg::{DataType, Memory, ReduceOp};
+use infs_tdfg::ComputeOp;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct TapSpec {
+    di: i64,
+    dj: i64,
+    weight: i32,
+    op: u8,
+}
+
+fn arb_taps() -> impl Strategy<Value = Vec<TapSpec>> {
+    proptest::collection::vec(
+        (-1i64..2, -1i64..2, 1i32..5, 0u8..3).prop_map(|(di, dj, weight, op)| TapSpec {
+            di,
+            dj,
+            weight,
+            op,
+        }),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random 2-D weighted stencils with mixed combine ops agree across paths.
+    #[test]
+    fn prop_tensorize_streamize_agree(
+        taps in arb_taps(),
+        data in proptest::collection::vec(0i32..16, 64),
+        reduce in proptest::bool::ANY,
+    ) {
+        let n = 8u64;
+        let mut kb = KernelBuilder::new("rand_stencil", DataType::F32);
+        let a = kb.array("A", vec![n, n]);
+        let out = kb.array("OUT", vec![n, n]);
+        let scalar_out = kb.array("S", vec![1]);
+        let i = kb.parallel_loop("i", 1, n as i64 - 1);
+        let j = kb.parallel_loop("j", 1, n as i64 - 1);
+        let mut acc: Option<ScalarExpr> = None;
+        for t in &taps {
+            let load = ScalarExpr::load(a, vec![Idx::var_plus(i, t.di), Idx::var_plus(j, t.dj)]);
+            let term = ScalarExpr::mul(load, ScalarExpr::Const(t.weight as f32));
+            acc = Some(match acc {
+                None => term,
+                Some(prev) => {
+                    let op = match t.op {
+                        0 => ComputeOp::Add,
+                        1 => ComputeOp::Min,
+                        _ => ComputeOp::Max,
+                    };
+                    ScalarExpr::bin(op, prev, term)
+                }
+            });
+        }
+        let body = acc.expect("at least one tap");
+        if reduce {
+            kb.scalar_reduce("s", ReduceOp::Sum, body);
+            let _ = (out, scalar_out);
+        } else {
+            kb.assign(out, vec![Idx::var(i), Idx::var(j)], body);
+        }
+        let kernel = kb.build().unwrap();
+        let values: Vec<f32> = data.iter().cycle().take((n * n) as usize).map(|&x| x as f32).collect();
+
+        let tg = kernel.tensorize(&[]).unwrap();
+        let mut m1 = Memory::for_arrays(tg.arrays());
+        m1.write_array(a, &values);
+        let o1 = infs_tdfg::interp::execute(&tg, &mut m1, &[], &HashMap::new()).unwrap();
+
+        let sg = kernel.streamize(&[]).unwrap();
+        let mut m2 = Memory::for_arrays(sg.arrays());
+        m2.write_array(a, &values);
+        let o2 = infs_sdfg::interp::execute(&sg, &mut m2, &[]).unwrap();
+
+        if reduce {
+            let (v1, v2) = (o1.scalar("s").unwrap(), o2.scalar("s").unwrap());
+            prop_assert!((v1 - v2).abs() <= 1e-3 * v1.abs().max(1.0), "{v1} vs {v2}");
+        } else {
+            prop_assert_eq!(m1.array(out), m2.array(out));
+        }
+    }
+}

@@ -1,0 +1,222 @@
+use crate::HyperRect;
+
+/// Decomposes a tensor along tile boundaries (paper Algorithm 1).
+///
+/// Tensors may not align to the tile grid — e.g. when moving a sub-region of an
+/// array — so the JIT runtime decomposes them into sub-tensors whose every
+/// dimension is either (a) a run of *complete* tiles or (b) a partial head/tail
+/// interval confined to a single tile. Boundary tiles can then be handled by
+/// separate shift commands (Fig 9).
+///
+/// For each dimension `d` with interval `[p, q)` and tile size `t`, the algorithm
+/// finds the enclosing tile boundaries `a ≤ p < b` and `c ≤ q < d'` (all multiples
+/// of `t`) and splits the interval into up to three pieces: a partial head
+/// `[p, b)`, a middle run of full tiles `[b, c)`, and a partial tail `[c, q)`.
+/// When `p` already aligns (`a == p`), head and middle fuse into `[a, c)`; when
+/// the whole interval lives inside one tile (`b > c`), it is kept whole. The
+/// final decomposition is the cross product over dimensions.
+///
+/// The returned sub-tensors partition the input: they are pairwise disjoint and
+/// their union is exactly `tensor` (a property-tested invariant).
+///
+/// Empty inputs decompose to an empty list.
+///
+/// # Panics
+///
+/// Panics if `tile.len() != tensor.ndim()` or any tile size is zero.
+///
+/// # Example
+///
+/// ```
+/// use infs_geom::{decompose, HyperRect};
+///
+/// // Fig 9: A[0,4)x[0,3) over 2x2 tiles -> full-tile part + partial column.
+/// let a = HyperRect::new(vec![(0, 4), (0, 3)]).unwrap();
+/// let parts = decompose(&a, &[2, 2]);
+/// assert_eq!(parts, vec![
+///     HyperRect::new(vec![(0, 4), (0, 2)]).unwrap(),
+///     HyperRect::new(vec![(0, 4), (2, 3)]).unwrap(),
+/// ]);
+/// ```
+pub fn decompose(tensor: &HyperRect, tile: &[u64]) -> Vec<HyperRect> {
+    assert_eq!(
+        tile.len(),
+        tensor.ndim(),
+        "tile shape dimensionality {} does not match tensor dimensionality {}",
+        tile.len(),
+        tensor.ndim()
+    );
+    assert!(tile.iter().all(|&t| t > 0), "tile sizes must be nonzero");
+    if tensor.is_empty() {
+        return Vec::new();
+    }
+    // Per-dimension interval pieces; cross product at the end.
+    let mut per_dim: Vec<Vec<(i64, i64)>> = Vec::with_capacity(tensor.ndim());
+    #[allow(clippy::needless_range_loop)] // d indexes tensor and tile in lockstep
+    for d in 0..tensor.ndim() {
+        per_dim.push(split_interval(tensor.interval(d), tile[d] as i64));
+    }
+    // Cross product, keeping dimension 0 ordering outermost-last to match the
+    // recursive construction in Alg 1 (dimension 0 split is the outer loop).
+    let mut acc: Vec<Vec<(i64, i64)>> = vec![Vec::new()];
+    for pieces in per_dim.iter().rev() {
+        let mut next = Vec::with_capacity(acc.len() * pieces.len());
+        for &piece in pieces {
+            for partial in &acc {
+                let mut v = Vec::with_capacity(partial.len() + 1);
+                v.push(piece);
+                v.extend_from_slice(partial);
+                next.push(v);
+            }
+        }
+        acc = next;
+    }
+    acc.into_iter()
+        .map(|iv| HyperRect::new(iv).expect("split intervals are well formed"))
+        .collect()
+}
+
+/// Splits `[p, q)` (non-empty) along multiples of `t` into 1–3 pieces:
+/// partial head, full-tile middle, partial tail (Alg 1 lines 3–18).
+fn split_interval((p, q): (i64, i64), t: i64) -> Vec<(i64, i64)> {
+    debug_assert!(p < q);
+    let a = p.div_euclid(t) * t; // floor(p/t)*t
+    let b = (p + t - 1).div_euclid(t) * t; // ceil(p/t)*t
+    let c = q.div_euclid(t) * t; // floor(q/t)*t
+    let mut out = Vec::with_capacity(3);
+    if b <= c {
+        // a <= p < b <= c <= q: head exists iff p not aligned.
+        if a < p {
+            out.push((p, b)); // partial head
+            if b < c {
+                out.push((b, c)); // middle full tiles
+            }
+        } else {
+            // p aligned with a == b; [a, c) is all full tiles.
+            if a < c {
+                out.push((a, c));
+            }
+        }
+        if c < q {
+            out.push((c, q)); // partial tail
+        }
+    } else {
+        // Whole interval inside one tile.
+        out.push((p, q));
+    }
+    debug_assert!(!out.is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rect(iv: &[(i64, i64)]) -> HyperRect {
+        HyperRect::new(iv.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn aligned_tensor_is_not_decomposed() {
+        let a = rect(&[(0, 4), (0, 4)]);
+        assert_eq!(decompose(&a, &[2, 2]), vec![a]);
+    }
+
+    #[test]
+    fn single_tile_interior_kept_whole() {
+        let a = rect(&[(1, 2)]);
+        assert_eq!(decompose(&a, &[4]), vec![a]);
+    }
+
+    #[test]
+    fn head_middle_tail() {
+        let a = rect(&[(1, 11)]);
+        assert_eq!(
+            decompose(&a, &[4]),
+            vec![rect(&[(1, 4)]), rect(&[(4, 8)]), rect(&[(8, 11)])]
+        );
+    }
+
+    #[test]
+    fn aligned_head_with_tail() {
+        let a = rect(&[(0, 3)]);
+        assert_eq!(decompose(&a, &[2]), vec![rect(&[(0, 2)]), rect(&[(2, 3)])]);
+    }
+
+    #[test]
+    fn paper_fig9_example() {
+        // A[0,4)x[0,3), 2x2 tiles: dim 0 aligned, dim 1 has tail [2,3).
+        let a = rect(&[(0, 4), (0, 3)]);
+        assert_eq!(
+            decompose(&a, &[2, 2]),
+            vec![rect(&[(0, 4), (0, 2)]), rect(&[(0, 4), (2, 3)])]
+        );
+    }
+
+    #[test]
+    fn negative_coordinates_split_on_tile_grid() {
+        // A tensor moved to negative space still splits on multiples of t.
+        let a = rect(&[(-3, 3)]);
+        assert_eq!(
+            decompose(&a, &[2]),
+            vec![rect(&[(-3, -2)]), rect(&[(-2, 2)]), rect(&[(2, 3)])]
+        );
+    }
+
+    #[test]
+    fn empty_tensor_decomposes_to_nothing() {
+        assert!(decompose(&rect(&[(2, 2)]), &[4]).is_empty());
+    }
+
+    #[test]
+    fn three_dims_cross_product() {
+        let a = rect(&[(0, 3), (1, 2), (0, 4)]);
+        let parts = decompose(&a, &[2, 2, 2]);
+        // dim0: [0,2),[2,3); dim1: [1,2); dim2: [0,4) aligned -> 2*1*1 = 2 parts.
+        assert_eq!(parts.len(), 2);
+        let total: u64 = parts.iter().map(|r| r.num_elements()).sum();
+        assert_eq!(total, a.num_elements());
+    }
+
+    proptest! {
+        /// Decomposition is a partition: disjoint pieces whose sizes sum to the input.
+        #[test]
+        fn prop_partition(
+            iv in proptest::collection::vec((-20i64..20, 0i64..20), 1..4),
+            tiles in proptest::collection::vec(1u64..6, 3),
+        ) {
+            let intervals: Vec<(i64, i64)> = iv.iter().map(|&(p, len)| (p, p + len)).collect();
+            let nd = intervals.len();
+            let r = HyperRect::new(intervals).unwrap();
+            let parts = decompose(&r, &tiles[..nd]);
+            let total: u64 = parts.iter().map(|p| p.num_elements()).sum();
+            prop_assert_eq!(total, r.num_elements());
+            for i in 0..parts.len() {
+                prop_assert!(r.contains_rect(&parts[i]));
+                prop_assert!(!parts[i].is_empty());
+                for j in (i + 1)..parts.len() {
+                    prop_assert!(parts[i].intersect(&parts[j]).unwrap().is_none());
+                }
+            }
+        }
+
+        /// Every piece is either tile-aligned-and-complete or inside a single tile,
+        /// in every dimension.
+        #[test]
+        fn prop_pieces_respect_tile_grid(
+            p in -20i64..20,
+            len in 1i64..40,
+            t in 1i64..8,
+        ) {
+            let r = HyperRect::new(vec![(p, p + len)]).unwrap();
+            let parts = decompose(&r, &[t as u64]);
+            for part in parts {
+                let (pp, pq) = part.interval(0);
+                let aligned = pp.rem_euclid(t) == 0 && pq.rem_euclid(t) == 0;
+                let single_tile = pp.div_euclid(t) == (pq - 1).div_euclid(t);
+                prop_assert!(aligned || single_tile, "piece [{},{}) tile {}", pp, pq, t);
+            }
+        }
+    }
+}

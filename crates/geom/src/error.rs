@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric constructors and the tiling solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A hyperrectangle interval had `p > q`.
+    InvertedInterval {
+        /// Dimension index of the offending interval.
+        dim: usize,
+        /// Start coordinate.
+        p: i64,
+        /// End coordinate.
+        q: i64,
+    },
+    /// Two rectangles that must share a dimensionality did not.
+    DimMismatch {
+        /// Dimensionality of the left operand.
+        lhs: usize,
+        /// Dimensionality of the right operand.
+        rhs: usize,
+    },
+    /// A dimension index was out of range.
+    DimOutOfRange {
+        /// The requested dimension.
+        dim: usize,
+        /// Number of dimensions available.
+        ndim: usize,
+    },
+    /// The tiling solver found no tile size satisfying the §4.1 constraints.
+    NoValidTiling {
+        /// Human-readable description of the constraint set.
+        detail: String,
+    },
+    /// A tile shape had a zero-sized dimension.
+    ZeroTile,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvertedInterval { dim, p, q } => {
+                write!(f, "inverted interval [{p}, {q}) in dimension {dim}")
+            }
+            GeomError::DimMismatch { lhs, rhs } => {
+                write!(f, "dimensionality mismatch: {lhs} vs {rhs}")
+            }
+            GeomError::DimOutOfRange { dim, ndim } => {
+                write!(f, "dimension {dim} out of range for {ndim}-dimensional object")
+            }
+            GeomError::NoValidTiling { detail } => {
+                write!(f, "no valid tiling: {detail}")
+            }
+            GeomError::ZeroTile => write!(f, "tile shape contains a zero-sized dimension"),
+        }
+    }
+}
+
+impl Error for GeomError {}

@@ -1,0 +1,48 @@
+//! Lattice-space geometry for the Infinity Stream tensor dataflow graph.
+//!
+//! The tDFG (tensor dataflow graph) positions every tensor on an *N*-dimensional
+//! **global lattice space** (paper §3.2). Each lattice cell holds data elements and
+//! is mapped at runtime to a physical location — an SRAM bitline inside an L3 way.
+//! This crate provides the purely-geometric substrate everything else builds on:
+//!
+//! * [`HyperRect`] — a half-open hyperrectangle `[p0,q0) × … × [pN-1,qN-1)` of
+//!   lattice cells, the domain of every tensor.
+//! * [`TileShape`] / [`TileGrid`] — the tiled, transposed data layout (§4.1):
+//!   how a software array is split into tiles that each occupy all bitlines of
+//!   one SRAM array, and how tiles map to L3 banks.
+//! * [`decompose`] — Algorithm 1 of the paper: decomposing a tensor along tile
+//!   boundaries so boundary tiles can be handled separately.
+//! * [`StridePattern`] — the `start[:stride:count]+` bitline/tile patterns carried
+//!   by the lowered shift commands (Fig 9).
+//! * [`layout`] — the tiling-constraint solver and the shift/reduce/broadcast
+//!   heuristics the JIT runtime uses to pick a tile size.
+//!
+//! # Example
+//!
+//! ```
+//! use infs_geom::HyperRect;
+//!
+//! // The 4x3 sub-region A[0,4)x[0,3) of Fig 9.
+//! let a = HyperRect::new(vec![(0, 4), (0, 3)]).unwrap();
+//! // Decompose along 2x2 tiles: dimension 1 has an unaligned tail.
+//! let parts = infs_geom::decompose(&a, &[2, 2]);
+//! assert_eq!(parts.len(), 2);
+//! assert_eq!(parts[0], HyperRect::new(vec![(0, 4), (0, 2)]).unwrap());
+//! assert_eq!(parts[1], HyperRect::new(vec![(0, 4), (2, 3)]).unwrap());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod decompose;
+mod error;
+pub mod layout;
+mod pattern;
+mod rect;
+mod tile;
+
+pub use decompose::decompose;
+pub use error::GeomError;
+pub use pattern::StridePattern;
+pub use rect::HyperRect;
+pub use tile::{TileAddr, TileGrid, TileShape};

@@ -1,0 +1,182 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A strided index pattern `start[:stride:count]`, as carried by lowered shift
+/// commands to select bitlines and tiles (paper Fig 9).
+///
+/// The pattern denotes the index set `{ start + k*stride | 0 <= k < count }`.
+/// Hardware (the L3 tensor controller `TC_L3`) expands these compact patterns
+/// into per-bitline / per-tile masks when a command executes, so the command
+/// encoding stays small regardless of how many bitlines participate.
+///
+/// A degenerate pattern with `count == 1` selects the single index `start` and
+/// renders as just `start`.
+///
+/// # Example
+///
+/// ```
+/// use infs_geom::StridePattern;
+///
+/// // CMD 1 of Fig 9: bitline pattern 1:2:2 selects bitlines {1, 3}.
+/// let p = StridePattern::new(1, 2, 2);
+/// assert_eq!(p.indices().collect::<Vec<_>>(), vec![1, 3]);
+/// assert_eq!(p.to_string(), "1:2:2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StridePattern {
+    /// First selected index.
+    pub start: u64,
+    /// Distance between consecutive selected indices.
+    pub stride: u64,
+    /// Number of selected indices.
+    pub count: u64,
+}
+
+impl StridePattern {
+    /// Creates a pattern selecting `{start + k*stride | 0 <= k < count}`.
+    pub fn new(start: u64, stride: u64, count: u64) -> Self {
+        StridePattern {
+            start,
+            stride,
+            count,
+        }
+    }
+
+    /// A pattern selecting a single index.
+    pub fn single(index: u64) -> Self {
+        StridePattern::new(index, 1, 1)
+    }
+
+    /// A pattern selecting the contiguous range `[start, start + len)`.
+    pub fn contiguous(start: u64, len: u64) -> Self {
+        StridePattern::new(start, 1, len)
+    }
+
+    /// Number of selected indices.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if the pattern selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Iterates over the selected indices in increasing order.
+    pub fn indices(&self) -> impl Iterator<Item = u64> + '_ {
+        let (start, stride) = (self.start, self.stride.max(1));
+        (0..self.count).map(move |k| start + k * stride)
+    }
+
+    /// Largest selected index, or `None` if empty.
+    pub fn max_index(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.start + (self.count - 1) * self.stride.max(1))
+        }
+    }
+
+    /// True if `index` is selected by this pattern.
+    pub fn contains(&self, index: u64) -> bool {
+        if index < self.start || self.count == 0 {
+            return false;
+        }
+        let stride = self.stride.max(1);
+        let d = index - self.start;
+        d.is_multiple_of(stride) && d / stride < self.count
+    }
+
+    /// Intersects this pattern with the contiguous range `[lo, hi)`, yielding the
+    /// sub-pattern selecting only in-range indices (used when mapping commands to
+    /// the tiles owned by one L3 bank, §4.2 step 3).
+    pub fn clamp(&self, lo: u64, hi: u64) -> StridePattern {
+        if self.count == 0 || lo >= hi {
+            return StridePattern::new(self.start, self.stride, 0);
+        }
+        let stride = self.stride.max(1);
+        // First k with start + k*stride >= lo.
+        let k0 = if self.start >= lo {
+            0
+        } else {
+            (lo - self.start).div_ceil(stride)
+        };
+        // Last k with start + k*stride < hi (exclusive bound k1).
+        let k1 = if self.start >= hi {
+            0
+        } else {
+            ((hi - 1 - self.start) / stride + 1).min(self.count)
+        };
+        if k0 >= k1 {
+            StridePattern::new(self.start, self.stride, 0)
+        } else {
+            StridePattern::new(self.start + k0 * stride, stride, k1 - k0)
+        }
+    }
+}
+
+impl fmt::Display for StridePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 1 {
+            write!(f, "{}", self.start)
+        } else {
+            write!(f, "{}:{}:{}", self.start, self.stride, self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn indices_enumerate_pattern() {
+        let p = StridePattern::new(0, 2, 2);
+        assert_eq!(p.indices().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(p.max_index(), Some(2));
+    }
+
+    #[test]
+    fn single_and_contiguous() {
+        assert_eq!(StridePattern::single(5).indices().collect::<Vec<_>>(), [5]);
+        assert_eq!(
+            StridePattern::contiguous(3, 3).indices().collect::<Vec<_>>(),
+            [3, 4, 5]
+        );
+    }
+
+    #[test]
+    fn contains_matches_enumeration() {
+        let p = StridePattern::new(1, 3, 4); // {1,4,7,10}
+        for i in 0..15 {
+            assert_eq!(p.contains(i), p.indices().any(|x| x == i), "index {i}");
+        }
+    }
+
+    #[test]
+    fn clamp_restricts_range() {
+        let p = StridePattern::new(1, 3, 4); // {1,4,7,10}
+        let c = p.clamp(4, 10);
+        assert_eq!(c.indices().collect::<Vec<_>>(), vec![4, 7]);
+        assert!(p.clamp(11, 20).is_empty());
+        assert!(p.clamp(2, 2).is_empty());
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        assert_eq!(StridePattern::new(0, 2, 2).to_string(), "0:2:2");
+        assert_eq!(StridePattern::single(7).to_string(), "7");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_clamp_equals_filter(start in 0u64..30, stride in 1u64..5, count in 0u64..20,
+                                    lo in 0u64..40, hi in 0u64..40) {
+            let p = StridePattern::new(start, stride, count);
+            let clamped: Vec<u64> = p.clamp(lo, hi).indices().collect();
+            let filtered: Vec<u64> = p.indices().filter(|&i| i >= lo && i < hi).collect();
+            prop_assert_eq!(clamped, filtered);
+        }
+    }
+}

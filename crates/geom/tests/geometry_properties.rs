@@ -1,0 +1,123 @@
+//! Cross-module property tests for the geometry substrate: rectangle algebra,
+//! tile-grid consistency, and the §4.1 tiling constraints.
+
+use infs_geom::layout::{pick_tile_shape, tile_score, valid_tilings, LayoutHints, TilingRequest};
+use infs_geom::{decompose, HyperRect, TileGrid, TileShape};
+use proptest::prelude::*;
+
+fn arb_rect(ndim: usize, max: i64) -> impl Strategy<Value = HyperRect> {
+    proptest::collection::vec((-max..max, 0i64..max), ndim)
+        .prop_map(|iv| HyperRect::new(iv.into_iter().map(|(p, l)| (p, p + l)).collect()).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Intersection is commutative, contained in both, and idempotent.
+    #[test]
+    fn prop_intersection_algebra(a in arb_rect(2, 12), b in arb_rect(2, 12)) {
+        let ab = a.intersect(&b).unwrap();
+        let ba = b.intersect(&a).unwrap();
+        prop_assert_eq!(ab.clone(), ba);
+        if let Some(x) = ab {
+            prop_assert!(a.contains_rect(&x));
+            prop_assert!(b.contains_rect(&x));
+            prop_assert_eq!(x.intersect(&a).unwrap(), Some(x.clone()));
+        }
+    }
+
+    /// The bounding rectangle contains both operands and is minimal on each axis.
+    #[test]
+    fn prop_bounding_is_minimal_cover(a in arb_rect(3, 10), b in arb_rect(3, 10)) {
+        let c = a.bounding(&b).unwrap();
+        prop_assert!(c.contains_rect(&a));
+        prop_assert!(c.contains_rect(&b));
+        for d in 0..3 {
+            let (p, q) = c.interval(d);
+            prop_assert_eq!(p, a.start(d).min(b.start(d)));
+            prop_assert_eq!(q, a.end(d).max(b.end(d)));
+        }
+    }
+
+    /// Translation round-trips and preserves volume.
+    #[test]
+    fn prop_translation_roundtrip(a in arb_rect(2, 12), dim in 0usize..2, dist in -20i64..20) {
+        let t = a.translated(dim, dist).unwrap();
+        prop_assert_eq!(t.num_elements(), a.num_elements());
+        prop_assert_eq!(t.translated(dim, -dist).unwrap(), a);
+    }
+
+    /// decompose() pieces, re-decomposed, are fixpoints (already tile-conformal).
+    #[test]
+    fn prop_decompose_fixpoint(
+        p0 in -10i64..10, l0 in 1i64..20,
+        p1 in -10i64..10, l1 in 1i64..20,
+        t0 in 1u64..6, t1 in 1u64..6,
+    ) {
+        let r = HyperRect::new(vec![(p0, p0 + l0), (p1, p1 + l1)]).unwrap();
+        for piece in decompose(&r, &[t0, t1]) {
+            let again = decompose(&piece, &[t0, t1]);
+            prop_assert_eq!(again, vec![piece]);
+        }
+    }
+
+    /// Every lattice point of an array maps to exactly one tile, and tiles
+    /// partition the array.
+    #[test]
+    fn prop_tile_grid_partitions(
+        tx in 1u64..6, ty in 1u64..6,
+        sx in 1u64..20, sy in 1u64..20,
+    ) {
+        let g = TileGrid::new(
+            TileShape::new(vec![tx, ty]).unwrap(),
+            vec![sx, sy],
+            4, 8,
+        ).unwrap();
+        let mut covered = 0u64;
+        for t in 0..g.num_tiles() {
+            covered += g.tile_rect(t).num_elements();
+        }
+        prop_assert_eq!(covered, sx * sy);
+        // Spot-check point membership.
+        for &(x, y) in &[(0, 0), (sx as i64 - 1, sy as i64 - 1), (sx as i64 / 2, sy as i64 / 2)] {
+            let addr = g.locate(&[x, y]).unwrap();
+            prop_assert!(g.tile_rect(addr.tile).contains(&[x, y]));
+        }
+    }
+
+    /// Every tiling the solver returns satisfies both §4.1 constraints, and the
+    /// heuristic's pick is never worse-scoring than any candidate.
+    #[test]
+    fn prop_tiling_constraints_hold(
+        s0_lines in 1u64..64,
+        s1 in 1u64..2048,
+        w in 1u32..33,
+        shift in proptest::bool::ANY,
+        reduce in proptest::bool::ANY,
+    ) {
+        let req = TilingRequest {
+            array_shape: vec![s0_lines * 16, s1],
+            elem_size: 4,
+            bitlines: 256,
+            arrays_per_bank: w,
+            line_bytes: 64,
+            hints: LayoutHints {
+                shift_dims: if shift { vec![0, 1] } else { vec![] },
+                reduce_dim: if reduce { Some(1) } else { None },
+                broadcast_dims: vec![],
+            },
+        };
+        let l = req.line_elems();
+        let candidates = valid_tilings(&req);
+        for t in &candidates {
+            prop_assert_eq!(t.num_elements(), 256); // constraint 1
+            prop_assert_eq!(t.dim(0) * w as u64 % l, 0); // constraint 2
+        }
+        if let Ok(best) = pick_tile_shape(&req) {
+            let best_score = tile_score(&best, &req);
+            for t in &candidates {
+                prop_assert!(best_score <= tile_score(t, &req) + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+use crate::{IsaError, Schedule, SramGeometry};
+use infs_egraph::CostParams;
+use infs_frontend::{FrontendError, Kernel};
+use infs_geom::layout::LayoutHints;
+use infs_sdfg::Sdfg;
+use infs_tdfg::{OpProfile, Tdfg};
+use serde::{Deserialize, Serialize};
+
+/// The static compiler: front end + e-graph optimizer + per-geometry backend.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Compiler {
+    /// SRAM geometries the fat binary is scheduled for.
+    pub geometries: Vec<SramGeometry>,
+    /// Run the e-graph optimizer (ablation switch).
+    pub optimize: bool,
+    /// Extraction cost parameters.
+    pub cost: CostParams,
+}
+
+impl Default for Compiler {
+    fn default() -> Self {
+        Compiler {
+            geometries: vec![SramGeometry::G256, SramGeometry::G512],
+            optimize: true,
+            cost: CostParams::default(),
+        }
+    }
+}
+
+impl Compiler {
+    /// Compiles a kernel into a region template, probing tensorizability and
+    /// scheduling against a *representative* symbol binding (typical input
+    /// sizes). The structure — node kinds, hints, schedules — is stable across
+    /// instantiations; only domain extents vary.
+    ///
+    /// Kernels that cannot be unrolled (indirect accesses, unsupported index
+    /// forms) still compile, flagged near-memory-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the kernel cannot even be streamized, or if the
+    /// representative instantiation itself is invalid (unbound symbols, empty
+    /// loops).
+    pub fn compile(
+        &self,
+        kernel: Kernel,
+        representative_syms: &[i64],
+    ) -> Result<CompiledRegion, IsaError> {
+        // The near-memory path must always exist.
+        kernel.streamize(representative_syms)?;
+        // Probe the in-memory path.
+        let tensorizable = match kernel.tensorize(representative_syms) {
+            Ok(g) => {
+                // At least one geometry must accommodate the region.
+                let g = self.maybe_optimize(&g)?;
+                self.geometries
+                    .iter()
+                    .any(|&geom| Schedule::compute(&g, geom).is_ok())
+            }
+            Err(FrontendError::NotTensorizable { .. }) => false,
+            Err(e) => return Err(e.into()),
+        };
+        let mut region = CompiledRegion {
+            kernel,
+            geometries: self.geometries.clone(),
+            optimize: self.optimize,
+            cost: self.cost,
+            tensorizable,
+            representative: None,
+        };
+        region.representative = Some(region.instantiate(representative_syms)?);
+        Ok(region)
+    }
+
+    fn maybe_optimize(&self, g: &Tdfg) -> Result<Tdfg, IsaError> {
+        if self.optimize {
+            infs_egraph::optimize(g, &self.cost).map_err(IsaError::from)
+        } else {
+            Ok(g.clone())
+        }
+    }
+}
+
+/// One compiled region template of the fat binary: the kernel plus everything
+/// the static compiler decided (tensorizability, geometries, optimization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledRegion {
+    kernel: Kernel,
+    geometries: Vec<SramGeometry>,
+    optimize: bool,
+    cost: CostParams,
+    /// Whether the region has an in-memory (tDFG) version at all.
+    pub tensorizable: bool,
+    /// The representative instantiation embedded at compile time (the actual
+    /// serialized tDFG configurations of the fat binary).
+    pub representative: Option<RegionInstance>,
+}
+
+impl CompiledRegion {
+    /// Region (kernel) name.
+    pub fn name(&self) -> &str {
+        self.kernel.name()
+    }
+
+    /// The source kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Instantiates the region for concrete symbol values — the `inf_cfg`
+    /// moment: produces the concrete tDFG (optimized + scheduled) and sDFG.
+    ///
+    /// # Errors
+    ///
+    /// Returns symbol/bound errors, or backend errors if no geometry can
+    /// schedule this instantiation (e.g. the live set grew with the sizes).
+    pub fn instantiate(&self, syms: &[i64]) -> Result<RegionInstance, IsaError> {
+        let sdfg = self.kernel.streamize(syms)?;
+        let (tdfg, schedules, hints, profile) = if self.tensorizable {
+            let g = self.kernel.tensorize(syms)?;
+            let g = if self.optimize {
+                infs_egraph::optimize(&g, &self.cost)?
+            } else {
+                g
+            };
+            let schedules: Vec<Schedule> = self
+                .geometries
+                .iter()
+                .filter_map(|&geom| Schedule::compute(&g, geom).ok())
+                .collect();
+            if schedules.is_empty() {
+                (None, Vec::new(), LayoutHints::default(), OpProfile::default())
+            } else {
+                let hints = g.layout_hints();
+                let profile = g.op_profile();
+                (Some(g), schedules, hints, profile)
+            }
+        } else {
+            (None, Vec::new(), LayoutHints::default(), OpProfile::default())
+        };
+        Ok(RegionInstance {
+            name: self.kernel.name().to_string(),
+            syms: syms.to_vec(),
+            tdfg,
+            sdfg,
+            schedules,
+            hints,
+            profile,
+        })
+    }
+}
+
+/// A concrete region ready for offload: the unit the runtime configures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionInstance {
+    /// Region name.
+    pub name: String,
+    /// Symbol values this instance was built for.
+    pub syms: Vec<i64>,
+    /// In-memory version, if the region is tensorizable and schedulable.
+    pub tdfg: Option<Tdfg>,
+    /// Near-memory version (always present).
+    pub sdfg: Sdfg,
+    /// Backend schedules, one per geometry that fits.
+    pub schedules: Vec<Schedule>,
+    /// Layout hints for the runtime's tiling decision (§3.4).
+    pub hints: LayoutHints,
+    /// Aggregate op info for the in-/near-memory decision (Eq 2).
+    pub profile: OpProfile,
+}
+
+impl RegionInstance {
+    /// The schedule matching a hardware geometry, if the fat binary carries one.
+    pub fn schedule_for(&self, geometry: SramGeometry) -> Option<&Schedule> {
+        self.schedules.iter().find(|s| s.geometry == geometry)
+    }
+
+    /// True if the instance can execute in-memory on the given geometry.
+    pub fn supports_in_memory(&self, geometry: SramGeometry) -> bool {
+        self.tdfg.is_some() && self.schedule_for(geometry).is_some()
+    }
+}
+
+/// The fat binary: every compiled region of a program, serializable so the
+/// artifact can be inspected and shipped (we use JSON rather than an opaque
+/// encoding to keep the reproduction debuggable).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FatBinary {
+    /// Compiled regions.
+    pub regions: Vec<CompiledRegion>,
+}
+
+impl FatBinary {
+    /// An empty binary.
+    pub fn new() -> Self {
+        FatBinary::default()
+    }
+
+    /// Adds a region and returns its index.
+    pub fn push(&mut self, region: CompiledRegion) -> usize {
+        self.regions.push(region);
+        self.regions.len() - 1
+    }
+
+    /// Looks up a region by kernel name.
+    pub fn region(&self, name: &str) -> Option<&CompiledRegion> {
+        self.regions.iter().find(|r| r.name() == name)
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Serialize`] on encoder failure.
+    pub fn to_json(&self) -> Result<String, IsaError> {
+        serde_json::to_string(self).map_err(|e| IsaError::Serialize(e.to_string()))
+    }
+
+    /// Deserializes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Serialize`] on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, IsaError> {
+        serde_json::from_str(s).map_err(|e| IsaError::Serialize(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+    use infs_sdfg::DataType;
+
+    fn stencil_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("stencil1d", DataType::F32);
+        let n = k.sym("n");
+        let a = k.array("A", vec![64]);
+        let b = k.array("B", vec![64]);
+        let i = k.parallel_loop_bounds("i", Idx::constant(1), Idx::sym_plus(n, -1));
+        let e = ScalarExpr::add(
+            ScalarExpr::add(
+                ScalarExpr::load(a, vec![Idx::var_plus(i, -1)]),
+                ScalarExpr::load(a, vec![Idx::var(i)]),
+            ),
+            ScalarExpr::load(a, vec![Idx::var_plus(i, 1)]),
+        );
+        k.assign(b, vec![Idx::var(i)], e);
+        k.build().unwrap()
+    }
+
+    fn gather_kernel() -> Kernel {
+        let mut k = KernelBuilder::new("gather", DataType::F32);
+        let data = k.array("data", vec![64]);
+        let idx = k.array_typed("idx", vec![16], DataType::I32);
+        let out = k.array("out", vec![16]);
+        let i = k.parallel_loop("i", 0, 16);
+        k.assign(
+            out,
+            vec![Idx::var(i)],
+            ScalarExpr::LoadIndirect {
+                array: data,
+                dim: 0,
+                index: Box::new(ScalarExpr::load(idx, vec![Idx::var(i)])),
+                rest: vec![Idx::constant(0)],
+            },
+        );
+        k.build().unwrap()
+    }
+
+    #[test]
+    fn compile_tensorizable_region() {
+        let c = Compiler::default();
+        let region = c.compile(stencil_kernel(), &[64]).unwrap();
+        assert!(region.tensorizable);
+        let inst = region.instantiate(&[64]).unwrap();
+        assert!(inst.tdfg.is_some());
+        assert_eq!(inst.schedules.len(), 2);
+        assert!(inst.supports_in_memory(SramGeometry::G256));
+        assert!(!inst.hints.shift_dims.is_empty());
+        assert!(inst.profile.max_domain_elems > 0);
+    }
+
+    #[test]
+    fn compile_irregular_region_is_near_memory_only() {
+        let c = Compiler::default();
+        let region = c.compile(gather_kernel(), &[]).unwrap();
+        assert!(!region.tensorizable);
+        let inst = region.instantiate(&[]).unwrap();
+        assert!(inst.tdfg.is_none());
+        assert!(!inst.supports_in_memory(SramGeometry::G256));
+        assert!(!inst.sdfg.streams().is_empty());
+    }
+
+    #[test]
+    fn reinstantiation_changes_domains_not_structure() {
+        let c = Compiler::default();
+        let region = c.compile(stencil_kernel(), &[64]).unwrap();
+        let a = region.instantiate(&[32]).unwrap();
+        let b = region.instantiate(&[64]).unwrap();
+        let (ga, gb) = (a.tdfg.unwrap(), b.tdfg.unwrap());
+        assert_eq!(ga.nodes().len(), gb.nodes().len());
+        assert_ne!(
+            ga.domain(ga.outputs()[0].node),
+            gb.domain(gb.outputs()[0].node)
+        );
+    }
+
+    #[test]
+    fn fat_binary_roundtrips_json() {
+        let c = Compiler::default();
+        let mut fb = FatBinary::new();
+        fb.push(c.compile(stencil_kernel(), &[64]).unwrap());
+        fb.push(c.compile(gather_kernel(), &[]).unwrap());
+        let json = fb.to_json().unwrap();
+        let back = FatBinary::from_json(&json).unwrap();
+        assert_eq!(back.regions.len(), 2);
+        assert!(back.region("stencil1d").unwrap().tensorizable);
+        assert!(!back.region("gather").unwrap().tensorizable);
+        assert!(back.region("nope").is_none());
+    }
+
+    #[test]
+    fn optimizer_ablation_switch() {
+        let c = Compiler {
+            optimize: false,
+            ..Default::default()
+        };
+        let region = c.compile(stencil_kernel(), &[64]).unwrap();
+        assert!(region.tensorizable);
+        let inst = region.instantiate(&[64]).unwrap();
+        assert!(inst.tdfg.is_some());
+    }
+}

@@ -1,0 +1,75 @@
+use infs_frontend::FrontendError;
+use infs_tdfg::{NodeId, TdfgError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from backend scheduling and fat-binary construction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// The SRAM geometry cannot hold the region's arrays plus one live
+    /// intermediate (too many arrays per bitline).
+    GeometryTooSmall {
+        /// Wordlines available.
+        wordlines: u32,
+        /// Wordlines the arrays alone require.
+        required: u32,
+    },
+    /// Register allocation ran out of wordline registers (register spilling is
+    /// not supported, §6).
+    RegisterSpill {
+        /// Node that could not be allocated.
+        node: NodeId,
+        /// Registers available.
+        regs: u32,
+    },
+    /// Front-end compilation failed.
+    Frontend(FrontendError),
+    /// tDFG construction failed.
+    Tdfg(TdfgError),
+    /// Serialization of the fat binary failed.
+    Serialize(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::GeometryTooSmall {
+                wordlines,
+                required,
+            } => write!(
+                f,
+                "SRAM geometry has {wordlines} wordlines but the region's arrays need {required}"
+            ),
+            IsaError::RegisterSpill { node, regs } => write!(
+                f,
+                "register spill at node {node}: more than {regs} live tensors (spilling unsupported)"
+            ),
+            IsaError::Frontend(e) => write!(f, "front-end error: {e}"),
+            IsaError::Tdfg(e) => write!(f, "tDFG error: {e}"),
+            IsaError::Serialize(s) => write!(f, "fat binary serialization failed: {s}"),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsaError::Frontend(e) => Some(e),
+            IsaError::Tdfg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrontendError> for IsaError {
+    fn from(e: FrontendError) -> Self {
+        IsaError::Frontend(e)
+    }
+}
+
+impl From<TdfgError> for IsaError {
+    fn from(e: TdfgError) -> Self {
+        IsaError::Tdfg(e)
+    }
+}

@@ -1,0 +1,295 @@
+use crate::IsaError;
+use infs_tdfg::{Node, NodeId, Tdfg};
+use serde::{Deserialize, Serialize};
+
+/// A compute-SRAM array geometry the fat binary is scheduled for.
+///
+/// The fat binary carries one schedule per common geometry (the paper uses
+/// 256×256 and 512×512) so the JIT never performs register allocation — this is
+/// the only microarchitectural parameter the binary exposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SramGeometry {
+    /// Wordlines (rows) per SRAM array.
+    pub wordlines: u32,
+    /// Bitlines (columns) per SRAM array.
+    pub bitlines: u32,
+}
+
+impl SramGeometry {
+    /// The 8 kB 256×256 array of Table 2.
+    pub const G256: SramGeometry = SramGeometry {
+        wordlines: 256,
+        bitlines: 256,
+    };
+
+    /// The 32 kB 512×512 variant.
+    pub const G512: SramGeometry = SramGeometry {
+        wordlines: 512,
+        bitlines: 512,
+    };
+
+    /// Array capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.wordlines as u64 * self.bitlines as u64 / 8
+    }
+}
+
+impl std::fmt::Display for SramGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.wordlines, self.bitlines)
+    }
+}
+
+/// A wordline register: one `element_bits`-tall band of wordlines holding a
+/// transposed tensor value on every bitline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WlReg(pub u32);
+
+/// The static backend's output for one (tDFG, geometry) pair: a topological
+/// node order plus a wordline-register assignment (§3.4: topological
+/// scheduling with local register allocation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Geometry this schedule targets.
+    pub geometry: SramGeometry,
+    /// Execution order (SSA ids are already topological).
+    pub order: Vec<NodeId>,
+    /// Register per node, `None` for nodes that do not materialize a new
+    /// value (inputs live in their array's wordlines; shrinks are aliases).
+    pub reg_of_node: Vec<Option<WlReg>>,
+    /// Wordline registers available to intermediates.
+    pub num_regs: u32,
+    /// Peak simultaneously-live intermediate registers.
+    pub max_live: u32,
+    /// Wordline band `[0, arrays_wordlines)` reserved for the region's arrays.
+    pub arrays_wordlines: u32,
+    /// Arrays the region actually touches, in band order (only these occupy
+    /// wordlines — declared-but-unused arrays of a shared table are free).
+    pub used_arrays: Vec<infs_sdfg::ArrayId>,
+}
+
+impl Schedule {
+    /// Schedules a tDFG for one geometry: assigns every value-producing node a
+    /// wordline register via linear scan over the SSA order, freeing registers
+    /// at each value's last use.
+    ///
+    /// The wordline budget is `geometry.wordlines`, of which the region's
+    /// arrays reserve `arrays × element_bits` (every transposed array
+    /// co-resident in the same SRAM arrays occupies its own wordline band) and
+    /// the rest is divided into `element_bits`-tall registers.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::GeometryTooSmall`] if the arrays alone exceed the wordlines;
+    /// [`IsaError::RegisterSpill`] if more intermediates are live than there
+    /// are registers (spilling is unsupported, §6).
+    pub fn compute(g: &Tdfg, geometry: SramGeometry) -> Result<Schedule, IsaError> {
+        let bits = g.dtype().bits();
+        // Only arrays the region reads or writes occupy wordline bands.
+        let mut used_arrays: Vec<infs_sdfg::ArrayId> = Vec::new();
+        let mut mark = |a: infs_sdfg::ArrayId| {
+            if !used_arrays.contains(&a) {
+                used_arrays.push(a);
+            }
+        };
+        for n in g.nodes() {
+            if let Node::Input { array, .. } = n {
+                mark(*array);
+            }
+        }
+        for out in g.outputs() {
+            if let infs_tdfg::OutputTarget::Array { array, .. } = out.target {
+                mark(array);
+            }
+        }
+        let arrays_wordlines = used_arrays.len() as u32 * bits;
+        if arrays_wordlines + bits > geometry.wordlines {
+            return Err(IsaError::GeometryTooSmall {
+                wordlines: geometry.wordlines,
+                required: arrays_wordlines + bits,
+            });
+        }
+        let num_regs = (geometry.wordlines - arrays_wordlines) / bits;
+
+        let n = g.nodes().len();
+        // Last use of each node (as an input of a later node or an output).
+        let mut last_use = vec![0usize; n];
+        for (i, node) in g.nodes().iter().enumerate() {
+            for input in node.inputs() {
+                last_use[input.0 as usize] = i;
+            }
+        }
+        for out in g.outputs() {
+            last_use[out.node.0 as usize] = n; // outputs live to the end
+        }
+
+        let mut free: Vec<WlReg> = (0..num_regs).rev().map(WlReg).collect();
+        let mut reg_of_node: Vec<Option<WlReg>> = vec![None; n];
+        let mut live: Vec<(usize, WlReg)> = Vec::new(); // (last_use, reg)
+        let mut max_live = 0u32;
+        for (i, node) in g.nodes().iter().enumerate() {
+            // Release registers whose value dies before this node.
+            live.retain(|&(lu, reg)| {
+                if lu <= i {
+                    free.push(reg);
+                    false
+                } else {
+                    true
+                }
+            });
+            let needs_reg = match node {
+                // Array-backed or alias values occupy no register.
+                Node::Input { .. } | Node::StreamIn { .. } | Node::Shrink { .. } => false,
+                // Everything else materializes a new transposed value.
+                _ => true,
+            };
+            if needs_reg {
+                let reg = free.pop().ok_or(IsaError::RegisterSpill {
+                    node: NodeId(i as u32),
+                    regs: num_regs,
+                })?;
+                reg_of_node[i] = Some(reg);
+                live.push((last_use[i].max(i + 1), reg));
+                max_live = max_live.max(live.len() as u32);
+            }
+        }
+
+        Ok(Schedule {
+            geometry,
+            order: (0..n as u32).map(NodeId).collect(),
+            reg_of_node,
+            num_regs,
+            max_live,
+            arrays_wordlines,
+            used_arrays,
+        })
+    }
+
+    /// First wordline of a register band (registers sit above the arrays).
+    pub fn reg_wordline(&self, reg: WlReg, element_bits: u32) -> u32 {
+        self.arrays_wordlines + reg.0 * element_bits
+    }
+
+    /// First wordline of a used array's band (`None` if the region never
+    /// touches the array).
+    pub fn array_wordline(&self, array: infs_sdfg::ArrayId, element_bits: u32) -> Option<u32> {
+        self.used_arrays
+            .iter()
+            .position(|&a| a == array)
+            .map(|i| i as u32 * element_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_geom::HyperRect;
+    use infs_sdfg::{ArrayDecl, DataType};
+    use infs_tdfg::{ComputeOp, OutputTarget, TdfgBuilder};
+
+    fn rect(iv: &[(i64, i64)]) -> HyperRect {
+        HyperRect::new(iv.to_vec()).unwrap()
+    }
+
+    fn chain_graph(depth: usize) -> Tdfg {
+        // x0 = A; x_{i+1} = x_i + x_i — a chain with short lifetimes.
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![8], DataType::F32));
+        let mut cur = b.input(a, rect(&[(0, 8)])).unwrap();
+        for _ in 0..depth {
+            cur = b.compute(ComputeOp::Add, &[cur, cur]).unwrap();
+        }
+        b.output(cur, OutputTarget::array(a, rect(&[(0, 8)])));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn geometry_capacities() {
+        assert_eq!(SramGeometry::G256.size_bytes(), 8 * 1024);
+        assert_eq!(SramGeometry::G512.size_bytes(), 32 * 1024);
+        assert_eq!(SramGeometry::G256.to_string(), "256x256");
+    }
+
+    #[test]
+    fn chain_reuses_one_or_two_registers() {
+        let g = chain_graph(20);
+        let s = Schedule::compute(&g, SramGeometry::G256).unwrap();
+        // 1 array of fp32 -> 32 wordlines reserved; (256-32)/32 = 7 registers.
+        assert_eq!(s.num_regs, 7);
+        assert!(s.max_live <= 2, "chain should need at most 2 live registers");
+        // The final value (an output) holds a register.
+        assert!(s.reg_of_node.last().unwrap().is_some());
+        // The input holds none.
+        assert!(s.reg_of_node[0].is_none());
+    }
+
+    #[test]
+    fn wide_live_set_spills() {
+        // Build many values all consumed at the end: live set > 7 registers.
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![8], DataType::F32));
+        let x = b.input(a, rect(&[(0, 8)])).unwrap();
+        let mut vals = Vec::new();
+        for i in 0..8 {
+            let c = b.constant(i as f32);
+            vals.push(b.compute(ComputeOp::Add, &[x, c]).unwrap());
+        }
+        let mut acc = vals[0];
+        for &v in &vals[1..] {
+            acc = b.compute(ComputeOp::Add, &[acc, v]).unwrap();
+        }
+        b.output(acc, OutputTarget::array(a, rect(&[(0, 8)])));
+        let g = b.build().unwrap();
+        let err = Schedule::compute(&g, SramGeometry::G256).unwrap_err();
+        assert!(matches!(err, IsaError::RegisterSpill { .. }));
+        // The 512-wordline geometry has 15 registers and fits.
+        assert!(Schedule::compute(&g, SramGeometry::G512).is_ok());
+    }
+
+    #[test]
+    fn too_many_arrays_rejected() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let mut sum = None;
+        for i in 0..8 {
+            let a = b.declare_array(ArrayDecl::new(format!("A{i}"), vec![8], DataType::F32));
+            let x = b.input(a, rect(&[(0, 8)])).unwrap();
+            sum = Some(match sum {
+                Some(prev) => b.compute(ComputeOp::Add, &[prev, x]).unwrap(),
+                None => x,
+            });
+        }
+        b.output(
+            sum.unwrap(),
+            OutputTarget::array(infs_sdfg::ArrayId(0), rect(&[(0, 8)])),
+        );
+        let g = b.build().unwrap();
+        // All 8 arrays are read: 8 × 32 wordlines = 256, no room for the sum.
+        assert!(matches!(
+            Schedule::compute(&g, SramGeometry::G256),
+            Err(IsaError::GeometryTooSmall { .. })
+        ));
+        // A region over a 9-array table that only touches 2 arrays schedules fine.
+        let mut b2 = TdfgBuilder::new(1, DataType::F32);
+        for i in 0..9 {
+            b2.declare_array(ArrayDecl::new(format!("B{i}"), vec![8], DataType::F32));
+        }
+        let x = b2.input(infs_sdfg::ArrayId(3), rect(&[(0, 8)])).unwrap();
+        let y = b2.compute(ComputeOp::Neg, &[x]).unwrap();
+        b2.output(y, OutputTarget::array(infs_sdfg::ArrayId(7), rect(&[(0, 8)])));
+        let g2 = b2.build().unwrap();
+        let s2 = Schedule::compute(&g2, SramGeometry::G256).unwrap();
+        assert_eq!(s2.used_arrays.len(), 2);
+        assert_eq!(s2.array_wordline(infs_sdfg::ArrayId(3), 32), Some(0));
+        assert_eq!(s2.array_wordline(infs_sdfg::ArrayId(0), 32), None);
+    }
+
+    #[test]
+    fn register_bands_are_disjoint_from_arrays() {
+        let g = chain_graph(3);
+        let s = Schedule::compute(&g, SramGeometry::G256).unwrap();
+        let bits = 32;
+        assert_eq!(s.array_wordline(infs_sdfg::ArrayId(0), bits), Some(0));
+        assert_eq!(s.reg_wordline(WlReg(0), bits), 32);
+        assert_eq!(s.reg_wordline(WlReg(6), bits), 32 + 6 * 32);
+    }
+}

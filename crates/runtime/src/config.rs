@@ -1,0 +1,92 @@
+use infs_isa::SramGeometry;
+use serde::{Deserialize, Serialize};
+
+/// Hardware parameters the runtime needs to plan layouts, lower commands and
+/// make the offload decision. The full machine model (`infs-sim`) derives its
+/// runtime view from the same numbers (Table 2 defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Shared L3 banks (one per tile of the mesh; 64 in Table 2).
+    pub n_banks: u32,
+    /// Compute SRAM arrays per bank available to in-memory computing
+    /// (16 ways × 16 arrays/way = 256 in Table 2, with 2 of 18 ways reserved
+    /// for conventional caching).
+    pub arrays_per_bank: u32,
+    /// SRAM array geometry.
+    pub geometry: SramGeometry,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+    /// Cores (for the Eq 2 core-side throughput estimate).
+    pub cores: u32,
+    /// fp32 lanes per core per cycle (one 512-bit vector op → 16).
+    pub simd_lanes: u32,
+    /// JIT model: fixed cycles per lowering invocation.
+    pub jit_base_cycles: u64,
+    /// JIT model: cycles per generated command (steps 1–2).
+    pub jit_per_cmd_cycles: u64,
+    /// JIT model: cycles per command *per bank* (step 3, the `O(N_bank×N_cmd)`
+    /// mapping loop the paper identifies as the most expensive).
+    pub jit_per_cmd_bank_cycles: u64,
+    /// Cycles charged on a JIT-cache hit.
+    pub jit_hit_cycles: u64,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        HwConfig {
+            n_banks: 64,
+            arrays_per_bank: 256,
+            geometry: SramGeometry::G256,
+            line_bytes: 64,
+            cores: 64,
+            simd_lanes: 16,
+            jit_base_cycles: 2_000,
+            jit_per_cmd_cycles: 60,
+            jit_per_cmd_bank_cycles: 2,
+            jit_hit_cycles: 500,
+        }
+    }
+}
+
+impl HwConfig {
+    /// Total compute bitlines (`N_bank × N_array/bank × N_bitline`); 4 Mi with
+    /// Table 2 defaults — "in total, it has 4M bitlines".
+    pub fn total_bitlines(&self) -> u64 {
+        self.n_banks as u64 * self.arrays_per_bank as u64 * self.geometry.bitlines as u64
+    }
+
+    /// Peak core-side throughput in element ops per cycle (`TP_core` of Eq 2).
+    pub fn core_peak_ops_per_cycle(&self) -> u64 {
+        self.cores as u64 * self.simd_lanes as u64
+    }
+
+    /// The JIT lowering cycle model for a freshly lowered stream of `n_cmds`
+    /// commands.
+    pub fn jit_cycles(&self, n_cmds: u64) -> u64 {
+        self.jit_base_cycles
+            + self.jit_per_cmd_cycles * n_cmds
+            + self.jit_per_cmd_bank_cycles * n_cmds * self.n_banks as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_totals() {
+        let hw = HwConfig::default();
+        assert_eq!(hw.total_bitlines(), 4 * 1024 * 1024);
+        assert_eq!(hw.core_peak_ops_per_cycle(), 1024);
+    }
+
+    #[test]
+    fn jit_model_scales_with_banks() {
+        let hw = HwConfig::default();
+        let half = HwConfig {
+            n_banks: 32,
+            ..hw
+        };
+        assert!(hw.jit_cycles(100) > half.jit_cycles(100));
+    }
+}

@@ -1,0 +1,61 @@
+use infs_geom::GeomError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from layout planning and JIT lowering.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// No valid transposed layout exists for the region's arrays; in-memory
+    /// computing is disabled for the region (§4.1).
+    NoLayout(GeomError),
+    /// The region instance has no in-memory (tDFG) version.
+    NotInMemory,
+    /// The region instance carries no schedule for the hardware's geometry.
+    NoSchedule,
+    /// The lattice bounding box is not origin-anchored or exceeds the layout.
+    BadBounding(String),
+    /// The region's working set exceeds the compute SRAM capacity (the paper
+    /// assumes inputs are tiled to fit in L3, §6).
+    CapacityExceeded {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available across compute ways.
+        available: u64,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NoLayout(e) => write!(f, "no valid transposed layout: {e}"),
+            RuntimeError::NotInMemory => write!(f, "region has no in-memory version"),
+            RuntimeError::NoSchedule => {
+                write!(f, "fat binary has no schedule for this SRAM geometry")
+            }
+            RuntimeError::BadBounding(s) => write!(f, "bad lattice bounding box: {s}"),
+            RuntimeError::CapacityExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "working set of {required} bytes exceeds {available} bytes of compute SRAM"
+            ),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::NoLayout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for RuntimeError {
+    fn from(e: GeomError) -> Self {
+        RuntimeError::NoLayout(e)
+    }
+}

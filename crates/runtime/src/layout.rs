@@ -1,0 +1,250 @@
+use crate::{HwConfig, RuntimeError};
+use infs_geom::layout::{pick_tile_shape, valid_tilings, LayoutHints, TilingRequest};
+use infs_geom::{HyperRect, TileAddr, TileGrid, TileShape};
+use infs_tdfg::Tdfg;
+use serde::{Deserialize, Serialize};
+
+/// The transposed, tiled data layout of one region (paper §4.1, Table 1).
+///
+/// The layout tiles the region's *lattice space*: every lattice cell maps to a
+/// `(bank, SRAM array, bitline)` triple through the [`TileGrid`], and each
+/// array occupies its own wordline band within those arrays (assigned by the
+/// static schedule). This is the information the hardware's layout override
+/// table (LOT) holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransposedLayout {
+    tile: TileShape,
+    grid: TileGrid,
+    lattice_shape: Vec<u64>,
+    elem_bytes: u32,
+}
+
+impl TransposedLayout {
+    /// Plans the layout for a region: searches valid tile sizes under the §4.1
+    /// constraints and picks one with the compiler's hints.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::BadBounding`] — the lattice bounding box is not
+    ///   origin-anchored (arrays are placed at the origin in this release).
+    /// * [`RuntimeError::CapacityExceeded`] — more tiles than compute SRAM
+    ///   arrays: the working set must fit in L3 (§6).
+    /// * [`RuntimeError::NoLayout`] — no tile size satisfies the constraints;
+    ///   the caller must fall back to near-memory execution.
+    pub fn plan(tdfg: &Tdfg, hints: &LayoutHints, hw: &HwConfig) -> Result<Self, RuntimeError> {
+        let request = Self::request(tdfg, hints, hw)?;
+        let tile = pick_tile_shape(&request)?;
+        Self::with_tile_internal(tdfg, tile, hw)
+    }
+
+    /// Plans the layout with an explicitly chosen tile shape — the oracle /
+    /// sensitivity path behind the Fig 16/17 tile-size sweeps.
+    ///
+    /// # Errors
+    ///
+    /// As [`plan`](Self::plan), plus [`RuntimeError::NoLayout`] if the tile
+    /// does not satisfy constraint 1 (`∏ Ti = B`).
+    pub fn plan_with_tile(
+        tdfg: &Tdfg,
+        tile: TileShape,
+        hw: &HwConfig,
+    ) -> Result<Self, RuntimeError> {
+        if tile.num_elements() != hw.geometry.bitlines as u64 {
+            return Err(RuntimeError::NoLayout(infs_geom::GeomError::NoValidTiling {
+                detail: format!(
+                    "tile {tile} does not fill {} bitlines",
+                    hw.geometry.bitlines
+                ),
+            }));
+        }
+        Self::with_tile_internal(tdfg, tile, hw)
+    }
+
+    /// All tile shapes the constraint solver admits for this region — the
+    /// sweep space of Fig 16/17.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadBounding`] for a non-origin lattice.
+    pub fn candidate_tiles(tdfg: &Tdfg, hw: &HwConfig) -> Result<Vec<TileShape>, RuntimeError> {
+        let request = Self::request(tdfg, &LayoutHints::default(), hw)?;
+        Ok(valid_tilings(&request))
+    }
+
+    fn request(
+        tdfg: &Tdfg,
+        hints: &LayoutHints,
+        hw: &HwConfig,
+    ) -> Result<TilingRequest, RuntimeError> {
+        let shape = Self::lattice_shape_of(tdfg)?;
+        Ok(TilingRequest {
+            array_shape: shape,
+            elem_size: tdfg.dtype().size_bytes(),
+            bitlines: hw.geometry.bitlines as u64,
+            arrays_per_bank: hw.arrays_per_bank,
+            line_bytes: hw.line_bytes,
+            hints: hints.clone(),
+        })
+    }
+
+    fn lattice_shape_of(tdfg: &Tdfg) -> Result<Vec<u64>, RuntimeError> {
+        let b = tdfg.bounding();
+        let mut shape = Vec::with_capacity(b.ndim());
+        for d in 0..b.ndim() {
+            let (p, q) = b.interval(d);
+            if p < 0 {
+                return Err(RuntimeError::BadBounding(format!(
+                    "bounding {b} starts before the origin in dim {d}"
+                )));
+            }
+            // Anchor at the origin: cells [0, q) are mapped even if the region
+            // only touches [p, q).
+            shape.push(q as u64);
+        }
+        Ok(shape)
+    }
+
+    fn with_tile_internal(
+        tdfg: &Tdfg,
+        tile: TileShape,
+        hw: &HwConfig,
+    ) -> Result<Self, RuntimeError> {
+        let lattice_shape = Self::lattice_shape_of(tdfg)?;
+        let grid = TileGrid::new(
+            tile.clone(),
+            lattice_shape.clone(),
+            hw.n_banks,
+            hw.arrays_per_bank,
+        )
+        .map_err(RuntimeError::NoLayout)?;
+        let capacity = hw.n_banks as u64 * hw.arrays_per_bank as u64;
+        if grid.num_tiles() > capacity {
+            return Err(RuntimeError::CapacityExceeded {
+                required: grid.num_tiles() * hw.geometry.size_bytes(),
+                available: capacity * hw.geometry.size_bytes(),
+            });
+        }
+        Ok(TransposedLayout {
+            tile,
+            grid,
+            lattice_shape,
+            elem_bytes: tdfg.dtype().size_bytes(),
+        })
+    }
+
+    /// The chosen tile shape.
+    pub fn tile(&self) -> &TileShape {
+        &self.tile
+    }
+
+    /// The lattice tile grid (cell → bank/array/bitline mapping).
+    pub fn grid(&self) -> &TileGrid {
+        &self.grid
+    }
+
+    /// Lattice extents, dimension 0 first.
+    pub fn lattice_shape(&self) -> &[u64] {
+        &self.lattice_shape
+    }
+
+    /// Element size in bytes.
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_bytes
+    }
+
+    /// Physical placement of a lattice cell.
+    pub fn locate(&self, point: &[i64]) -> Option<TileAddr> {
+        self.grid.locate(point)
+    }
+
+    /// Total transposed bytes one array of the region occupies (the lattice
+    /// footprint of its band; used for prepare/release traffic accounting).
+    pub fn lattice_cells(&self) -> u64 {
+        self.lattice_shape.iter().product()
+    }
+
+    /// Intersection of a rectangle with one tile, in elements.
+    pub fn tile_overlap_elems(&self, tile_index: u64, rect: &HyperRect) -> u64 {
+        let tr = self.grid.tile_rect(tile_index);
+        match tr.intersect(rect) {
+            Ok(Some(r)) => r.num_elements(),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+    use infs_sdfg::DataType;
+
+    fn stencil2d_tdfg(n: u64) -> Tdfg {
+        let mut k = KernelBuilder::new("stencil2d", DataType::F32);
+        let a = k.array("A", vec![n, n]);
+        let b = k.array("B", vec![n, n]);
+        let i = k.parallel_loop("i", 1, n as i64 - 1);
+        let j = k.parallel_loop("j", 1, n as i64 - 1);
+        let e = ScalarExpr::add(
+            ScalarExpr::add(
+                ScalarExpr::load(a, vec![Idx::var_plus(i, -1), Idx::var(j)]),
+                ScalarExpr::load(a, vec![Idx::var_plus(i, 1), Idx::var(j)]),
+            ),
+            ScalarExpr::add(
+                ScalarExpr::load(a, vec![Idx::var(i), Idx::var_plus(j, -1)]),
+                ScalarExpr::load(a, vec![Idx::var(i), Idx::var_plus(j, 1)]),
+            ),
+        );
+        k.assign(b, vec![Idx::var(i), Idx::var(j)], e);
+        k.build().unwrap().tensorize(&[]).unwrap()
+    }
+
+    #[test]
+    fn plan_picks_square_tiles_for_shifts() {
+        let g = stencil2d_tdfg(512);
+        let hw = HwConfig::default();
+        let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).unwrap();
+        assert_eq!(layout.tile().dims(), &[16, 16]);
+        assert_eq!(layout.lattice_shape(), &[512, 512]);
+        assert_eq!(layout.grid().num_tiles(), 32 * 32);
+    }
+
+    #[test]
+    fn plan_with_explicit_tile() {
+        let g = stencil2d_tdfg(512);
+        let hw = HwConfig::default();
+        let t = TileShape::new(vec![64, 4]).unwrap();
+        let layout = TransposedLayout::plan_with_tile(&g, t, &hw).unwrap();
+        assert_eq!(layout.tile().dims(), &[64, 4]);
+        let bad = TileShape::new(vec![64, 64]).unwrap();
+        assert!(TransposedLayout::plan_with_tile(&g, bad, &hw).is_err());
+    }
+
+    #[test]
+    fn candidate_tiles_enumerate_factorizations() {
+        let g = stencil2d_tdfg(512);
+        let tiles = TransposedLayout::candidate_tiles(&g, &HwConfig::default()).unwrap();
+        assert_eq!(tiles.len(), 9); // 2^8 factor pairs
+    }
+
+    #[test]
+    fn capacity_guard() {
+        let g = stencil2d_tdfg(4096); // 16M cells / 256 = 64k tiles > 16k arrays
+        let hw = HwConfig::default();
+        assert!(matches!(
+            TransposedLayout::plan(&g, &g.layout_hints(), &hw),
+            Err(RuntimeError::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn locate_roundtrip() {
+        let g = stencil2d_tdfg(512);
+        let hw = HwConfig::default();
+        let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).unwrap();
+        let addr = layout.locate(&[17, 3]).unwrap();
+        assert_eq!(addr.tile, 1 + 0 * 32);
+        assert!(addr.bitline < 256);
+        assert!(layout.locate(&[512, 0]).is_none());
+    }
+}

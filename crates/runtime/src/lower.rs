@@ -1,0 +1,904 @@
+//! JIT lowering of scheduled tDFGs into bit-serial in-memory commands
+//! (paper §4.2): tensor decomposition (Alg 1), shift compilation (Alg 2),
+//! mapping to L3 banks, and synchronization insertion.
+//!
+//! Commands carry exact per-bank tile/element loads and remote (cross-bank)
+//! transfer lists. They are the *timing* representation consumed by the
+//! simulator; functional values always come from the tDFG interpreter.
+
+use crate::{HwConfig, RuntimeError, TransposedLayout};
+use infs_geom::{decompose, HyperRect};
+use infs_isa::Schedule;
+use infs_sdfg::ReduceOp;
+use infs_tdfg::{bit_serial_latency, ComputeOp, Node, NodeId, Tdfg};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Work one command performs at one L3 bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankLoad {
+    /// Bank id.
+    pub bank: u32,
+    /// Tiles of the command mapped to this bank.
+    pub tiles: u64,
+    /// Elements processed at this bank.
+    pub elems: u64,
+}
+
+/// A cross-bank transfer a command injects into the NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteTransfer {
+    /// Source bank.
+    pub src_bank: u32,
+    /// Destination bank.
+    pub dst_bank: u32,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+/// One lowered in-memory command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InfCommand {
+    /// Bit-serial element-wise computation across all participating bitlines.
+    Compute {
+        /// Producing tDFG node.
+        node: NodeId,
+        /// Operation.
+        op: ComputeOp,
+        /// Bit-serial latency in SRAM cycles.
+        latency: u64,
+        /// Bytes of constant operands broadcast to bitlines first (§5.2).
+        imm_bytes: u64,
+        /// Per-bank load.
+        banks: Vec<BankLoad>,
+    },
+    /// Shift of selected bitlines within each tile (stays inside each SRAM
+    /// array; massive parallelism, no NoC traffic).
+    IntraShift {
+        /// tDFG node being lowered.
+        node: NodeId,
+        /// Shifted dimension.
+        dim: usize,
+        /// Intra-tile distance in bitline positions (signed).
+        dist: i64,
+        /// Per-bank load.
+        banks: Vec<BankLoad>,
+    },
+    /// Shift of selected bitlines across tile boundaries: through the H-tree
+    /// within a bank, through the NoC when the destination tile lives in
+    /// another bank.
+    InterShift {
+        /// tDFG node being lowered.
+        node: NodeId,
+        /// Shifted dimension.
+        dim: usize,
+        /// Whole tiles of distance (signed).
+        tile_dist: i64,
+        /// Residual intra-tile distance (signed).
+        intra_dist: i64,
+        /// Per-source-bank load.
+        banks: Vec<BankLoad>,
+        /// Cross-bank payloads.
+        remote: Vec<RemoteTransfer>,
+    },
+    /// Broadcast of a unit-thick tensor to many tiles (H-tree multicast within
+    /// banks, one NoC copy per destination bank).
+    Broadcast {
+        /// tDFG node being lowered.
+        node: NodeId,
+        /// Broadcast dimension.
+        dim: usize,
+        /// Source elements (read once).
+        src_elems: u64,
+        /// Per-destination-bank load (tiles written).
+        banks: Vec<BankLoad>,
+        /// Cross-bank payloads.
+        remote: Vec<RemoteTransfer>,
+    },
+    /// Near-memory collection of per-tile partial reductions into final values
+    /// (executed by the L3 stream engines, §3.3 / Fig 10).
+    FinalReduce {
+        /// tDFG reduce node.
+        node: NodeId,
+        /// Partial values to collect and reduce.
+        partials: u64,
+        /// Per-bank partial counts.
+        banks: Vec<BankLoad>,
+    },
+    /// Global memory barrier: all prior inter-tile movement must be visible
+    /// before anything after executes (§4.2).
+    Sync,
+}
+
+impl InfCommand {
+    /// Per-bank loads, empty for `Sync`.
+    pub fn banks(&self) -> &[BankLoad] {
+        match self {
+            InfCommand::Compute { banks, .. }
+            | InfCommand::IntraShift { banks, .. }
+            | InfCommand::InterShift { banks, .. }
+            | InfCommand::Broadcast { banks, .. }
+            | InfCommand::FinalReduce { banks, .. } => banks,
+            InfCommand::Sync => &[],
+        }
+    }
+}
+
+/// Aggregate statistics of a lowered command stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredStats {
+    /// Total commands (including syncs).
+    pub n_cmds: u64,
+    /// Elements moved by intra-tile shifts.
+    pub intra_elems: u64,
+    /// Elements moved across tiles but within a bank.
+    pub inter_local_elems: u64,
+    /// Bytes injected into the NoC by inter-tile shifts and broadcasts.
+    pub inter_remote_bytes: u64,
+    /// Sync barriers inserted.
+    pub syncs: u64,
+    /// Partial values collected by near-memory final reduction.
+    pub final_reduce_partials: u64,
+    /// Bit-serial compute commands.
+    pub compute_cmds: u64,
+}
+
+/// A lowered region: the command stream plus the modeled JIT lowering cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommandStream {
+    /// Commands in execution order.
+    pub cmds: Vec<InfCommand>,
+    /// Modeled JIT lowering cycles (steps 1–3 of §4.2).
+    pub jit_cycles: u64,
+    /// Aggregate statistics.
+    pub stats: LoweredStats,
+}
+
+struct Lowerer<'a> {
+    g: &'a Tdfg,
+    layout: &'a TransposedLayout,
+    cmds: Vec<InfCommand>,
+    stats: LoweredStats,
+    pending_sync: bool,
+    elem_bytes: u64,
+}
+
+/// JIT-lowers a scheduled tDFG into a command stream for the given layout.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::BadBounding`] if a node's domain escapes the
+/// layout's lattice (cannot happen for graphs the layout was planned for).
+pub fn lower(
+    g: &Tdfg,
+    schedule: &Schedule,
+    layout: &TransposedLayout,
+    hw: &HwConfig,
+) -> Result<CommandStream, RuntimeError> {
+    let mut lw = Lowerer {
+        g,
+        layout,
+        cmds: Vec::new(),
+        stats: LoweredStats::default(),
+        pending_sync: false,
+        elem_bytes: g.dtype().size_bytes() as u64,
+    };
+    for &id in &schedule.order {
+        lw.lower_node(id)?;
+    }
+    lw.stats.n_cmds = lw.cmds.len() as u64;
+    let jit_cycles = hw.jit_cycles(lw.stats.n_cmds);
+    Ok(CommandStream {
+        cmds: lw.cmds,
+        jit_cycles,
+        stats: lw.stats,
+    })
+}
+
+impl Lowerer<'_> {
+    fn tile_dims(&self) -> Vec<u64> {
+        self.layout.tile().dims().to_vec()
+    }
+
+    /// Barrier before a consuming command if inter-tile data is in flight.
+    fn sync_if_pending(&mut self) {
+        if self.pending_sync {
+            self.cmds.push(InfCommand::Sync);
+            self.stats.syncs += 1;
+            self.pending_sync = false;
+        }
+    }
+
+    /// Per-bank (tiles, elems) of a rectangle.
+    fn bank_loads(&self, rect: &HyperRect) -> Vec<BankLoad> {
+        let mut per_bank: HashMap<u32, BankLoad> = HashMap::new();
+        for t in self.layout.grid().tiles_overlapping(rect) {
+            let elems = self.layout.tile_overlap_elems(t, rect);
+            if elems == 0 {
+                continue;
+            }
+            let bank = self.layout.grid().bank_of_tile(t);
+            let e = per_bank.entry(bank).or_insert(BankLoad {
+                bank,
+                tiles: 0,
+                elems: 0,
+            });
+            e.tiles += 1;
+            e.elems += elems;
+        }
+        let mut v: Vec<BankLoad> = per_bank.into_values().collect();
+        v.sort_by_key(|b| b.bank);
+        v
+    }
+
+    fn lower_node(&mut self, id: NodeId) -> Result<(), RuntimeError> {
+        match self.g.node(id).clone() {
+            Node::Input { .. }
+            | Node::StreamIn { .. }
+            | Node::Shrink { .. }
+            | Node::ConstVal { .. }
+            | Node::Param { .. } => Ok(()), // no commands: array-backed, alias, or immediate
+            Node::Compute { op, inputs } => {
+                let Some(domain) = self.g.domain(id).cloned() else {
+                    return Ok(()); // constant-folded compute
+                };
+                self.sync_if_pending();
+                let imm_inputs = inputs
+                    .iter()
+                    .filter(|&&x| self.g.domain(x).is_none())
+                    .count() as u64;
+                let latency = bit_serial_latency(op, self.g.dtype());
+                // One command per tile-aligned piece: boundary tiles need their
+                // own bitline masks, which is the stencil3d JIT blow-up of §8.
+                for sub in decompose(&domain, &self.tile_dims()) {
+                    let banks = self.bank_loads(&sub);
+                    if banks.is_empty() {
+                        continue;
+                    }
+                    self.stats.compute_cmds += 1;
+                    self.cmds.push(InfCommand::Compute {
+                        node: id,
+                        op,
+                        latency,
+                        imm_bytes: imm_inputs * self.elem_bytes,
+                        banks,
+                    });
+                }
+                Ok(())
+            }
+            Node::Mv { dim, dist, .. } => {
+                if dist == 0 {
+                    return Ok(());
+                }
+                let domain = self
+                    .g
+                    .domain(id)
+                    .cloned()
+                    .expect("mv domains are finite");
+                // Effective source: only elements whose destination survives
+                // the bounding clip are moved.
+                let eff_src = domain
+                    .translated(dim, -dist)
+                    .map_err(|e| RuntimeError::BadBounding(e.to_string()))?;
+                self.lower_shift(id, &eff_src, dim, dist)
+            }
+            Node::Bc { dim, .. } => {
+                let domain = self.g.domain(id).cloned().expect("bc domains are finite");
+                let src = self
+                    .g
+                    .domain(self.g.node(id).inputs()[0])
+                    .cloned()
+                    .expect("bc inputs are finite");
+                self.lower_broadcast(id, &src, &domain, dim)
+            }
+            Node::Reduce { input, dim, op } => {
+                let in_dom = self
+                    .g
+                    .domain(input)
+                    .cloned()
+                    .expect("reduce inputs are finite");
+                self.lower_reduce(id, &in_dom, dim, op)
+            }
+        }
+    }
+
+    /// Algorithm 2: compile one `mv` into intra-/inter-tile shift commands over
+    /// the tensor's tile decomposition.
+    fn lower_shift(
+        &mut self,
+        node: NodeId,
+        eff_src: &HyperRect,
+        dim: usize,
+        dist: i64,
+    ) -> Result<(), RuntimeError> {
+        let t = self.layout.tile().dim(dim) as i64;
+        let d_inter = dist.abs() / t;
+        let d_intra = dist.abs() % t;
+        let comp = t - d_intra;
+        let subs = decompose(eff_src, &self.tile_dims());
+        // (mask_lo, mask_hi, inter_tiles_signed, intra_signed)
+        let pieces: Vec<(i64, i64, i64, i64)> = if dist > 0 {
+            let mut v = vec![(0, comp, d_inter, d_intra)];
+            if d_intra > 0 {
+                v.push((comp, t, d_inter + 1, -comp));
+            }
+            v
+        } else {
+            let mut v = Vec::new();
+            if d_intra > 0 {
+                v.push((0, d_intra, -(d_inter + 1), comp));
+            }
+            v.push((d_intra, t, -d_inter, -d_intra));
+            v
+        };
+        for sub in &subs {
+            for &(mlo, mhi, inter, intra) in &pieces {
+                self.emit_shift(node, sub, dim, mlo, mhi, inter, intra)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits one shift command: intersects the mask with the subtensor per
+    /// tile, classifies intra vs inter (local / remote), and maps to banks.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_shift(
+        &mut self,
+        node: NodeId,
+        sub: &HyperRect,
+        dim: usize,
+        mask_lo: i64,
+        mask_hi: i64,
+        inter: i64,
+        intra: i64,
+    ) -> Result<(), RuntimeError> {
+        let grid = self.layout.grid().clone();
+        let t = self.layout.tile().dim(dim) as i64;
+        let mut per_bank: HashMap<u32, BankLoad> = HashMap::new();
+        let mut remote: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut local_inter = 0u64;
+        let mut total = 0u64;
+        for tile in grid.tiles_overlapping(sub) {
+            let tr = grid.tile_rect(tile);
+            let Ok(Some(part)) = tr.intersect(sub) else { continue };
+            // Elements whose intra-tile coordinate along `dim` is in the mask.
+            let (plo, phi) = part.interval(dim);
+            let tile_base = tr.start(dim).div_euclid(t) * t;
+            let ilo = (plo - tile_base).max(mask_lo);
+            let ihi = (phi - tile_base).min(mask_hi);
+            if ilo >= ihi {
+                continue;
+            }
+            let other: u64 = (0..part.ndim())
+                .filter(|&d| d != dim)
+                .map(|d| part.extent(d))
+                .product();
+            let elems = (ihi - ilo) as u64 * other;
+            total += elems;
+            let src_bank = grid.bank_of_tile(tile);
+            let e = per_bank.entry(src_bank).or_insert(BankLoad {
+                bank: src_bank,
+                tiles: 0,
+                elems: 0,
+            });
+            e.tiles += 1;
+            e.elems += elems;
+            if inter != 0 {
+                let mut coord = grid.tile_coord_of_index(tile);
+                let dest = coord[dim] as i64 + inter;
+                if dest < 0 || dest as u64 >= grid.tiles_per_dim()[dim] {
+                    continue; // destination clipped at the lattice edge
+                }
+                coord[dim] = dest as u64;
+                let dst_bank = grid.bank_of_tile(grid.tile_index(&coord));
+                if dst_bank == src_bank {
+                    local_inter += elems;
+                } else {
+                    *remote.entry((src_bank, dst_bank)).or_insert(0) +=
+                        elems * self.elem_bytes;
+                }
+            }
+        }
+        if total == 0 {
+            return Ok(()); // empty mask/tensor intersection: filtered out (§4.2)
+        }
+        let mut banks: Vec<BankLoad> = per_bank.into_values().collect();
+        banks.sort_by_key(|b| b.bank);
+        if inter == 0 {
+            self.stats.intra_elems += total;
+            self.cmds.push(InfCommand::IntraShift {
+                node,
+                dim,
+                dist: intra,
+                banks,
+            });
+        } else {
+            self.stats.inter_local_elems += local_inter;
+            let remote: Vec<RemoteTransfer> = {
+                let mut v: Vec<RemoteTransfer> = remote
+                    .into_iter()
+                    .map(|((s, d), bytes)| RemoteTransfer {
+                        src_bank: s,
+                        dst_bank: d,
+                        bytes,
+                    })
+                    .collect();
+                v.sort_by_key(|r| (r.src_bank, r.dst_bank));
+                v
+            };
+            self.stats.inter_remote_bytes += remote.iter().map(|r| r.bytes).sum::<u64>();
+            if !remote.is_empty() {
+                self.pending_sync = true;
+            }
+            self.cmds.push(InfCommand::InterShift {
+                node,
+                dim,
+                tile_dist: inter,
+                intra_dist: intra,
+                banks,
+                remote,
+            });
+        }
+        Ok(())
+    }
+
+    /// Lowers a broadcast: every destination tile receives the source slice it
+    /// overlaps; one NoC copy per (source tile, destination bank) — the H-tree
+    /// multicasts within a bank.
+    fn lower_broadcast(
+        &mut self,
+        node: NodeId,
+        src: &HyperRect,
+        dest: &HyperRect,
+        dim: usize,
+    ) -> Result<(), RuntimeError> {
+        let grid = self.layout.grid().clone();
+        let src_coord = src.start(dim);
+        let mut per_bank: HashMap<u32, BankLoad> = HashMap::new();
+        let mut remote: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut seen: std::collections::HashSet<(u32, u64)> = std::collections::HashSet::new();
+        for tile in grid.tiles_overlapping(dest) {
+            let elems = self.layout.tile_overlap_elems(tile, dest);
+            if elems == 0 {
+                continue;
+            }
+            let dst_bank = grid.bank_of_tile(tile);
+            let e = per_bank.entry(dst_bank).or_insert(BankLoad {
+                bank: dst_bank,
+                tiles: 0,
+                elems: 0,
+            });
+            e.tiles += 1;
+            e.elems += elems;
+            // The source slice this tile needs: project the tile onto the
+            // source hyperplane.
+            let tr = grid.tile_rect(tile);
+            let needed = tr
+                .with_interval(dim, src_coord, src_coord + 1)
+                .and_then(|r| r.intersect(src))
+                .ok()
+                .flatten();
+            let Some(needed) = needed else { continue };
+            for src_tile in grid.tiles_overlapping(&needed) {
+                let src_bank = grid.bank_of_tile(src_tile);
+                if src_bank == dst_bank {
+                    continue; // intra-bank H-tree fan-out
+                }
+                // Multicast: one copy per (source tile, destination bank).
+                if seen.insert((dst_bank, src_tile)) {
+                    let bytes =
+                        self.layout.tile_overlap_elems(src_tile, &needed) * self.elem_bytes;
+                    if bytes > 0 {
+                        *remote.entry((src_bank, dst_bank)).or_insert(0) += bytes;
+                    }
+                }
+            }
+        }
+        let mut banks: Vec<BankLoad> = per_bank.into_values().collect();
+        banks.sort_by_key(|b| b.bank);
+        if banks.is_empty() {
+            return Ok(());
+        }
+        let remote: Vec<RemoteTransfer> = {
+            let mut v: Vec<RemoteTransfer> = remote
+                .into_iter()
+                .map(|((s, d), bytes)| RemoteTransfer {
+                    src_bank: s,
+                    dst_bank: d,
+                    bytes,
+                })
+                .collect();
+            v.sort_by_key(|r| (r.src_bank, r.dst_bank));
+            v
+        };
+        self.stats.inter_remote_bytes += remote.iter().map(|r| r.bytes).sum::<u64>();
+        if !remote.is_empty() {
+            self.pending_sync = true;
+        }
+        self.cmds.push(InfCommand::Broadcast {
+            node,
+            dim,
+            src_elems: src.num_elements(),
+            banks,
+            remote,
+        });
+        Ok(())
+    }
+
+    /// Lowers a reduction: interleaved compute + intra-tile shift rounds fully
+    /// reduce each tile along the dimension; partials across tiles go to a
+    /// near-memory final-reduce stream (§4.2 "Other tDFG Nodes").
+    fn lower_reduce(
+        &mut self,
+        node: NodeId,
+        in_dom: &HyperRect,
+        dim: usize,
+        op: ReduceOp,
+    ) -> Result<(), RuntimeError> {
+        self.sync_if_pending();
+        let t = self.layout.tile().dim(dim);
+        let extent = in_dom.extent(dim);
+        let within = extent.min(t);
+        let rounds = if within <= 1 {
+            0
+        } else {
+            64 - (within - 1).leading_zeros() as u64
+        };
+        let eq = match op {
+            ReduceOp::Sum => ComputeOp::Add,
+            ReduceOp::Min => ComputeOp::Min,
+            ReduceOp::Max => ComputeOp::Max,
+        };
+        let latency = bit_serial_latency(eq, self.g.dtype());
+        let banks = self.bank_loads(in_dom);
+        let mut active = in_dom.num_elements();
+        for r in 0..rounds {
+            active /= 2;
+            let scaled: Vec<BankLoad> = banks
+                .iter()
+                .map(|b| BankLoad {
+                    bank: b.bank,
+                    tiles: b.tiles,
+                    elems: (b.elems >> (r + 1)).max(1),
+                })
+                .collect();
+            self.stats.intra_elems += active;
+            self.cmds.push(InfCommand::IntraShift {
+                node,
+                dim,
+                dist: -(1i64 << r),
+                banks: scaled.clone(),
+            });
+            self.stats.compute_cmds += 1;
+            self.cmds.push(InfCommand::Compute {
+                node,
+                op: eq,
+                latency,
+                imm_bytes: 0,
+                banks: scaled,
+            });
+        }
+        // Cross-tile partials collected near-memory.
+        let tiles_along = extent.div_ceil(t);
+        if tiles_along > 1 {
+            let partials_per_tile_row = in_dom.num_elements() / extent;
+            let partials = partials_per_tile_row * tiles_along;
+            let pb: Vec<BankLoad> = banks
+                .iter()
+                .map(|b| BankLoad {
+                    bank: b.bank,
+                    tiles: b.tiles,
+                    elems: b.tiles, // one partial per tile row chunk
+                })
+                .collect();
+            self.stats.final_reduce_partials += partials;
+            self.cmds.push(InfCommand::FinalReduce {
+                node,
+                partials,
+                banks: pb,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+    use infs_geom::TileShape;
+    use infs_sdfg::DataType;
+    use infs_tdfg::OutputTarget;
+
+    fn hw_small() -> HwConfig {
+        // A miniature machine: 2 banks, 2 arrays per bank, 4-bitline tiles —
+        // mirrors the Fig 9 setting closely enough to hand-check.
+        HwConfig {
+            n_banks: 2,
+            arrays_per_bank: 2,
+            geometry: infs_isa::SramGeometry {
+                wordlines: 256,
+                bitlines: 4,
+            },
+            line_bytes: 4,
+            ..Default::default()
+        }
+    }
+
+    fn mv_graph(n: u64, dist: i64) -> Tdfg {
+        let mut b = infs_tdfg::TdfgBuilder::new(2, DataType::F32);
+        let a = b.declare_array(infs_sdfg::ArrayDecl::new("A", vec![n, n], DataType::F32));
+        let o = b.declare_array(infs_sdfg::ArrayDecl::new("O", vec![n, n], DataType::F32));
+        let full = HyperRect::new(vec![(0, n as i64), (0, n as i64)]).unwrap();
+        let x = b.input(a, full.clone()).unwrap();
+        let m = b.mv(x, 1, dist).unwrap();
+        let out_rect = if dist >= 0 {
+            HyperRect::new(vec![(0, n as i64), (dist, n as i64)]).unwrap()
+        } else {
+            HyperRect::new(vec![(0, n as i64), (0, n as i64 + dist)]).unwrap()
+        };
+        b.output(m, OutputTarget::array(o, out_rect));
+        b.build().unwrap()
+    }
+
+    fn lower_graph(g: &Tdfg, hw: &HwConfig) -> CommandStream {
+        let schedule = Schedule::compute(g, hw.geometry).unwrap();
+        let layout = TransposedLayout::plan(g, &g.layout_hints(), hw).unwrap();
+        lower(g, &schedule, &layout, hw).unwrap()
+    }
+
+    #[test]
+    fn fig9_style_shift_commands() {
+        // 4x4 lattice, 2x2 tiles, right shift of column range by 1:
+        // expect one intra-tile and one inter-tile shift per aligned piece.
+        let hw = hw_small();
+        let g = mv_graph(4, 1);
+        let cs = lower_graph(&g, &hw);
+        let intra = cs
+            .cmds
+            .iter()
+            .filter(|c| matches!(c, InfCommand::IntraShift { .. }))
+            .count();
+        let inter = cs
+            .cmds
+            .iter()
+            .filter(|c| matches!(c, InfCommand::InterShift { .. }))
+            .count();
+        assert!(intra >= 1, "expected intra-tile shifts: {:?}", cs.cmds);
+        assert!(inter >= 1, "expected inter-tile shifts: {:?}", cs.cmds);
+        assert!(cs.stats.intra_elems > 0);
+        assert_eq!(
+            cs.stats.intra_elems + cs.stats.inter_local_elems
+                + cs.stats.inter_remote_bytes / 4,
+            g.domain(infs_tdfg::NodeId(1)).unwrap().num_elements(),
+            "every surviving element is moved exactly once"
+        );
+    }
+
+    #[test]
+    fn tile_aligned_shift_has_no_intra_piece() {
+        // Shift by a whole tile (2): d_intra = 0, single inter-tile command
+        // per decomposed piece.
+        let hw = hw_small();
+        let g = mv_graph(4, 2);
+        let cs = lower_graph(&g, &hw);
+        assert!(cs
+            .cmds
+            .iter()
+            .all(|c| !matches!(c, InfCommand::IntraShift { .. })));
+        assert!(cs
+            .cmds
+            .iter()
+            .any(|c| matches!(c, InfCommand::InterShift { tile_dist: 1, intra_dist: 0, .. })));
+    }
+
+    #[test]
+    fn negative_shift_mirrors_positive() {
+        let hw = hw_small();
+        let pos = lower_graph(&mv_graph(4, 1), &hw);
+        let neg = lower_graph(&mv_graph(4, -1), &hw);
+        let moved = |cs: &CommandStream| {
+            cs.stats.intra_elems + cs.stats.inter_local_elems + cs.stats.inter_remote_bytes / 4
+        };
+        assert_eq!(moved(&pos), moved(&neg));
+    }
+
+    #[test]
+    fn sync_inserted_between_remote_shift_and_compute() {
+        // B[i][j] = A[i][j-2] + A[i][j]: the 2-tile shift crosses banks, so a
+        // sync must separate it from the consuming compute.
+        let n = 4u64;
+        let mut kb = KernelBuilder::new("s", DataType::F32);
+        let a = kb.array("A", vec![n, n]);
+        let o = kb.array("B", vec![n, n]);
+        let i = kb.parallel_loop("i", 0, n as i64);
+        let j = kb.parallel_loop("j", 2, n as i64);
+        kb.assign(
+            o,
+            vec![Idx::var(i), Idx::var(j)],
+            ScalarExpr::add(
+                ScalarExpr::load(a, vec![Idx::var(i), Idx::var_plus(j, -2)]),
+                ScalarExpr::load(a, vec![Idx::var(i), Idx::var(j)]),
+            ),
+        );
+        let g = kb.build().unwrap().tensorize(&[]).unwrap();
+        let hw = hw_small();
+        let cs = lower_graph(&g, &hw);
+        let sync_pos = cs.cmds.iter().position(|c| matches!(c, InfCommand::Sync));
+        let compute_pos = cs
+            .cmds
+            .iter()
+            .position(|c| matches!(c, InfCommand::Compute { .. }));
+        let inter_pos = cs
+            .cmds
+            .iter()
+            .position(|c| matches!(c, InfCommand::InterShift { .. }));
+        if let (Some(s), Some(c), Some(m)) = (sync_pos, compute_pos, inter_pos) {
+            assert!(m < s && s < c, "inter-shift {m} < sync {s} < compute {c}");
+        } else {
+            panic!("expected inter-shift, sync and compute: {:?}", cs.cmds);
+        }
+        assert!(cs.stats.syncs >= 1);
+    }
+
+    #[test]
+    fn broadcast_multicasts_once_per_destination_bank() {
+        // Broadcast one row across the whole 4x4 lattice.
+        let n = 4i64;
+        let mut b = infs_tdfg::TdfgBuilder::new(2, DataType::F32);
+        let a = b.declare_array(infs_sdfg::ArrayDecl::new(
+            "A",
+            vec![n as u64, n as u64],
+            DataType::F32,
+        ));
+        let row = b
+            .input(a, HyperRect::new(vec![(0, n), (0, 1)]).unwrap())
+            .unwrap();
+        let bc = b.bc(row, 1, 0, n as u64).unwrap();
+        b.output(
+            bc,
+            OutputTarget::array(a, HyperRect::new(vec![(0, n), (0, n)]).unwrap()),
+        );
+        let g = b.build().unwrap();
+        let hw = hw_small();
+        // Pin 2x2 tiles: the planner's own choice (1x4 column tiles) makes the
+        // broadcast entirely tile-local, which is exactly the §4.1 heuristic
+        // working — but here we want to observe the cross-bank path.
+        let schedule = Schedule::compute(&g, hw.geometry).unwrap();
+        let layout = TransposedLayout::plan_with_tile(
+            &g,
+            infs_geom::TileShape::new(vec![2, 2]).unwrap(),
+            &hw,
+        )
+        .unwrap();
+        let cs = lower(&g, &schedule, &layout, &hw).unwrap();
+        let bc_cmd = cs
+            .cmds
+            .iter()
+            .find_map(|c| match c {
+                InfCommand::Broadcast { banks, remote, .. } => Some((banks.clone(), remote.clone())),
+                _ => None,
+            })
+            .expect("broadcast command");
+        let (banks, remote) = bc_cmd;
+        assert_eq!(banks.len(), 2, "both banks receive tiles");
+        // Source row lives in bank 0 (tiles 0,1); bank 1's tiles need remote
+        // copies — one per (source tile, destination bank).
+        assert!(!remote.is_empty());
+        assert!(remote.iter().all(|r| r.src_bank != r.dst_bank));
+    }
+
+    #[test]
+    fn reduce_emits_log_rounds_and_final_reduce() {
+        let n = 8u64;
+        let mut kb = KernelBuilder::new("sum", DataType::F32);
+        let a = kb.array("A", vec![n, n]);
+        let i = kb.parallel_loop("i", 0, n as i64);
+        let j = kb.parallel_loop("j", 0, n as i64);
+        kb.scalar_reduce(
+            "s",
+            ReduceOp::Sum,
+            ScalarExpr::load(a, vec![Idx::var(i), Idx::var(j)]),
+        );
+        let g = kb.build().unwrap().tensorize(&[]).unwrap();
+        // 8x8 lattice over 2x2 tiles = 16 tiles: needs 16 SRAM arrays.
+        let hw = HwConfig {
+            arrays_per_bank: 8,
+            ..hw_small()
+        };
+        let cs = lower_graph(&g, &hw);
+        // Tile dim = 2 -> 1 in-tile round per reduced dim; 8/2 = 4 tiles along
+        // each dim -> final reduce needed.
+        let finals = cs
+            .cmds
+            .iter()
+            .filter(|c| matches!(c, InfCommand::FinalReduce { .. }))
+            .count();
+        assert_eq!(finals, 2, "one cross-tile collection per reduced dim");
+        assert!(cs.stats.final_reduce_partials > 0);
+        let computes = cs
+            .cmds
+            .iter()
+            .filter(|c| matches!(c, InfCommand::Compute { .. }))
+            .count();
+        assert!(computes >= 2, "at least one reduction round per dim");
+    }
+
+    #[test]
+    fn jit_cycle_model_counts_commands() {
+        let hw = hw_small();
+        let g = mv_graph(4, 1);
+        let cs = lower_graph(&g, &hw);
+        assert_eq!(cs.jit_cycles, hw.jit_cycles(cs.stats.n_cmds));
+        assert!(cs.jit_cycles > hw.jit_base_cycles);
+    }
+
+    #[test]
+    fn boundary_tensor_needs_more_commands_than_aligned() {
+        // An unaligned region decomposes into more pieces -> more commands:
+        // the stencil3d effect of §8.
+        let hw = HwConfig {
+            n_banks: 4,
+            arrays_per_bank: 16,
+            geometry: infs_isa::SramGeometry {
+                wordlines: 256,
+                bitlines: 16,
+            },
+            line_bytes: 4,
+            ..Default::default()
+        };
+        let aligned = {
+            let g = mv_graph(16, 4); // 4x4 tiles, aligned shift
+            lower_graph(&g, &hw)
+        };
+        let unaligned = {
+            let g = mv_graph(16, 3);
+            lower_graph(&g, &hw)
+        };
+        assert!(
+            unaligned.stats.n_cmds > aligned.stats.n_cmds,
+            "unaligned {} vs aligned {}",
+            unaligned.stats.n_cmds,
+            aligned.stats.n_cmds
+        );
+    }
+
+    #[test]
+    fn explicit_tile_changes_traffic_split() {
+        // With 1xB tiles a dim-1 shift is all inter-tile; with Bx1... the
+        // reverse. Checks the Fig 16 mechanism: tile choice moves traffic
+        // between intra and inter.
+        let g = mv_graph(16, 1);
+        let hw = HwConfig {
+            n_banks: 4,
+            arrays_per_bank: 16,
+            geometry: infs_isa::SramGeometry {
+                wordlines: 256,
+                bitlines: 16,
+            },
+            line_bytes: 4,
+            ..Default::default()
+        };
+        let schedule = Schedule::compute(&g, hw.geometry).unwrap();
+        let tall = TransposedLayout::plan_with_tile(
+            &g,
+            TileShape::new(vec![1, 16]).unwrap(),
+            &hw,
+        )
+        .unwrap();
+        let wide = TransposedLayout::plan_with_tile(
+            &g,
+            TileShape::new(vec![16, 1]).unwrap(),
+            &hw,
+        )
+        .unwrap();
+        let cs_tall = lower(&g, &schedule, &tall, &hw).unwrap();
+        let cs_wide = lower(&g, &schedule, &wide, &hw).unwrap();
+        // Shift along dim 1: tall tiles (16 in dim 1) keep it intra-tile.
+        assert!(cs_tall.stats.intra_elems > 0);
+        assert_eq!(cs_tall.stats.inter_local_elems + cs_tall.stats.inter_remote_bytes, 0);
+        // Wide tiles (1 in dim 1) force every element across tiles.
+        assert_eq!(cs_wide.stats.intra_elems, 0);
+        assert!(cs_wide.stats.inter_local_elems > 0 || cs_wide.stats.inter_remote_bytes > 0);
+    }
+}

@@ -1,0 +1,128 @@
+use crate::CommandStream;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Memoization cache for JIT-lowered command streams (§4.2 "Reducing JIT
+/// Overheads").
+///
+/// Re-executing the same tDFG with the same parameters — iterative stencils,
+/// the per-`k` rounds of outer-product matmul — reuses the lowered commands;
+/// the paper combines a small hardware command cache with software memoization
+/// and credits these optimizations with a >1000× JIT-time reduction. Keys are
+/// `(region name, symbol values, tile shape)`: anything that changes the
+/// lowered commands (gauss_elim's shrinking tensors, a different layout)
+/// misses.
+#[derive(Debug, Default)]
+pub struct JitCache {
+    #[allow(clippy::type_complexity)] // the key is exactly the §4.2 memo key
+    map: Mutex<HashMap<(String, Vec<i64>, Vec<u64>), Arc<CommandStream>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl JitCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        JitCache::default()
+    }
+
+    /// Looks up or lowers a command stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowering error on a miss.
+    pub fn get_or_lower<E>(
+        &self,
+        region: &str,
+        syms: &[i64],
+        tile: &[u64],
+        lower: impl FnOnce() -> Result<CommandStream, E>,
+    ) -> Result<(Arc<CommandStream>, bool), E> {
+        let key = (region.to_string(), syms.to_vec(), tile.to_vec());
+        if let Some(found) = self.map.lock().get(&key).cloned() {
+            *self.hits.lock() += 1;
+            return Ok((found, true));
+        }
+        let cs = Arc::new(lower()?);
+        self.map.lock().insert(key, cs.clone());
+        *self.misses.lock() += 1;
+        Ok((cs, false))
+    }
+
+    /// True if the cache already holds a stream for this key (used by the
+    /// offload decision to anticipate a memoization hit).
+    pub fn contains(&self, region: &str, syms: &[i64], tile: &[u64]) -> bool {
+        let key = (region.to_string(), syms.to_vec(), tile.to_vec());
+        self.map.lock().contains_key(&key)
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock(), *self.misses.lock())
+    }
+
+    /// Drops all cached streams (e.g. on a context switch that reclaims LLC).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LoweredStats;
+
+    fn dummy(n: u64) -> CommandStream {
+        CommandStream {
+            cmds: Vec::new(),
+            jit_cycles: n,
+            stats: LoweredStats::default(),
+        }
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let cache = JitCache::new();
+        let (a, hit) = cache
+            .get_or_lower::<()>("r", &[1], &[16, 16], || Ok(dummy(7)))
+            .unwrap();
+        assert!(!hit);
+        let (b, hit) = cache
+            .get_or_lower::<()>("r", &[1], &[16, 16], || panic!("must not re-lower"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(a.jit_cycles, b.jit_cycles);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn different_syms_or_tiles_miss() {
+        let cache = JitCache::new();
+        cache
+            .get_or_lower::<()>("r", &[1], &[16, 16], || Ok(dummy(1)))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_lower::<()>("r", &[2], &[16, 16], || Ok(dummy(2)))
+            .unwrap();
+        assert!(!hit);
+        let (_, hit) = cache
+            .get_or_lower::<()>("r", &[1], &[4, 64], || Ok(dummy(3)))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cache.stats(), (0, 3));
+        cache.clear();
+        let (_, hit) = cache
+            .get_or_lower::<()>("r", &[1], &[16, 16], || Ok(dummy(4)))
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn lowering_errors_propagate() {
+        let cache = JitCache::new();
+        let r = cache.get_or_lower::<&str>("r", &[], &[], || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert_eq!(cache.stats(), (0, 0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based invariants of the JIT lowering (Algorithm 1 + Algorithm 2):
+//! conservation (every surviving element moves exactly once), mask/piece
+//! disjointness, and tile-choice independence of totals.
+
+use infs_geom::TileShape;
+use infs_isa::{Schedule, SramGeometry};
+use infs_runtime::{lower, CommandStream, HwConfig, TransposedLayout};
+use infs_sdfg::{ArrayDecl, DataType};
+use infs_tdfg::{OutputTarget, Tdfg, TdfgBuilder};
+use proptest::prelude::*;
+
+/// A machine small enough that proptest can sweep tile shapes meaningfully.
+fn hw(bitlines: u32) -> HwConfig {
+    HwConfig {
+        n_banks: 4,
+        arrays_per_bank: 64,
+        geometry: SramGeometry {
+            wordlines: 256,
+            bitlines,
+        },
+        line_bytes: 4,
+        ..Default::default()
+    }
+}
+
+/// mv of the full `n×n` array by `dist` along `dim`.
+fn mv_graph(n: u64, dim: usize, dist: i64) -> Tdfg {
+    let mut b = TdfgBuilder::new(2, DataType::F32);
+    let a = b.declare_array(ArrayDecl::new("A", vec![n, n], DataType::F32));
+    let o = b.declare_array(ArrayDecl::new("O", vec![n, n], DataType::F32));
+    let full = infs_geom::HyperRect::new(vec![(0, n as i64), (0, n as i64)]).unwrap();
+    let x = b.input(a, full).unwrap();
+    let m = b.mv(x, dim, dist).unwrap();
+    let dom = {
+        let (p, q) = (0i64.max(dist), (n as i64).min(n as i64 + dist));
+        let mut iv = vec![(0, n as i64), (0, n as i64)];
+        iv[dim] = (p, q);
+        infs_geom::HyperRect::new(iv).unwrap()
+    };
+    b.output(m, OutputTarget::array(o, dom));
+    b.build().unwrap()
+}
+
+fn moved_elems(cs: &CommandStream) -> u64 {
+    cs.stats.intra_elems + cs.stats.inter_local_elems + cs.stats.inter_remote_bytes / 4
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation: a mv moves exactly the surviving (unclipped) elements,
+    /// regardless of tile shape, dimension or direction.
+    #[test]
+    fn prop_mv_moves_every_surviving_element_once(
+        dim in 0usize..2,
+        dist in -7i64..8,
+        t0_log in 0u32..5,
+    ) {
+        prop_assume!(dist != 0);
+        let n = 16u64;
+        let hw = hw(16);
+        let g = mv_graph(n, dim, dist);
+        let schedule = Schedule::compute(&g, hw.geometry).unwrap();
+        let tile = TileShape::new(vec![1 << t0_log, 16 >> t0_log]).unwrap();
+        let layout = TransposedLayout::plan_with_tile(&g, tile, &hw).unwrap();
+        let cs = lower(&g, &schedule, &layout, &hw).unwrap();
+        let surviving = (n - dist.unsigned_abs()) * n;
+        prop_assert_eq!(
+            moved_elems(&cs), surviving,
+            "dim={} dist={} tile={}", dim, dist, layout.tile()
+        );
+    }
+
+    /// Tile-shape invariance: total compute elements are identical across all
+    /// valid tilings (only the intra/inter split changes).
+    #[test]
+    fn prop_compute_elems_tile_invariant(t0_log in 0u32..5, n in 8u64..17) {
+        let hw = hw(16);
+        let mut b = TdfgBuilder::new(2, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![32, 32], DataType::F32));
+        let full = infs_geom::HyperRect::new(vec![(0, n as i64), (0, n as i64)]).unwrap();
+        let x = b.input(a, full.clone()).unwrap();
+        let y = b.compute(infs_tdfg::ComputeOp::Relu, &[x]).unwrap();
+        b.output(y, OutputTarget::array(a, full));
+        let g = b.build().unwrap();
+        let schedule = Schedule::compute(&g, hw.geometry).unwrap();
+        let tile = TileShape::new(vec![1 << t0_log, 16 >> t0_log]).unwrap();
+        let layout = TransposedLayout::plan_with_tile(&g, tile, &hw).unwrap();
+        let cs = lower(&g, &schedule, &layout, &hw).unwrap();
+        let compute_elems: u64 = cs
+            .cmds
+            .iter()
+            .filter_map(|c| match c {
+                infs_runtime::InfCommand::Compute { banks, .. } => {
+                    Some(banks.iter().map(|b| b.elems).sum::<u64>())
+                }
+                _ => None,
+            })
+            .sum();
+        prop_assert_eq!(compute_elems, n * n);
+    }
+
+    /// Sync safety: every command with remote transfers is followed by a sync
+    /// before any compute/final-reduce command executes.
+    #[test]
+    fn prop_remote_shifts_are_fenced(dim in 0usize..2, dist in 1i64..6) {
+        let hw = hw(16);
+        // shift + consume: B = mv(A) + A
+        let n = 16u64;
+        let mut b = TdfgBuilder::new(2, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![n, n], DataType::F32));
+        let o = b.declare_array(ArrayDecl::new("O", vec![n, n], DataType::F32));
+        let full = infs_geom::HyperRect::new(vec![(0, n as i64), (0, n as i64)]).unwrap();
+        let x = b.input(a, full).unwrap();
+        let m = b.mv(x, dim, dist).unwrap();
+        let s = b.compute(infs_tdfg::ComputeOp::Add, &[x, m]).unwrap();
+        let dom = {
+            let mut iv = vec![(0, n as i64), (0, n as i64)];
+            iv[dim] = (dist, n as i64);
+            infs_geom::HyperRect::new(iv).unwrap()
+        };
+        b.output(s, OutputTarget::array(o, dom));
+        let g = b.build().unwrap();
+        let schedule = Schedule::compute(&g, hw.geometry).unwrap();
+        let layout =
+            TransposedLayout::plan(&g, &g.layout_hints(), &hw).unwrap();
+        let cs = lower(&g, &schedule, &layout, &hw).unwrap();
+        let mut pending_remote = false;
+        for cmd in &cs.cmds {
+            match cmd {
+                infs_runtime::InfCommand::InterShift { remote, .. } if !remote.is_empty() => {
+                    pending_remote = true;
+                }
+                infs_runtime::InfCommand::Sync => pending_remote = false,
+                infs_runtime::InfCommand::Compute { .. }
+                | infs_runtime::InfCommand::FinalReduce { .. } => {
+                    prop_assert!(!pending_remote, "unfenced remote data before compute");
+                }
+                _ => {}
+            }
+        }
+    }
+}

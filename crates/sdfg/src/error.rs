@@ -1,0 +1,66 @@
+use crate::{ArrayId, StreamId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors from sDFG construction and interpretation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdfgError {
+    /// An access referenced an array not declared in the graph.
+    UnknownArray(ArrayId),
+    /// A stream or expression referenced a stream not in the graph.
+    UnknownStream(StreamId),
+    /// An expression index was out of range.
+    UnknownExpr(usize),
+    /// An access pattern produced a coordinate outside its array.
+    OutOfBounds {
+        /// Array being accessed.
+        array: ArrayId,
+        /// Offending coordinates.
+        coords: Vec<i64>,
+    },
+    /// An affine map's loop arity does not match the graph's loop domain.
+    LoopArityMismatch {
+        /// Loop dimensions the map expects.
+        map: usize,
+        /// Loop dimensions the graph domain has.
+        domain: usize,
+    },
+    /// An affine map's coordinate arity does not match its array's rank.
+    CoordArityMismatch {
+        /// Array being accessed.
+        array: ArrayId,
+        /// Coordinates the map produces.
+        map: usize,
+        /// Rank of the array.
+        ndim: usize,
+    },
+    /// A parameter index was out of range for the supplied parameter vector.
+    MissingParam(u32),
+    /// A value expression was required but absent (e.g. a store without a value).
+    MissingValue(StreamId),
+}
+
+impl fmt::Display for SdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfgError::UnknownArray(a) => write!(f, "unknown array {a}"),
+            SdfgError::UnknownStream(s) => write!(f, "unknown stream {s}"),
+            SdfgError::UnknownExpr(i) => write!(f, "unknown expression index {i}"),
+            SdfgError::OutOfBounds { array, coords } => {
+                write!(f, "access to {array} out of bounds at {coords:?}")
+            }
+            SdfgError::LoopArityMismatch { map, domain } => {
+                write!(f, "affine map expects {map} loops but domain has {domain}")
+            }
+            SdfgError::CoordArityMismatch { array, map, ndim } => write!(
+                f,
+                "affine map for {array} produces {map} coordinates but array has rank {ndim}"
+            ),
+            SdfgError::MissingParam(i) => write!(f, "runtime parameter {i} was not supplied"),
+            SdfgError::MissingValue(s) => write!(f, "stream {s} requires a value expression"),
+        }
+    }
+}
+
+impl Error for SdfgError {}

@@ -1,0 +1,171 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an array declared in a region (via the `inf_array` API, §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArrayId(pub u32);
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}", self.0)
+    }
+}
+
+/// Element data type of an array.
+///
+/// Functional simulation carries all values as `f32` (exact for the integer
+/// ranges the workloads use); the data type determines element size, the
+/// bit-serial latency of in-memory operations, and transposed-layout geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 32-bit IEEE-754 float (the paper's primary evaluation type).
+    F32,
+    /// 32-bit signed integer.
+    I32,
+    /// 8-bit unsigned integer (for narrow-type sensitivity studies).
+    U8,
+}
+
+impl DataType {
+    /// Element size in bytes.
+    pub fn size_bytes(self) -> u32 {
+        match self {
+            DataType::F32 | DataType::I32 => 4,
+            DataType::U8 => 1,
+        }
+    }
+
+    /// Element width in bits (the `n` of the bit-serial latency formulas).
+    pub fn bits(self) -> u32 {
+        self.size_bytes() * 8
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::F32 => "f32",
+            DataType::I32 => "i32",
+            DataType::U8 => "u8",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Declaration of one array participating in a region: the information the
+/// `inf_array(ptr, elem_size, sizes…)` runtime call conveys (§3.4, Fig 7).
+///
+/// Shapes are innermost-dimension-first (`shape[0]` is contiguous in the
+/// address space), up to three dimensions as supported by the layout override
+/// table (Table 1); higher-dimensional data must fuse dimensions first.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrayDecl {
+    /// Human-readable name (for diagnostics and experiment reports).
+    pub name: String,
+    /// Extent per dimension, innermost first. Empty means a scalar cell.
+    pub shape: Vec<u64>,
+    /// Element type.
+    pub dtype: DataType,
+}
+
+impl ArrayDecl {
+    /// Creates a declaration.
+    pub fn new(name: impl Into<String>, shape: Vec<u64>, dtype: DataType) -> Self {
+        ArrayDecl {
+            name: name.into(),
+            shape,
+            dtype,
+        }
+    }
+
+    /// Total number of elements.
+    pub fn num_elements(&self) -> u64 {
+        self.shape.iter().product()
+    }
+
+    /// Total footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_elements() * self.dtype.size_bytes() as u64
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+}
+
+/// Associative reduction operator for reduce streams and in-memory reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Sum of elements.
+    Sum,
+    /// Minimum element.
+    Min,
+    /// Maximum element.
+    Max,
+}
+
+impl ReduceOp {
+    /// Identity element of the reduction.
+    pub fn identity(self) -> f32 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Min => f32::INFINITY,
+            ReduceOp::Max => f32::NEG_INFINITY,
+        }
+    }
+
+    /// Applies one reduction step.
+    pub fn apply(self, acc: f32, x: f32) -> f32 {
+        match self {
+            ReduceOp::Sum => acc + x,
+            ReduceOp::Min => acc.min(x),
+            ReduceOp::Max => acc.max(x),
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::I32.bits(), 32);
+        assert_eq!(DataType::U8.bits(), 8);
+    }
+
+    #[test]
+    fn array_decl_footprint() {
+        let a = ArrayDecl::new("a", vec![2048, 2048], DataType::F32);
+        assert_eq!(a.num_elements(), 4 << 20);
+        assert_eq!(a.size_bytes(), 16 << 20);
+        assert_eq!(a.ndim(), 2);
+    }
+
+    #[test]
+    fn reduce_identities() {
+        assert_eq!(ReduceOp::Sum.apply(ReduceOp::Sum.identity(), 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply(ReduceOp::Min.identity(), 3.0), 3.0);
+        assert_eq!(ReduceOp::Max.apply(ReduceOp::Max.identity(), 3.0), 3.0);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(ArrayId(3).to_string(), "arr3");
+        assert_eq!(DataType::F32.to_string(), "f32");
+        assert_eq!(ReduceOp::Max.to_string(), "max");
+    }
+}

@@ -1,0 +1,197 @@
+use crate::{EnergyBreakdown, EnergyParams, Mesh, SystemConfig, TrafficBreakdown};
+use infs_sdfg::Sdfg;
+use serde::{Deserialize, Serialize};
+
+/// Work profile of a region as a multicore (Base) execution sees it.
+///
+/// Derived from the sDFG: arithmetic comes from the expression pool, memory
+/// traffic from the access counts with a *private-cache reuse filter* — an
+/// array whose footprint fits in a core's L1+L2 is fetched once and then hit
+/// privately (this is what makes kmeans' centroid table nearly free for Base
+/// and expensive for Near-L3, Fig 12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreProfile {
+    /// Arithmetic element operations.
+    pub elem_ops: u64,
+    /// Bytes served by the shared L3 across the NoC.
+    pub l3_bytes: u64,
+    /// Bytes served by private caches (energy only, no NoC).
+    pub private_bytes: u64,
+    /// Cold DRAM bytes (first touch of non-resident arrays).
+    pub dram_bytes: u64,
+    /// Cache lines requested from L3 (control traffic).
+    pub l3_lines: u64,
+}
+
+impl CoreProfile {
+    /// Builds the profile from an sDFG instantiation.
+    ///
+    /// `resident` marks arrays already L3-resident (no DRAM cold misses) —
+    /// iterative workloads after their first pass.
+    pub fn from_sdfg(g: &Sdfg, cfg: &SystemConfig, resident: bool) -> Self {
+        let profile = g.profile();
+        let mut p = CoreProfile {
+            elem_ops: profile.ops,
+            ..Default::default()
+        };
+        let mut add = |array: infs_sdfg::ArrayId, accessed: u64| {
+            let decl = &g.arrays()[array.0 as usize];
+            let footprint = decl.size_bytes();
+            if footprint <= cfg.private_cache_bytes {
+                // Fits privately: one cold fill, the rest hits in L1/L2.
+                p.l3_bytes += footprint.min(accessed);
+                p.private_bytes += accessed.saturating_sub(footprint);
+            } else {
+                p.l3_bytes += accessed;
+            }
+            if !resident {
+                p.dram_bytes += footprint.min(accessed);
+            }
+        };
+        for &(a, bytes) in &profile.bytes_read {
+            add(a, bytes);
+        }
+        for &(a, bytes) in &profile.bytes_written {
+            add(a, bytes);
+        }
+        p.l3_lines = p.l3_bytes / cfg.line_bytes as u64;
+        p
+    }
+}
+
+/// Outcome of timing a core (Base) execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoreOutcome {
+    /// End-to-end cycles.
+    pub cycles: u64,
+    /// Traffic breakdown.
+    pub traffic: TrafficBreakdown,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+/// Times a Base execution with `threads` OpenMP threads: a calibrated
+/// compute/NoC/DRAM roofline, the same abstraction the paper's Eq 1/Eq 2
+/// throughput reasoning uses.
+pub fn core_time(
+    p: &CoreProfile,
+    threads: u32,
+    cfg: &SystemConfig,
+    mesh: &Mesh,
+    e: &EnergyParams,
+) -> CoreOutcome {
+    let threads = threads.max(1);
+    let compute = p.elem_ops as f64 / cfg.core_peak_ops(threads);
+    // Each L3 byte crosses the mesh from its NUCA bank to the core; requests
+    // and coherence acks ride along as control messages per line.
+    let avg = mesh.avg_hops();
+    let data_byte_hops = p.l3_bytes as f64 * avg;
+    let control_byte_hops = p.l3_lines as f64 * 2.0 * 16.0 * avg;
+    let noc = mesh.phase_cycles(
+        data_byte_hops + control_byte_hops,
+        p.l3_bytes as f64 / threads as f64,
+    );
+    let dram = p.dram_bytes as f64 / cfg.dram_bytes_per_cycle
+        + if p.dram_bytes > 0 { cfg.dram_latency as f64 } else { 0.0 };
+    // Latency-bound fills: each core sustains at most mshrs × line / roundtrip
+    // bytes per cycle of demand misses — often the binding constraint.
+    let fill_bw = threads as f64 * cfg.mshrs_per_core as f64 * cfg.line_bytes as f64
+        / cfg.l3_roundtrip as f64;
+    let fills = p.l3_bytes as f64 / fill_bw;
+    let mem = (noc as f64).max(dram).max(fills);
+    let launch = if threads > 1 {
+        cfg.core_region_overhead
+    } else {
+        cfg.core_region_overhead / 6 // no fork/join barrier single-threaded
+    };
+    let cycles = compute.max(mem).ceil() as u64 + launch;
+
+    let traffic = TrafficBreakdown {
+        noc_control: control_byte_hops,
+        noc_data: data_byte_hops,
+        ..Default::default()
+    };
+    let energy = EnergyBreakdown {
+        core: p.elem_ops as f64 * e.core_op
+            + (p.private_bytes + p.l3_bytes) as f64 * e.private_cache_byte,
+        noc: (data_byte_hops + control_byte_hops) * e.noc_byte_hop,
+        l3: p.l3_bytes as f64 * e.l3_byte,
+        dram: p.dram_bytes as f64 * e.dram_byte,
+        ..Default::default()
+    };
+    CoreOutcome {
+        cycles,
+        traffic,
+        energy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_sdfg::{AccessFn, ArrayDecl, DataType, StreamExpr};
+
+    fn vec_add_sdfg(n: u64) -> Sdfg {
+        let mut g = Sdfg::new(vec![n]);
+        let a = g.declare_array(ArrayDecl::new("a", vec![n], DataType::F32));
+        let b = g.declare_array(ArrayDecl::new("b", vec![n], DataType::F32));
+        let c = g.declare_array(ArrayDecl::new("c", vec![n], DataType::F32));
+        let la = g.load(AccessFn::identity(a, 1));
+        let lb = g.load(AccessFn::identity(b, 1));
+        let va = g.stream_val(la);
+        let vb = g.stream_val(lb);
+        let s = g.expr(StreamExpr::add(va, vb));
+        g.store(AccessFn::identity(c, 1), s);
+        g
+    }
+
+    #[test]
+    fn streaming_arrays_hit_l3_not_private() {
+        let cfg = SystemConfig::default();
+        let g = vec_add_sdfg(4 << 20); // 16 MB per array: no private reuse
+        let p = CoreProfile::from_sdfg(&g, &cfg, true);
+        assert_eq!(p.l3_bytes, 3 * (4 << 20) * 4);
+        assert_eq!(p.private_bytes, 0);
+        assert_eq!(p.dram_bytes, 0);
+    }
+
+    #[test]
+    fn small_arrays_are_filtered_by_private_caches() {
+        let cfg = SystemConfig::default();
+        let n = 1024u64; // 4 KB arrays: fit privately
+        let g = vec_add_sdfg(n);
+        let p = CoreProfile::from_sdfg(&g, &cfg, true);
+        assert_eq!(p.l3_bytes, 3 * n * 4); // cold fills only (accessed once here)
+        let cold = CoreProfile::from_sdfg(&g, &cfg, false);
+        assert_eq!(cold.dram_bytes, 3 * n * 4);
+    }
+
+    #[test]
+    fn more_threads_is_faster_until_bandwidth_bound() {
+        let cfg = SystemConfig::default();
+        let mesh = Mesh::new(&cfg);
+        let e = EnergyParams::default();
+        let g = vec_add_sdfg(4 << 20);
+        let p = CoreProfile::from_sdfg(&g, &cfg, true);
+        let t1 = core_time(&p, 1, &cfg, &mesh, &e).cycles;
+        let t64 = core_time(&p, 64, &cfg, &mesh, &e).cycles;
+        assert!(t64 < t1, "t64={t64} t1={t1}");
+        // But 64 threads on this streaming kernel are NoC/bandwidth bound, far
+        // from the 64x compute scaling.
+        assert!(t64 * 8 > t1 / 8);
+    }
+
+    #[test]
+    fn traffic_and_energy_nonzero() {
+        let cfg = SystemConfig::default();
+        let mesh = Mesh::new(&cfg);
+        let e = EnergyParams::default();
+        let g = vec_add_sdfg(1 << 16);
+        let p = CoreProfile::from_sdfg(&g, &cfg, false);
+        let out = core_time(&p, 64, &cfg, &mesh, &e);
+        assert!(out.traffic.noc_data > 0.0);
+        assert!(out.traffic.noc_control > 0.0);
+        assert!(out.energy.total() > 0.0);
+        assert!(out.energy.dram > 0.0);
+    }
+}

@@ -1,0 +1,512 @@
+use crate::core_model::{core_time, CoreProfile};
+use crate::nearmem::nearmem_time;
+use crate::{inmem, EnergyParams, Mesh, RunStats, SystemConfig};
+use infs_geom::TileShape;
+use infs_isa::RegionInstance;
+use infs_runtime::{decide, JitCache, Paradigm, RuntimeError, TransposedLayout};
+use infs_sdfg::{Memory, SdfgError};
+use infs_tdfg::{Node, OutputTarget, TdfgError};
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+/// Which machine configuration executes a region (the bars of Fig 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecMode {
+    /// Conventional multicore with AVX-512-class SIMD.
+    Base {
+        /// OpenMP threads (1 or 64 in the paper).
+        threads: u32,
+    },
+    /// Near-stream computing: streams offloaded to the L3 stream engines.
+    NearL3,
+    /// In-memory only: bit-serial L3 SRAM, no near-memory support (regions
+    /// that cannot run in-memory fall back to the cores).
+    InL3,
+    /// Infinity stream: fused in-/near-memory with the Eq 2 runtime decision.
+    InfS,
+    /// Inf-S with precompiled commands (no JIT lowering cost).
+    InfSNoJit,
+}
+
+/// Where a region actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executed {
+    /// On the cores.
+    Core,
+    /// On the near-memory stream engines.
+    NearMemory,
+    /// On the compute SRAM bitlines.
+    InMemory,
+}
+
+/// Result of one region invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionReport {
+    /// Named scalar outputs.
+    pub scalars: Vec<(String, f32)>,
+    /// Cycles this region took end-to-end.
+    pub cycles: u64,
+    /// Where it ran.
+    pub executed: Executed,
+}
+
+/// Simulator errors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Runtime (layout/lowering) failure with no fallback available.
+    Runtime(RuntimeError),
+    /// Functional tDFG execution failure.
+    Tdfg(TdfgError),
+    /// Functional sDFG execution failure.
+    Sdfg(SdfgError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Runtime(e) => write!(f, "runtime error: {e}"),
+            SimError::Tdfg(e) => write!(f, "tdfg execution error: {e}"),
+            SimError::Sdfg(e) => write!(f, "sdfg execution error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<RuntimeError> for SimError {
+    fn from(e: RuntimeError) -> Self {
+        SimError::Runtime(e)
+    }
+}
+impl From<TdfgError> for SimError {
+    fn from(e: TdfgError) -> Self {
+        SimError::Tdfg(e)
+    }
+}
+impl From<SdfgError> for SimError {
+    fn from(e: SdfgError) -> Self {
+        SimError::Sdfg(e)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveTranspose {
+    tile: Vec<u64>,
+    arrays: HashSet<u32>,
+}
+
+/// The simulated machine: functional memory plus the timing state of one
+/// configuration, fed a sequence of region invocations by a workload driver.
+///
+/// Functional results are identical across [`ExecMode`]s by construction —
+/// they always come from the reference interpreters — while cycles, traffic
+/// and energy accumulate per the mode's timing model.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: SystemConfig,
+    mesh: Mesh,
+    eparams: EnergyParams,
+    mem: Memory,
+    jit: JitCache,
+    stats: RunStats,
+    transposed: Option<ActiveTranspose>,
+    touched: HashSet<u32>,
+    assume_transposed: bool,
+    tile_override: Option<TileShape>,
+    functional: bool,
+}
+
+impl Machine {
+    /// Creates a machine over the given array declarations (the workload's
+    /// shared array table; all of its kernels use the same [`infs_sdfg::ArrayId`]s).
+    pub fn new(cfg: SystemConfig, arrays: &[infs_sdfg::ArrayDecl]) -> Self {
+        let mesh = Mesh::new(&cfg);
+        Machine {
+            cfg,
+            mesh,
+            eparams: EnergyParams::default(),
+            mem: Memory::for_arrays(arrays),
+            jit: JitCache::new(),
+            stats: RunStats::default(),
+            transposed: None,
+            touched: HashSet::new(),
+            assume_transposed: false,
+            tile_override: None,
+            functional: true,
+        }
+    }
+
+    /// Functional memory (for writing inputs / reading results).
+    pub fn memory(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Immutable view of functional memory.
+    pub fn memory_ref(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Microbenchmark mode (Fig 2): data is assumed cached in L3 and already
+    /// transposed, skipping prepare charges.
+    pub fn set_assume_transposed(&mut self, yes: bool) {
+        self.assume_transposed = yes;
+        if yes {
+            // Everything counts as resident.
+            for i in 0..self.mem.decls().len() {
+                self.touched.insert(i as u32);
+            }
+        }
+    }
+
+    /// Forces a specific tile shape instead of the runtime heuristic — the
+    /// Fig 16/17 sweep hook.
+    pub fn set_tile_override(&mut self, tile: Option<TileShape>) {
+        self.tile_override = tile;
+    }
+
+    /// Marks every array L3-resident (warm, untransposed) — the §6 assumption
+    /// that inputs are already tiled to fit in L3. Transposition is still paid.
+    pub fn set_resident_all(&mut self) {
+        for i in 0..self.mem.decls().len() {
+            self.touched.insert(i as u32);
+        }
+    }
+
+    /// Disables functional execution (timing-only mode) for paper-scale runs
+    /// whose reference interpretation would be prohibitive; correctness is
+    /// separately verified at reduced scale, where functional mode is on.
+    pub fn set_functional(&mut self, yes: bool) {
+        self.functional = yes;
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Finalizes the run: computes NoC utilization and returns the stats.
+    pub fn finish(mut self) -> RunStats {
+        let (h, m) = self.jit.stats();
+        self.stats.jit_hits = h;
+        self.stats.jit_misses = m;
+        self.stats.noc_utilization = self
+            .mesh
+            .utilization(self.stats.traffic.noc_total(), self.stats.cycles.max(1));
+        self.stats
+    }
+
+    /// Releases the transposed data (delayed-release trigger, §5.2): evicts it
+    /// to memory and unreserves the compute ways.
+    pub fn release_transposed(&mut self) {
+        if let Some(active) = self.transposed.take() {
+            let bytes: u64 = active
+                .arrays
+                .iter()
+                .map(|&a| self.mem.decls()[a as usize].size_bytes())
+                .sum();
+            let cycles = (bytes as f64 / self.cfg.dram_bytes_per_cycle).ceil() as u64;
+            self.stats.cycles += cycles;
+            self.stats.breakdown.dram += cycles;
+            self.stats.traffic.noc_data += bytes as f64 * self.mesh.avg_hops() * 0.5;
+            self.stats.energy.dram += bytes as f64 * self.eparams.dram_byte;
+        }
+    }
+
+    /// Runs one region under a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns functional execution errors; timing-side layout failures fall
+    /// back per the mode's semantics (In-L3 → cores, Inf-S → near-memory) and
+    /// are not errors.
+    pub fn run_region(
+        &mut self,
+        region: &RegionInstance,
+        params: &[f32],
+        mode: ExecMode,
+    ) -> Result<RegionReport, SimError> {
+        match mode {
+            ExecMode::Base { threads } => self.run_core(region, params, threads),
+            ExecMode::NearL3 => self.run_near(region, params, false),
+            ExecMode::InL3 => {
+                if self.can_run_in_memory(region) {
+                    self.run_in_memory(region, params, false)
+                } else {
+                    self.run_core(region, params, self.cfg.cores)
+                }
+            }
+            ExecMode::InfS | ExecMode::InfSNoJit => {
+                let nojit = mode == ExecMode::InfSNoJit;
+                if self.can_run_in_memory(region) && self.eq2_prefers_in_memory(region, nojit) {
+                    self.run_in_memory(region, params, nojit)
+                } else {
+                    self.run_near(region, params, true)
+                }
+            }
+        }
+    }
+
+    fn can_run_in_memory(&self, region: &RegionInstance) -> bool {
+        if region.tdfg.is_none() || region.schedule_for(self.cfg.geometry).is_none() {
+            return false;
+        }
+        let tdfg = region.tdfg.as_ref().expect("checked above");
+        let hw = self.cfg.hw();
+        match &self.tile_override {
+            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw).is_ok(),
+            None => TransposedLayout::plan(tdfg, &region.hints, &hw).is_ok(),
+        }
+    }
+
+    fn eq2_prefers_in_memory(&self, region: &RegionInstance, nojit: bool) -> bool {
+        let hw = self.cfg.hw();
+        let expected_jit = if nojit {
+            0
+        } else if self.jit_would_hit(region) {
+            self.cfg.jit.hit
+        } else {
+            // Conservative pre-lowering estimate: a handful of commands per node.
+            hw.jit_cycles(region.profile.node_count * 4)
+        };
+        decide(&region.profile, &hw, expected_jit) == Paradigm::InMemory
+    }
+
+    /// Whether the memoization cache already holds this region's commands
+    /// (consulted by the decision model; the paper's hardware command cache).
+    fn jit_would_hit(&self, region: &RegionInstance) -> bool {
+        let Some(tdfg) = region.tdfg.as_ref() else { return false };
+        let hw = self.cfg.hw();
+        let layout = match &self.tile_override {
+            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw),
+            None => TransposedLayout::plan(tdfg, &region.hints, &hw),
+        };
+        let Ok(layout) = layout else { return false };
+        let sig = tdfg.command_signature();
+        self.jit
+            .contains(&region.name, &[sig as i64], layout.tile().dims())
+    }
+
+    /// Arrays a tDFG touches (inputs and outputs).
+    fn used_arrays(tdfg: &infs_tdfg::Tdfg) -> HashSet<u32> {
+        let mut s = HashSet::new();
+        for n in tdfg.nodes() {
+            if let Node::Input { array, .. } = n {
+                s.insert(array.0);
+            }
+        }
+        for out in tdfg.outputs() {
+            if let OutputTarget::Array { array, .. } = out.target {
+                s.insert(array.0);
+            }
+        }
+        s
+    }
+
+    fn run_core(
+        &mut self,
+        region: &RegionInstance,
+        params: &[f32],
+        threads: u32,
+    ) -> Result<RegionReport, SimError> {
+        // Cores may access transposed data with normal requests (§5.3 — the
+        // coherence integration keeps transposed lines addressable), so core
+        // fallbacks do NOT evict the transposed state; the delayed-release
+        // triggers of §5.2 are exposed via `release_transposed`.
+        let resident = self.all_touched(&region.sdfg);
+        let profile = CoreProfile::from_sdfg(&region.sdfg, &self.cfg, resident);
+        let out = core_time(&profile, threads, &self.cfg, &self.mesh, &self.eparams);
+        let scalars = self.exec_sdfg(region, params)?;
+        self.mark_touched(&region.sdfg);
+        self.stats.cycles += out.cycles;
+        self.stats.breakdown.core += out.cycles;
+        self.stats.traffic += out.traffic;
+        self.stats.energy += out.energy;
+        self.stats.ops_core += region.sdfg.profile().ops;
+        Ok(RegionReport {
+            scalars,
+            cycles: out.cycles,
+            executed: Executed::Core,
+        })
+    }
+
+    fn run_near(
+        &mut self,
+        region: &RegionInstance,
+        params: &[f32],
+        hybrid: bool,
+    ) -> Result<RegionReport, SimError> {
+        let resident = self.all_touched(&region.sdfg);
+        let out = nearmem_time(&region.sdfg, &self.cfg, &self.mesh, &self.eparams, resident);
+        let scalars = self.exec_sdfg(region, params)?;
+        self.mark_touched(&region.sdfg);
+        self.stats.cycles += out.cycles;
+        // Under the fused configuration, near-memory work interleaved with
+        // transposed in-memory state is the "Mix" category of Fig 14.
+        if hybrid && self.transposed.is_some() {
+            self.stats.breakdown.mix += out.cycles;
+        } else {
+            self.stats.breakdown.near_mem += out.cycles;
+        }
+        self.stats.traffic += out.traffic;
+        self.stats.energy += out.energy;
+        self.stats.ops_near_memory += out.ops;
+        Ok(RegionReport {
+            scalars,
+            cycles: out.cycles,
+            executed: Executed::NearMemory,
+        })
+    }
+
+    fn run_in_memory(
+        &mut self,
+        region: &RegionInstance,
+        params: &[f32],
+        nojit: bool,
+    ) -> Result<RegionReport, SimError> {
+        let tdfg = region.tdfg.as_ref().expect("caller checked tensorizability");
+        let schedule = region
+            .schedule_for(self.cfg.geometry)
+            .expect("caller checked the schedule");
+        let hw = self.cfg.hw();
+        let layout = match &self.tile_override {
+            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw)?,
+            None => TransposedLayout::plan(tdfg, &region.hints, &hw)?,
+        };
+
+        // 1. Prepare transposed data (TC_core flush + TTU transpose streams).
+        let needed = Self::used_arrays(tdfg);
+        let prepare_cycles = self.prepare_transposed(&needed, layout.tile().dims());
+
+        // 2. JIT lower (memoized on the command-determining structure, so
+        // regions differing only in store targets share lowered commands).
+        let sig = tdfg.command_signature();
+        let (cs, hit) = self.jit.get_or_lower(
+            &region.name,
+            &[sig as i64],
+            layout.tile().dims(),
+            || infs_runtime::lower(tdfg, schedule, &layout, &hw),
+        )?;
+        let jit_cycles = if nojit {
+            0
+        } else if hit {
+            self.cfg.jit.hit
+        } else {
+            cs.jit_cycles
+        };
+
+        // 3. Execute the command stream.
+        let exec = inmem::execute(&cs, &self.cfg, &self.mesh, &self.eparams);
+
+        // 4. Functional execution via the reference interpreter.
+        let out = if self.functional {
+            infs_tdfg::interp::execute(tdfg, &mut self.mem, params, &HashMap::new())?
+        } else {
+            infs_tdfg::interp::TdfgOutputs::default()
+        };
+
+        let total = self.cfg.offload_latency + prepare_cycles + jit_cycles + exec.cycles;
+        self.stats.cycles += total;
+        self.stats.breakdown.dram += prepare_cycles;
+        self.stats.breakdown.jit += jit_cycles;
+        self.stats.breakdown.mv += exec.mv_cycles;
+        self.stats.breakdown.compute += exec
+            .cycles
+            .saturating_sub(exec.mv_cycles + exec.final_reduce_cycles)
+            + self.cfg.offload_latency;
+        self.stats.breakdown.final_reduce += exec.final_reduce_cycles;
+        self.stats.traffic += exec.traffic;
+        self.stats.energy += exec.energy;
+        self.stats.ops_in_memory += tdfg.op_profile().total_elem_ops;
+        for &a in &needed {
+            self.touched.insert(a);
+        }
+        Ok(RegionReport {
+            scalars: out.scalars,
+            cycles: total,
+            executed: Executed::InMemory,
+        })
+    }
+
+    /// Transposes the arrays a region needs, reusing what is already resident
+    /// in transposed form with the same tile shape (delayed release, §5.2).
+    fn prepare_transposed(&mut self, needed: &HashSet<u32>, tile: &[u64]) -> u64 {
+        if self.assume_transposed {
+            return 0;
+        }
+        // A different tile shape invalidates the resident transposed data.
+        if let Some(active) = &self.transposed {
+            if active.tile != tile {
+                self.release_transposed();
+            }
+        }
+        let have: HashSet<u32> = self
+            .transposed
+            .as_ref()
+            .map(|a| a.arrays.clone())
+            .unwrap_or_default();
+        let missing: Vec<u32> = needed.difference(&have).copied().collect();
+        let bytes: u64 = missing
+            .iter()
+            .map(|&a| self.mem.decls()[a as usize].size_bytes())
+            .sum();
+        let cold_bytes: u64 = missing
+            .iter()
+            .filter(|a| !self.touched.contains(a))
+            .map(|&a| self.mem.decls()[a as usize].size_bytes())
+            .sum();
+        let cycles = if bytes == 0 {
+            0
+        } else {
+            let t_dram = cold_bytes as f64 / self.cfg.dram_bytes_per_cycle;
+            let t_ttu = bytes as f64
+                / (self.cfg.n_banks as f64 * self.cfg.bank_bytes_per_cycle as f64);
+            let byte_hops = bytes as f64 * self.mesh.avg_hops() * 0.5;
+            let t_noc = self.mesh.phase_cycles(byte_hops, 0.0);
+            self.stats.traffic.noc_data += byte_hops;
+            self.stats.energy.dram += cold_bytes as f64 * self.eparams.dram_byte;
+            self.stats.energy.l3 += bytes as f64 * self.eparams.l3_byte;
+            self.stats.energy.noc += byte_hops * self.eparams.noc_byte_hop;
+            t_dram.max(t_ttu).max(t_noc as f64).ceil() as u64
+                + if cold_bytes > 0 { self.cfg.dram_latency } else { 0 }
+        };
+        match &mut self.transposed {
+            Some(active) => active.arrays.extend(missing),
+            None => {
+                self.transposed = Some(ActiveTranspose {
+                    tile: tile.to_vec(),
+                    arrays: missing.into_iter().collect(),
+                })
+            }
+        }
+        cycles
+    }
+
+    fn exec_sdfg(
+        &mut self,
+        region: &RegionInstance,
+        params: &[f32],
+    ) -> Result<Vec<(String, f32)>, SimError> {
+        if !self.functional {
+            return Ok(Vec::new());
+        }
+        let out = infs_sdfg::interp::execute(&region.sdfg, &mut self.mem, params)?;
+        Ok(out.iter().map(|(n, v)| (n.to_string(), v)).collect())
+    }
+
+    fn all_touched(&self, sdfg: &infs_sdfg::Sdfg) -> bool {
+        sdfg.streams()
+            .iter()
+            .filter_map(infs_sdfg::Stream::array)
+            .all(|a| self.touched.contains(&a.0))
+    }
+
+    fn mark_touched(&mut self, sdfg: &infs_sdfg::Sdfg) {
+        for s in sdfg.streams() {
+            if let Some(a) = s.array() {
+                self.touched.insert(a.0);
+            }
+        }
+    }
+}

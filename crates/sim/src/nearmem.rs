@@ -1,0 +1,268 @@
+use crate::{EnergyBreakdown, EnergyParams, Mesh, SystemConfig, TrafficBreakdown};
+use infs_sdfg::{AccessFn, Sdfg, StreamKind};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of timing a near-memory (stream engine, SE_L3) execution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NearMemOutcome {
+    /// End-to-end cycles.
+    pub cycles: u64,
+    /// Traffic breakdown.
+    pub traffic: TrafficBreakdown,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Element operations executed by the stream engines.
+    pub ops: u64,
+}
+
+/// Times an sDFG offloaded to the L3 stream engines (Near-L3, §5.1).
+///
+/// Streams read/write their home banks directly; operands *forwarded* between
+/// producer and consumer streams cross the NoC (Fig 1b), and coarse-grained
+/// flow control between SE_core and SE_L3 adds offload-management messages.
+/// There is no private-cache reuse near memory — every access hits the L3
+/// arrays — which is exactly why reuse-heavy kernels can do worse than Base
+/// (the paper's kmeans example).
+pub fn nearmem_time(
+    g: &Sdfg,
+    cfg: &SystemConfig,
+    mesh: &Mesh,
+    e: &EnergyParams,
+    resident: bool,
+) -> NearMemOutcome {
+    let p = g.profile();
+    let accesses = p.loads + p.stores;
+    let bytes_read: u64 = p.bytes_read.iter().map(|&(_, b)| b).sum();
+    let bytes_written: u64 = p.bytes_written.iter().map(|&(_, b)| b).sum();
+    let banks = cfg.n_banks as f64;
+
+    // Element and compute throughput of the distributed engines.
+    let t_access = accesses as f64 / (banks * cfg.sel3_elems_per_cycle);
+    let t_compute = p.ops as f64 / (banks * cfg.sel3_ops_per_cycle);
+
+    // Indirect streams serialize an address dependence per element.
+    let has_indirect = g
+        .streams()
+        .iter()
+        .any(|s| s.access.as_ref().is_some_and(|a| a.is_indirect()));
+    let indirect_penalty = if has_indirect { 1.5 } else { 1.0 };
+
+    // Forwarded operands: streams migrate to the bank holding their next data
+    // (§5.1), so an affine stream that advances with the iteration space keeps
+    // its compute local and only boundary lines cross banks. Loads that are
+    // *invariant* in some loop (spatial reuse — kmeans' centroid table) or
+    // indirect re-read remote data every iteration; this is exactly why
+    // near-memory loses reuse the cores' private caches would capture.
+    let nloops = g.loop_trip().len();
+    let trips = g.loop_trip();
+    let mut data_bytes_remote = 0.0f64;
+    for s in g.streams() {
+        if !matches!(s.kind, StreamKind::Load) {
+            continue;
+        }
+        let Some(access) = &s.access else { continue };
+        let elem = s
+            .array()
+            .map(|a| g.arrays()[a.0 as usize].dtype.size_bytes() as f64)
+            .unwrap_or(4.0);
+        let frac = match access {
+            AccessFn::Indirect { .. } => 1.0,
+            AccessFn::Affine(m) => {
+                let covers_all = (0..nloops).all(|k| {
+                    trips[k] <= 1 || m.coeffs.iter().any(|row| row.get(k).is_some_and(|&c| c != 0))
+                });
+                if covers_all {
+                    // Producer streams forward one-way to their consumer's
+                    // bank; under NUCA interleaving a fraction of operands is
+                    // co-located with the consumer.
+                    0.4
+                } else {
+                    1.0 // loop-invariant reuse: re-forwarded every iteration
+                }
+            }
+        };
+        data_bytes_remote += p.iterations as f64 * elem * frac;
+    }
+    let data_byte_hops = data_bytes_remote * mesh.avg_hops();
+    // Flow control every 16 cache lines plus per-stream configuration.
+    let flow_msgs = (bytes_read + bytes_written) as f64 / (16.0 * cfg.line_bytes as f64);
+    let offload_byte_hops =
+        (flow_msgs * 16.0 + g.streams().len() as f64 * 64.0) * mesh.avg_hops();
+    let t_noc = mesh.phase_cycles(data_byte_hops + offload_byte_hops, 0.0);
+
+    // DRAM cold misses for non-resident footprints.
+    let dram_bytes: u64 = if resident {
+        0
+    } else {
+        g.arrays().iter().map(|a| a.size_bytes()).sum::<u64>().min(bytes_read + bytes_written)
+    };
+    let t_dram = dram_bytes as f64 / cfg.dram_bytes_per_cycle;
+
+    let busy = (t_access * indirect_penalty)
+        .max(t_compute)
+        .max(t_noc as f64)
+        .max(t_dram);
+    let cycles = (busy + cfg.offload_latency as f64 + cfg.sel3_init_latency as f64).ceil() as u64;
+
+    // Reduce streams report partials back to the core.
+    let reduce_streams = g
+        .streams()
+        .iter()
+        .filter(|s| matches!(s.kind, StreamKind::Reduce { .. }))
+        .count() as f64;
+    let collect_byte_hops = reduce_streams * banks * 8.0 * mesh.avg_hops();
+
+    let traffic = TrafficBreakdown {
+        noc_data: data_byte_hops,
+        noc_offload: offload_byte_hops + collect_byte_hops,
+        ..Default::default()
+    };
+    let energy = EnergyBreakdown {
+        near_mem: p.ops as f64 * e.sel3_op,
+        l3: (bytes_read + bytes_written) as f64 * e.l3_byte,
+        noc: traffic.noc_total() * e.noc_byte_hop,
+        dram: dram_bytes as f64 * e.dram_byte,
+        ..Default::default()
+    };
+    NearMemOutcome {
+        cycles,
+        traffic,
+        energy,
+        ops: p.ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::core_model::{core_time, CoreProfile};
+    use infs_sdfg::{AccessFn, AffineMap, ArrayDecl, DataType, ReduceOp, StreamExpr};
+
+    fn vec_add(n: u64) -> Sdfg {
+        let mut g = Sdfg::new(vec![n]);
+        let a = g.declare_array(ArrayDecl::new("a", vec![n], DataType::F32));
+        let b = g.declare_array(ArrayDecl::new("b", vec![n], DataType::F32));
+        let c = g.declare_array(ArrayDecl::new("c", vec![n], DataType::F32));
+        let la = g.load(AccessFn::identity(a, 1));
+        let lb = g.load(AccessFn::identity(b, 1));
+        let va = g.stream_val(la);
+        let vb = g.stream_val(lb);
+        let s = g.expr(StreamExpr::add(va, vb));
+        g.store(AccessFn::identity(c, 1), s);
+        g
+    }
+
+    #[test]
+    fn near_l3_beats_base_on_streaming_kernels() {
+        let cfg = SystemConfig::default();
+        let mesh = Mesh::new(&cfg);
+        let e = EnergyParams::default();
+        let g = vec_add(4 << 20);
+        let near = nearmem_time(&g, &cfg, &mesh, &e, true);
+        let base = core_time(
+            &CoreProfile::from_sdfg(&g, &cfg, true),
+            64,
+            &cfg,
+            &mesh,
+            &e,
+        );
+        assert!(
+            near.cycles < base.cycles,
+            "near {} vs base {}",
+            near.cycles,
+            base.cycles
+        );
+        assert!(near.traffic.noc_total() < base.traffic.noc_total());
+    }
+
+    #[test]
+    fn reuse_heavy_kernels_lose_near_memory() {
+        // s += small[i] * big[j]: both arrays fit in a core's private caches,
+        // so Base fetches each once — while near-memory re-reads and forwards
+        // every access (the paper's kmeans pathology, 2.6× extra traffic).
+        let (m, n) = (128u64, 16384u64);
+        let mut g = Sdfg::new(vec![m, n]);
+        let small = g.declare_array(ArrayDecl::new("small", vec![m], DataType::F32));
+        let big = g.declare_array(ArrayDecl::new("big", vec![n], DataType::F32));
+        let ls = g.load(AccessFn::Affine(AffineMap {
+            array: small,
+            offset: vec![0],
+            coeffs: vec![vec![1, 0]],
+        }));
+        let lb = g.load(AccessFn::Affine(AffineMap {
+            array: big,
+            offset: vec![0],
+            coeffs: vec![vec![0, 1]],
+        }));
+        let vs = g.stream_val(ls);
+        let vb = g.stream_val(lb);
+        let prod = g.expr(StreamExpr::mul(vs, vb));
+        g.reduce("s", infs_sdfg::ReduceOp::Sum, prod);
+
+        let cfg = SystemConfig::default();
+        let mesh = Mesh::new(&cfg);
+        let e = EnergyParams::default();
+        let near = nearmem_time(&g, &cfg, &mesh, &e, true);
+        let base = core_time(
+            &CoreProfile::from_sdfg(&g, &cfg, true),
+            64,
+            &cfg,
+            &mesh,
+            &e,
+        );
+        // Near-memory forwards the re-read operands over and over.
+        assert!(
+            near.traffic.noc_data > 2.0 * base.traffic.noc_data,
+            "near {} vs base {}",
+            near.traffic.noc_data,
+            base.traffic.noc_data
+        );
+    }
+
+    #[test]
+    fn indirect_streams_pay_a_penalty() {
+        let n = 1 << 20;
+        let mut g = Sdfg::new(vec![n]);
+        let data = g.declare_array(ArrayDecl::new("data", vec![n], DataType::F32));
+        let idx = g.declare_array(ArrayDecl::new("idx", vec![n], DataType::I32));
+        let out = g.declare_array(ArrayDecl::new("out", vec![n], DataType::F32));
+        let li = g.load(AccessFn::identity(idx, 1));
+        let ld = g.load(AccessFn::Indirect {
+            array: data,
+            index_stream: li,
+            dim: 0,
+            rest: AffineMap::identity(data, 1),
+        });
+        let v = g.stream_val(ld);
+        g.store(AccessFn::identity(out, 1), v);
+        let direct = {
+            let mut g2 = vec_add(n);
+            let extra = g2.declare_array(ArrayDecl::new("pad", vec![1], DataType::F32));
+            let _ = extra;
+            g2
+        };
+        let cfg = SystemConfig::default();
+        let mesh = Mesh::new(&cfg);
+        let e = EnergyParams::default();
+        let with_ind = nearmem_time(&g, &cfg, &mesh, &e, true);
+        let without = nearmem_time(&direct, &cfg, &mesh, &e, true);
+        // Same order of accesses; the indirect one is slower per element.
+        assert!(with_ind.cycles as f64 / 3.0 > without.cycles as f64 / 5.0);
+    }
+
+    #[test]
+    fn reduce_streams_add_collection_traffic() {
+        let n = 1 << 16;
+        let mut g = Sdfg::new(vec![n]);
+        let a = g.declare_array(ArrayDecl::new("a", vec![n], DataType::F32));
+        let la = g.load(AccessFn::identity(a, 1));
+        let v = g.stream_val(la);
+        g.reduce("sum", ReduceOp::Sum, v);
+        let cfg = SystemConfig::default();
+        let mesh = Mesh::new(&cfg);
+        let e = EnergyParams::default();
+        let out = nearmem_time(&g, &cfg, &mesh, &e, true);
+        assert!(out.traffic.noc_offload > 0.0);
+        assert_eq!(out.ops, n);
+    }
+}

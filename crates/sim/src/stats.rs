@@ -1,0 +1,177 @@
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Cycle breakdown in the categories of Fig 14 (plus `core` for Base runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Fetching/writing and transposing data from/to DRAM.
+    pub dram: u64,
+    /// JIT lowering of the tDFG into commands.
+    pub jit: u64,
+    /// Moving tensors (intra-/inter-tile shifts, broadcasts).
+    pub mv: u64,
+    /// Bit-serial in-memory computation.
+    pub compute: u64,
+    /// Final near-memory reduction of in-memory partials.
+    pub final_reduce: u64,
+    /// Hybrid in-/near-memory phases (streams feeding/consuming tensors).
+    pub mix: u64,
+    /// Pure near-memory stream execution.
+    pub near_mem: u64,
+    /// In-core execution (Base, or non-offloaded fragments).
+    pub core: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles across categories.
+    pub fn total(&self) -> u64 {
+        self.dram
+            + self.jit
+            + self.mv
+            + self.compute
+            + self.final_reduce
+            + self.mix
+            + self.near_mem
+            + self.core
+    }
+}
+
+impl AddAssign for CycleBreakdown {
+    fn add_assign(&mut self, o: Self) {
+        self.dram += o.dram;
+        self.jit += o.jit;
+        self.mv += o.mv;
+        self.compute += o.compute;
+        self.final_reduce += o.final_reduce;
+        self.mix += o.mix;
+        self.near_mem += o.near_mem;
+        self.core += o.core;
+    }
+}
+
+/// Traffic breakdown in the categories of Fig 12/13.
+///
+/// NoC categories are in **byte-hops**; the in-L3 categories (`intra_tile`,
+/// `inter_tile_local`) are in bytes moved inside SRAM arrays / bank H-trees and
+/// never touch the NoC — converting NoC data traffic into `intra_tile` shifts
+/// is exactly the Inf-S win of Fig 13.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// Coherence/request control messages on the NoC.
+    pub noc_control: f64,
+    /// Data movement on the NoC (core fills, stream forwarding, DRAM paths).
+    pub noc_data: f64,
+    /// Offload management: stream configuration, flow control, sync barriers.
+    pub noc_offload: f64,
+    /// Inter-tile shift/broadcast payloads that crossed banks on the NoC.
+    pub noc_inter_tile: f64,
+    /// Bitline shifts inside SRAM arrays (bytes).
+    pub intra_tile: f64,
+    /// Inter-tile movement that stayed within a bank's H-tree (bytes).
+    pub inter_tile_local: f64,
+}
+
+impl TrafficBreakdown {
+    /// Total NoC byte-hops (the Fig 12 bar height).
+    pub fn noc_total(&self) -> f64 {
+        self.noc_control + self.noc_data + self.noc_offload + self.noc_inter_tile
+    }
+}
+
+impl AddAssign for TrafficBreakdown {
+    fn add_assign(&mut self, o: Self) {
+        self.noc_control += o.noc_control;
+        self.noc_data += o.noc_data;
+        self.noc_offload += o.noc_offload;
+        self.noc_inter_tile += o.noc_inter_tile;
+        self.intra_tile += o.intra_tile;
+        self.inter_tile_local += o.inter_tile_local;
+    }
+}
+
+/// Complete statistics of one run (one or many regions).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// End-to-end cycles.
+    pub cycles: u64,
+    /// Cycle breakdown.
+    pub breakdown: CycleBreakdown,
+    /// Traffic breakdown.
+    pub traffic: TrafficBreakdown,
+    /// Total energy (arbitrary units, consistent across configurations).
+    pub energy: crate::EnergyBreakdown,
+    /// Element operations executed in-memory.
+    pub ops_in_memory: u64,
+    /// Element operations executed near-memory.
+    pub ops_near_memory: u64,
+    /// Element operations executed in-core.
+    pub ops_core: u64,
+    /// JIT cache hits / misses.
+    pub jit_hits: u64,
+    /// JIT cache misses.
+    pub jit_misses: u64,
+    /// Mean NoC utilization over the run.
+    pub noc_utilization: f64,
+}
+
+impl RunStats {
+    /// Fraction of element operations offloaded to bitlines (the Fig 14 dots;
+    /// ≈ 99% for the paper's workloads under Inf-S).
+    pub fn in_memory_op_fraction(&self) -> f64 {
+        let total = self.ops_in_memory + self.ops_near_memory + self.ops_core;
+        if total == 0 {
+            0.0
+        } else {
+            self.ops_in_memory as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another run's statistics (used across phases/iterations).
+    pub fn accumulate(&mut self, o: &RunStats) {
+        self.cycles += o.cycles;
+        self.breakdown += o.breakdown;
+        self.traffic += o.traffic;
+        self.energy += o.energy;
+        self.ops_in_memory += o.ops_in_memory;
+        self.ops_near_memory += o.ops_near_memory;
+        self.ops_core += o.ops_core;
+        self.jit_hits += o.jit_hits;
+        self.jit_misses += o.jit_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let mut s = RunStats {
+            ops_in_memory: 99,
+            ops_near_memory: 1,
+            ..Default::default()
+        };
+        assert!((s.in_memory_op_fraction() - 0.99).abs() < 1e-12);
+        s.breakdown.compute = 10;
+        s.breakdown.mv = 5;
+        assert_eq!(s.breakdown.total(), 15);
+        let empty = RunStats::default();
+        assert_eq!(empty.in_memory_op_fraction(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds_everything() {
+        let mut a = RunStats::default();
+        a.cycles = 10;
+        a.traffic.noc_data = 5.0;
+        let mut b = RunStats::default();
+        b.cycles = 7;
+        b.traffic.noc_data = 3.0;
+        b.traffic.intra_tile = 2.0;
+        a.accumulate(&b);
+        assert_eq!(a.cycles, 17);
+        assert_eq!(a.traffic.noc_data, 8.0);
+        assert_eq!(a.traffic.noc_total(), 8.0);
+        assert_eq!(a.traffic.intra_tile, 2.0);
+    }
+}

@@ -1,0 +1,128 @@
+use crate::NodeId;
+use infs_geom::GeomError;
+use infs_sdfg::ArrayId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from tDFG construction, validation and interpretation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TdfgError {
+    /// A node referenced an id that does not exist (or is not earlier in SSA order).
+    UnknownNode(NodeId),
+    /// A node referenced an undeclared array.
+    UnknownArray(ArrayId),
+    /// A compute node had the wrong number of inputs for its op.
+    BadArity {
+        /// Offending node.
+        node: NodeId,
+        /// Expected input count.
+        expected: usize,
+        /// Actual input count.
+        got: usize,
+    },
+    /// A node's domain came out empty (no lattice cells).
+    EmptyDomain(NodeId),
+    /// A dimension index exceeded the graph's lattice dimensionality.
+    DimOutOfRange {
+        /// Offending node.
+        node: NodeId,
+        /// The bad dimension.
+        dim: usize,
+        /// Lattice dimensionality.
+        ndim: usize,
+    },
+    /// A rectangle had the wrong dimensionality for the lattice.
+    RankMismatch {
+        /// Offending node.
+        node: NodeId,
+        /// Rectangle rank.
+        got: usize,
+        /// Lattice dimensionality.
+        ndim: usize,
+    },
+    /// A broadcast input did not have unit extent along the broadcast dimension.
+    BroadcastNotThin(NodeId),
+    /// An input tensor (plus offset) fell outside its array's bounds.
+    InputOutOfArray {
+        /// Offending node.
+        node: NodeId,
+        /// The array.
+        array: ArrayId,
+    },
+    /// An output's target region is not covered by the producing node's domain.
+    OutputNotCovered {
+        /// Index of the output in the graph's output list.
+        output: usize,
+    },
+    /// A scalar output's node does not have a single-element domain.
+    ScalarNotSingle {
+        /// Index of the output in the graph's output list.
+        output: usize,
+    },
+    /// An underlying geometric operation failed.
+    Geom(GeomError),
+    /// The interpreter was not given data for a `StreamIn` node.
+    MissingStreamInput(NodeId),
+    /// The interpreter was not given a required runtime parameter.
+    MissingParam(u32),
+    /// A compute node mixed only infinite (constant) operands where a finite
+    /// domain was required by its consumer or output.
+    UnboundedValue(NodeId),
+}
+
+impl fmt::Display for TdfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TdfgError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            TdfgError::UnknownArray(a) => write!(f, "unknown array {a}"),
+            TdfgError::BadArity {
+                node,
+                expected,
+                got,
+            } => write!(f, "node {node}: expected {expected} inputs, got {got}"),
+            TdfgError::EmptyDomain(n) => write!(f, "node {n} has an empty domain"),
+            TdfgError::DimOutOfRange { node, dim, ndim } => {
+                write!(f, "node {node}: dimension {dim} out of range for {ndim}-d lattice")
+            }
+            TdfgError::RankMismatch { node, got, ndim } => {
+                write!(f, "node {node}: rectangle rank {got} does not match {ndim}-d lattice")
+            }
+            TdfgError::BroadcastNotThin(n) => {
+                write!(f, "node {n}: broadcast input must have unit extent in the broadcast dimension")
+            }
+            TdfgError::InputOutOfArray { node, array } => {
+                write!(f, "node {node}: input region falls outside array {array}")
+            }
+            TdfgError::OutputNotCovered { output } => {
+                write!(f, "output {output}: target region not covered by the node's domain")
+            }
+            TdfgError::ScalarNotSingle { output } => {
+                write!(f, "output {output}: scalar target requires a single-element domain")
+            }
+            TdfgError::Geom(e) => write!(f, "geometry error: {e}"),
+            TdfgError::MissingStreamInput(n) => {
+                write!(f, "no stream input data supplied for node {n}")
+            }
+            TdfgError::MissingParam(i) => write!(f, "runtime parameter {i} was not supplied"),
+            TdfgError::UnboundedValue(n) => {
+                write!(f, "node {n} has an unbounded (constant-only) domain where a finite one is required")
+            }
+        }
+    }
+}
+
+impl Error for TdfgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TdfgError::Geom(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GeomError> for TdfgError {
+    fn from(e: GeomError) -> Self {
+        TdfgError::Geom(e)
+    }
+}

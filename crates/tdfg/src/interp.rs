@@ -1,0 +1,492 @@
+//! Reference interpreter for tensor dataflow graphs.
+//!
+//! Evaluates every node over real `f32` data in SSA order — the golden
+//! functional semantics that the e-graph optimizer must preserve and that the
+//! simulator's in-memory command execution is checked against.
+
+use crate::{Node, NodeId, Output, OutputTarget, Tdfg, TdfgError};
+use infs_geom::HyperRect;
+use infs_sdfg::{Memory, ReduceOp, StreamId};
+use std::collections::HashMap;
+
+/// A materialized tensor: a domain rectangle and its values in
+/// dimension-0-fastest order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorData {
+    rect: HyperRect,
+    values: Vec<f32>,
+}
+
+impl TensorData {
+    /// Creates a tensor from a rectangle and matching values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rect.num_elements()`.
+    pub fn new(rect: HyperRect, values: Vec<f32>) -> Self {
+        assert_eq!(
+            values.len() as u64,
+            rect.num_elements(),
+            "value count does not match domain size"
+        );
+        TensorData { rect, values }
+    }
+
+    /// Builds a tensor by evaluating `f` at every lattice point of `rect`.
+    pub fn from_fn(rect: HyperRect, mut f: impl FnMut(&[i64]) -> f32) -> Self {
+        let values = rect.points().map(|p| f(&p)).collect();
+        TensorData { rect, values }
+    }
+
+    /// A tensor filled with one value.
+    pub fn splat(rect: HyperRect, value: f32) -> Self {
+        let n = rect.num_elements() as usize;
+        TensorData {
+            rect,
+            values: vec![value; n],
+        }
+    }
+
+    /// The tensor's domain.
+    pub fn rect(&self) -> &HyperRect {
+        &self.rect
+    }
+
+    /// The value at a lattice point, or `None` outside the domain.
+    pub fn get(&self, point: &[i64]) -> Option<f32> {
+        self.rect
+            .linear_index(point)
+            .map(|i| self.values[i as usize])
+    }
+
+    /// Raw values, dimension-0-fastest.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+}
+
+/// Either a materialized tensor or an infinite uniform value.
+#[derive(Debug, Clone)]
+enum Val {
+    Tensor(TensorData),
+    Uniform(f32),
+}
+
+impl Val {
+    fn get(&self, point: &[i64]) -> Option<f32> {
+        match self {
+            Val::Tensor(t) => t.get(point),
+            Val::Uniform(v) => Some(*v),
+        }
+    }
+}
+
+/// Results of executing a tDFG: named scalars plus tensors handed to
+/// near-memory consumer streams.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TdfgOutputs {
+    /// Named scalar results.
+    pub scalars: Vec<(String, f32)>,
+    /// Tensors produced for `OutputTarget::Stream` consumers.
+    pub stream_outputs: Vec<(StreamId, TensorData)>,
+}
+
+impl TdfgOutputs {
+    /// Looks up a named scalar result.
+    pub fn scalar(&self, name: &str) -> Option<f32> {
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// Executes the graph against `mem`, returning scalar and stream outputs.
+///
+/// * `params` backs [`Node::Param`] references.
+/// * `stream_inputs` supplies the tensors of [`Node::StreamIn`] nodes (produced
+///   by near-memory streams in hybrid regions).
+///
+/// Array outputs are written into `mem`.
+///
+/// # Errors
+///
+/// Returns [`TdfgError::MissingParam`] / [`TdfgError::MissingStreamInput`] for
+/// absent runtime inputs; array accesses cannot fail because the graph was
+/// validated at build time.
+pub fn execute(
+    g: &Tdfg,
+    mem: &mut Memory,
+    params: &[f32],
+    stream_inputs: &HashMap<NodeId, TensorData>,
+) -> Result<TdfgOutputs, TdfgError> {
+    let mut vals: Vec<Val> = Vec::with_capacity(g.nodes().len());
+    for (i, n) in g.nodes().iter().enumerate() {
+        let id = NodeId(i as u32);
+        let v = match n {
+            Node::Input {
+                array,
+                rect,
+                array_offset,
+            } => {
+                let decl = &g.arrays()[array.0 as usize];
+                let nd = decl.ndim();
+                Val::Tensor(TensorData::from_fn(rect.clone(), |p| {
+                    let coords: Vec<i64> = p
+                        .iter()
+                        .zip(array_offset)
+                        .take(nd)
+                        .map(|(&x, &o)| x + o)
+                        .collect();
+                    mem.read(*array, &coords)
+                        .expect("validated input stays in bounds")
+                }))
+            }
+            Node::ConstVal { value } => Val::Uniform(*value),
+            Node::Param { index } => Val::Uniform(
+                *params
+                    .get(*index as usize)
+                    .ok_or(TdfgError::MissingParam(*index))?,
+            ),
+            Node::Compute { op, inputs } => {
+                match g.domain(id) {
+                    Some(rect) => {
+                        let rect = rect.clone();
+                        let mut args = vec![0.0f32; inputs.len()];
+                        Val::Tensor(TensorData::from_fn(rect, |p| {
+                            for (k, x) in inputs.iter().enumerate() {
+                                args[k] = vals[x.0 as usize]
+                                    .get(p)
+                                    .expect("compute domain is contained in input domains");
+                            }
+                            op.eval(&args)
+                        }))
+                    }
+                    None => {
+                        // All-constant compute: fold to a uniform.
+                        let args: Vec<f32> = inputs
+                            .iter()
+                            .map(|x| {
+                                vals[x.0 as usize]
+                                    .get(&[])
+                                    .expect("constant operands are uniform")
+                            })
+                            .collect();
+                        Val::Uniform(op.eval(&args))
+                    }
+                }
+            }
+            Node::Mv { input, dim, dist } => {
+                let rect = g.domain(id).expect("mv domains are finite").clone();
+                let src = &vals[input.0 as usize];
+                let (dim, dist) = (*dim, *dist);
+                Val::Tensor(TensorData::from_fn(rect, |p| {
+                    let mut q = p.to_vec();
+                    q[dim] -= dist;
+                    src.get(&q).expect("mv source point is in the input domain")
+                }))
+            }
+            Node::Bc { input, dim, .. } => {
+                let rect = g.domain(id).expect("bc domains are finite").clone();
+                let src_rect = g.domain(*input).expect("bc inputs are finite");
+                let src_coord = src_rect.start(*dim);
+                let src = &vals[input.0 as usize];
+                let dim = *dim;
+                Val::Tensor(TensorData::from_fn(rect, |p| {
+                    let mut q = p.to_vec();
+                    q[dim] = src_coord;
+                    src.get(&q).expect("bc source hyperplane covers the domain")
+                }))
+            }
+            Node::Shrink { input, .. } => {
+                let rect = g.domain(id).expect("shrink domains are finite").clone();
+                let src = &vals[input.0 as usize];
+                Val::Tensor(TensorData::from_fn(rect, |p| {
+                    src.get(p).expect("shrink restricts the input domain")
+                }))
+            }
+            Node::Reduce { input, dim, op } => {
+                let rect = g.domain(id).expect("reduce domains are finite").clone();
+                let src_rect = g.domain(*input).expect("reduce inputs are finite");
+                let (lo, hi) = src_rect.interval(*dim);
+                let src = &vals[input.0 as usize];
+                let (dim, op) = (*dim, *op);
+                Val::Tensor(TensorData::from_fn(rect, |p| {
+                    let mut acc = op.identity();
+                    let mut q = p.to_vec();
+                    for c in lo..hi {
+                        q[dim] = c;
+                        acc = apply_reduce(op, acc, src.get(&q).expect("reduce range in domain"));
+                    }
+                    acc
+                }))
+            }
+            Node::StreamIn { .. } => Val::Tensor(
+                stream_inputs
+                    .get(&id)
+                    .cloned()
+                    .ok_or(TdfgError::MissingStreamInput(id))?,
+            ),
+        };
+        vals.push(v);
+    }
+
+    // Apply outputs.
+    let mut out = TdfgOutputs::default();
+    for Output { node, target } in g.outputs() {
+        let v = &vals[node.0 as usize];
+        match target {
+            OutputTarget::Array {
+                array,
+                rect,
+                array_offset,
+            } => {
+                let nd = g.arrays()[array.0 as usize].ndim();
+                for p in rect.points() {
+                    let coords: Vec<i64> = p
+                        .iter()
+                        .zip(array_offset)
+                        .take(nd)
+                        .map(|(&x, &o)| x + o)
+                        .collect();
+                    let val = v.get(&p).expect("output region is covered");
+                    mem.write(*array, &coords, val)
+                        .expect("validated output stays in bounds");
+                }
+            }
+            OutputTarget::Scalar { name } => {
+                let rect = g.domain(*node).expect("scalar outputs are finite");
+                let p = rect.point_at(0);
+                out.scalars
+                    .push((name.clone(), v.get(&p).expect("single-element domain")));
+            }
+            OutputTarget::Stream { stream } => {
+                let t = match v {
+                    Val::Tensor(t) => t.clone(),
+                    Val::Uniform(u) => TensorData::splat(
+                        g.domain(*node)
+                            .expect("stream outputs are finite")
+                            .clone(),
+                        *u,
+                    ),
+                };
+                out.stream_outputs.push((*stream, t));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn apply_reduce(op: ReduceOp, acc: f32, x: f32) -> f32 {
+    op.apply(acc, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComputeOp, TdfgBuilder};
+    use infs_sdfg::{ArrayDecl, DataType};
+
+    fn rect(iv: &[(i64, i64)]) -> HyperRect {
+        HyperRect::new(iv.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn vector_add() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![4], DataType::F32));
+        let c = b.declare_array(ArrayDecl::new("B", vec![4], DataType::F32));
+        let d = b.declare_array(ArrayDecl::new("C", vec![4], DataType::F32));
+        let x = b.input(a, rect(&[(0, 4)])).unwrap();
+        let y = b.input(c, rect(&[(0, 4)])).unwrap();
+        let s = b.compute(ComputeOp::Add, &[x, y]).unwrap();
+        b.output(s, OutputTarget::array(d, rect(&[(0, 4)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &[1., 2., 3., 4.]);
+        mem.write_array(c, &[10., 20., 30., 40.]);
+        execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(mem.array(d), &[11., 22., 33., 44.]);
+    }
+
+    #[test]
+    fn stencil_with_moves_matches_scalar() {
+        // B[i] = A[i-1] + A[i] + A[i+1], i in [1, 7)
+        let n = 8i64;
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![n as u64], DataType::F32));
+        let out = b.declare_array(ArrayDecl::new("B", vec![n as u64], DataType::F32));
+        let left = b.input(a, rect(&[(0, n - 2)])).unwrap();
+        let mid = b.input(a, rect(&[(1, n - 1)])).unwrap();
+        let right = b.input(a, rect(&[(2, n)])).unwrap();
+        let lm = b.mv(left, 0, 1).unwrap();
+        let rm = b.mv(right, 0, -1).unwrap();
+        let s1 = b.compute(ComputeOp::Add, &[lm, mid]).unwrap();
+        let s2 = b.compute(ComputeOp::Add, &[s1, rm]).unwrap();
+        b.output(s2, OutputTarget::array(out, rect(&[(1, n - 1)])));
+        let g = b.build().unwrap();
+
+        let av: Vec<f32> = (0..n).map(|i| (i * i) as f32).collect();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &av);
+        execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        for i in 1..(n - 1) as usize {
+            assert_eq!(mem.array(out)[i], av[i - 1] + av[i] + av[i + 1], "i={i}");
+        }
+    }
+
+    #[test]
+    fn broadcast_column_times_matrix() {
+        // out[i][j] = col[i] * m[i][j] with col broadcast along dim 1.
+        let mut b = TdfgBuilder::new(2, DataType::F32);
+        let col = b.declare_array(ArrayDecl::new("col", vec![2, 1], DataType::F32));
+        let m = b.declare_array(ArrayDecl::new("m", vec![2, 3], DataType::F32));
+        let out = b.declare_array(ArrayDecl::new("out", vec![2, 3], DataType::F32));
+        let c = b.input(col, rect(&[(0, 2), (0, 1)])).unwrap();
+        let cb = b.bc(c, 1, 0, 3).unwrap();
+        let mm = b.input(m, rect(&[(0, 2), (0, 3)])).unwrap();
+        let prod = b.compute(ComputeOp::Mul, &[cb, mm]).unwrap();
+        b.output(prod, OutputTarget::array(out, rect(&[(0, 2), (0, 3)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(col, &[2., 3.]);
+        mem.write_array(m, &[1., 1., 2., 2., 3., 3.]); // dim0-fastest
+        execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(mem.array(out), &[2., 3., 4., 6., 6., 9.]);
+    }
+
+    #[test]
+    fn reduce_to_scalar() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![6], DataType::F32));
+        let x = b.input(a, rect(&[(0, 6)])).unwrap();
+        let r = b.reduce(x, 0, ReduceOp::Sum).unwrap();
+        b.output(r, OutputTarget::scalar("sum"));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &[1., 2., 3., 4., 5., 6.]);
+        let out = execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(out.scalar("sum"), Some(21.0));
+    }
+
+    #[test]
+    fn reduce_min_max_over_dim1() {
+        let mut b = TdfgBuilder::new(2, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![2, 3], DataType::F32));
+        let o = b.declare_array(ArrayDecl::new("O", vec![2, 1], DataType::F32));
+        let x = b.input(a, rect(&[(0, 2), (0, 3)])).unwrap();
+        let r = b.reduce(x, 1, ReduceOp::Max).unwrap();
+        b.output(r, OutputTarget::array(o, rect(&[(0, 2), (0, 1)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &[1., 9., 5., 2., 3., 8.]);
+        execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(mem.array(o), &[5., 9.]);
+    }
+
+    #[test]
+    fn param_scales_tensor() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![3], DataType::F32));
+        let x = b.input(a, rect(&[(0, 3)])).unwrap();
+        let p = b.param(0);
+        let m = b.compute(ComputeOp::Mul, &[x, p]).unwrap();
+        b.output(m, OutputTarget::array(a, rect(&[(0, 3)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &[1., 2., 3.]);
+        execute(&g, &mut mem, &[4.0], &HashMap::new()).unwrap();
+        assert_eq!(mem.array(a), &[4., 8., 12.]);
+
+        let mut mem2 = Memory::for_arrays(g.arrays());
+        assert_eq!(
+            execute(&g, &mut mem2, &[], &HashMap::new()).unwrap_err(),
+            TdfgError::MissingParam(0)
+        );
+    }
+
+    #[test]
+    fn stream_in_supplies_tensor() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![4], DataType::F32));
+        let s = b
+            .stream_in(StreamId(0), rect(&[(0, 4)]))
+            .unwrap();
+        let x = b.input(a, rect(&[(0, 4)])).unwrap();
+        let sum = b.compute(ComputeOp::Add, &[s, x]).unwrap();
+        b.output(sum, OutputTarget::array(a, rect(&[(0, 4)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &[1., 1., 1., 1.]);
+        let mut ins = HashMap::new();
+        ins.insert(s, TensorData::new(rect(&[(0, 4)]), vec![10., 20., 30., 40.]));
+        execute(&g, &mut mem, &[], &ins).unwrap();
+        assert_eq!(mem.array(a), &[11., 21., 31., 41.]);
+
+        let mut mem2 = Memory::for_arrays(g.arrays());
+        assert_eq!(
+            execute(&g, &mut mem2, &[], &HashMap::new()).unwrap_err(),
+            TdfgError::MissingStreamInput(s)
+        );
+    }
+
+    #[test]
+    fn stream_output_tensor_is_returned() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![3], DataType::F32));
+        let x = b.input(a, rect(&[(0, 3)])).unwrap();
+        let n = b.compute(ComputeOp::Neg, &[x]).unwrap();
+        b.output(n, OutputTarget::stream(StreamId(7)));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(a, &[1., 2., 3.]);
+        let out = execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(out.stream_outputs.len(), 1);
+        assert_eq!(out.stream_outputs[0].0, StreamId(7));
+        assert_eq!(out.stream_outputs[0].1.values(), &[-1., -2., -3.]);
+    }
+
+    #[test]
+    fn constant_fold_to_uniform_output() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![4], DataType::F32));
+        let c1 = b.constant(2.0);
+        let c2 = b.constant(3.0);
+        let m = b.compute(ComputeOp::Mul, &[c1, c2]).unwrap();
+        b.output(m, OutputTarget::array(a, rect(&[(0, 4)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(mem.array(a), &[6., 6., 6., 6.]);
+    }
+
+    #[test]
+    fn select_mask_pattern() {
+        // out = (a < b) ? a : b  == min(a, b)
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let arr_a = b.declare_array(ArrayDecl::new("A", vec![4], DataType::F32));
+        let arr_b = b.declare_array(ArrayDecl::new("B", vec![4], DataType::F32));
+        let o = b.declare_array(ArrayDecl::new("O", vec![4], DataType::F32));
+        let x = b.input(arr_a, rect(&[(0, 4)])).unwrap();
+        let y = b.input(arr_b, rect(&[(0, 4)])).unwrap();
+        let c = b.compute(ComputeOp::CmpLt, &[x, y]).unwrap();
+        let s = b.compute(ComputeOp::Select, &[c, x, y]).unwrap();
+        b.output(s, OutputTarget::array(o, rect(&[(0, 4)])));
+        let g = b.build().unwrap();
+        let mut mem = Memory::for_arrays(g.arrays());
+        mem.write_array(arr_a, &[1., 5., 2., 9.]);
+        mem.write_array(arr_b, &[3., 3., 3., 3.]);
+        execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+        assert_eq!(mem.array(o), &[1., 3., 2., 3.]);
+    }
+
+    #[test]
+    fn tensor_data_accessors() {
+        let t = TensorData::new(rect(&[(0, 2), (0, 2)]), vec![1., 2., 3., 4.]);
+        assert_eq!(t.get(&[1, 0]), Some(2.0));
+        assert_eq!(t.get(&[2, 0]), None);
+        assert_eq!(t.rect().num_elements(), 4);
+        let s = TensorData::splat(rect(&[(0, 3)]), 7.0);
+        assert_eq!(s.values(), &[7., 7., 7.]);
+    }
+}

@@ -1,0 +1,166 @@
+use crate::ComputeOp;
+use infs_geom::HyperRect;
+use infs_sdfg::{ArrayId, ReduceOp, StreamId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within one [`Tdfg`](crate::Tdfg); ids are assigned in
+/// SSA order, so a node's inputs always have smaller ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// One tDFG node (semantics per Fig 5 of the paper; see the crate docs for the
+/// summary table).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A hyperrectangular region of an array placed in the lattice space.
+    ///
+    /// The lattice cell `x` reads array coordinate `x + array_offset` (per
+    /// dimension, truncated to the array's rank). Origin-aligned arrays — the
+    /// common case — have a zero offset; non-zero offsets let a lower-rank
+    /// array region (e.g. one matrix column) be positioned anywhere.
+    Input {
+        /// Source array.
+        array: ArrayId,
+        /// Lattice-space domain of the tensor.
+        rect: HyperRect,
+        /// Per-dimension offset from lattice to array coordinates.
+        array_offset: Vec<i64>,
+    },
+    /// An infinite tensor holding a compile-time constant at every cell.
+    ConstVal {
+        /// The constant.
+        value: f32,
+    },
+    /// An infinite tensor holding a *runtime* parameter (passed via `inf_cfg`).
+    Param {
+        /// Parameter index.
+        index: u32,
+    },
+    /// Element-wise computation over the intersection of the input domains.
+    Compute {
+        /// Operation.
+        op: ComputeOp,
+        /// Input tensors, `op.arity()` of them.
+        inputs: Vec<NodeId>,
+    },
+    /// Shift a tensor by `dist` along `dim`; data moved outside the global
+    /// bounding hyperrectangle is discarded.
+    Mv {
+        /// Input tensor.
+        input: NodeId,
+        /// Shifted dimension.
+        dim: usize,
+        /// Shift distance (may be negative).
+        dist: i64,
+    },
+    /// Broadcast a tensor of unit extent in `dim` to the `count` coordinates
+    /// `[dist, dist + count)` of that dimension (spatially materialized reuse).
+    Bc {
+        /// Input tensor (must have extent 1 in `dim`).
+        input: NodeId,
+        /// Broadcast dimension.
+        dim: usize,
+        /// First destination coordinate in `dim`.
+        dist: i64,
+        /// Number of copies.
+        count: u64,
+    },
+    /// Restrict the domain of dimension `dim` to `[p, q)`.
+    ///
+    /// Shrink nodes only track tensor-size information during optimization
+    /// (Appendix A); the JIT lowers them to no-ops, like SSA φ-nodes.
+    Shrink {
+        /// Input tensor.
+        input: NodeId,
+        /// Restricted dimension.
+        dim: usize,
+        /// New start coordinate.
+        p: i64,
+        /// New end coordinate.
+        q: i64,
+    },
+    /// Associative reduction along `dim`, collapsing it to a single coordinate.
+    ///
+    /// Lowered to interleaved in-SRAM compute/shift rounds plus a near-memory
+    /// final-reduce stream when the reduction spans tiles (§4.2).
+    Reduce {
+        /// Input tensor.
+        input: NodeId,
+        /// Reduced dimension.
+        dim: usize,
+        /// Reduction operator.
+        op: ReduceOp,
+    },
+    /// A tensor produced by a near-memory stream (hybrid in-/near-memory
+    /// regions, §3.3) — e.g. an indirect gather laying out data in tensor form.
+    StreamIn {
+        /// The producing stream in the region's sDFG.
+        stream: StreamId,
+        /// Lattice-space domain the stream fills.
+        rect: HyperRect,
+    },
+}
+
+impl Node {
+    /// Ids of the tensors this node reads.
+    pub fn inputs(&self) -> Vec<NodeId> {
+        match self {
+            Node::Input { .. } | Node::ConstVal { .. } | Node::Param { .. } | Node::StreamIn { .. } => {
+                Vec::new()
+            }
+            Node::Compute { inputs, .. } => inputs.clone(),
+            Node::Mv { input, .. }
+            | Node::Bc { input, .. }
+            | Node::Shrink { input, .. }
+            | Node::Reduce { input, .. } => vec![*input],
+        }
+    }
+
+    /// Short mnemonic for diagnostics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Node::Input { .. } => "tensor",
+            Node::ConstVal { .. } => "const",
+            Node::Param { .. } => "param",
+            Node::Compute { .. } => "cmp",
+            Node::Mv { .. } => "mv",
+            Node::Bc { .. } => "bc",
+            Node::Shrink { .. } => "shrink",
+            Node::Reduce { .. } => "reduce",
+            Node::StreamIn { .. } => "strm",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_of_each_kind() {
+        assert!(Node::ConstVal { value: 1.0 }.inputs().is_empty());
+        let c = Node::Compute {
+            op: ComputeOp::Add,
+            inputs: vec![NodeId(0), NodeId(1)],
+        };
+        assert_eq!(c.inputs(), vec![NodeId(0), NodeId(1)]);
+        let m = Node::Mv {
+            input: NodeId(2),
+            dim: 0,
+            dist: 1,
+        };
+        assert_eq!(m.inputs(), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn display_node_id() {
+        assert_eq!(NodeId(4).to_string(), "%4");
+    }
+}

@@ -1,0 +1,201 @@
+use crate::{bit_serial_latency, ComputeOp, Node, Tdfg};
+use infs_geom::layout::LayoutHints;
+use infs_sdfg::ReduceOp;
+use serde::{Deserialize, Serialize};
+
+/// Structural node counts of a graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdfgStats {
+    /// Total nodes.
+    pub nodes: u64,
+    /// Compute nodes.
+    pub computes: u64,
+    /// Move nodes.
+    pub moves: u64,
+    /// Broadcast nodes.
+    pub broadcasts: u64,
+    /// Shrink nodes.
+    pub shrinks: u64,
+    /// Reduce nodes.
+    pub reduces: u64,
+    /// Stream-input nodes.
+    pub stream_ins: u64,
+}
+
+/// Aggregate op information the compiler embeds as configuration hints so the
+/// runtime can evaluate the in-/near-memory decision model (Eq 2) *without*
+/// re-analyzing the tDFG (§4.3).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpProfile {
+    /// Largest finite tensor domain in the graph (`N_elem`).
+    pub max_domain_elems: u64,
+    /// Element-wise operations applied per lattice cell (`N_op`, approximated
+    /// by the number of compute nodes plus reduction rounds).
+    pub ops_per_elem: u64,
+    /// Total element-operations across the whole region (Σ over compute nodes
+    /// of their domain size) — the work a core would execute.
+    pub total_elem_ops: u64,
+    /// Sum of bit-serial command latencies over all compute and reduce nodes
+    /// (Σᵢ Lat_opᵢ of Eq 2): in-memory latency is independent of `N_elem`.
+    pub total_bit_serial_latency: u64,
+    /// Total nodes (`N_node`, multiplied by per-node JIT lowering latency).
+    pub node_count: u64,
+    /// Elements moved or broadcast (drives data-movement cost estimates).
+    pub moved_elems: u64,
+    /// Per-op compute-node counts.
+    pub per_op: Vec<(ComputeOp, u64)>,
+}
+
+fn reduce_equivalent_op(op: ReduceOp) -> ComputeOp {
+    match op {
+        ReduceOp::Sum => ComputeOp::Add,
+        ReduceOp::Min => ComputeOp::Min,
+        ReduceOp::Max => ComputeOp::Max,
+    }
+}
+
+impl Tdfg {
+    /// Structural node counts.
+    pub fn stats(&self) -> TdfgStats {
+        let mut s = TdfgStats {
+            nodes: self.nodes().len() as u64,
+            ..Default::default()
+        };
+        for n in self.nodes() {
+            match n {
+                Node::Compute { .. } => s.computes += 1,
+                Node::Mv { .. } => s.moves += 1,
+                Node::Bc { .. } => s.broadcasts += 1,
+                Node::Shrink { .. } => s.shrinks += 1,
+                Node::Reduce { .. } => s.reduces += 1,
+                Node::StreamIn { .. } => s.stream_ins += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Derives the layout hints (§3.4) from the graph's data-movement pattern:
+    /// dimensions shifted by `mv` nodes, broadcast by `bc` nodes, and the first
+    /// reduced dimension.
+    pub fn layout_hints(&self) -> LayoutHints {
+        let mut hints = LayoutHints::default();
+        for n in self.nodes() {
+            match n {
+                Node::Mv { dim, dist, .. }
+                    if *dist != 0 && !hints.shift_dims.contains(dim) => {
+                        hints.shift_dims.push(*dim);
+                    }
+                Node::Bc { dim, .. }
+                    if !hints.broadcast_dims.contains(dim) => {
+                        hints.broadcast_dims.push(*dim);
+                    }
+                Node::Reduce { dim, .. }
+                    if hints.reduce_dim.is_none() => {
+                        hints.reduce_dim = Some(*dim);
+                    }
+                _ => {}
+            }
+        }
+        hints
+    }
+
+    /// Computes the aggregate op profile for the offload decision model.
+    pub fn op_profile(&self) -> OpProfile {
+        let dtype = self.dtype();
+        let mut p = OpProfile {
+            node_count: self.nodes().len() as u64,
+            ..Default::default()
+        };
+        let mut per_op: Vec<(ComputeOp, u64)> = Vec::new();
+        for (i, n) in self.nodes().iter().enumerate() {
+            let dom_elems = self
+                .domain(crate::NodeId(i as u32))
+                .map(|r| r.num_elements())
+                .unwrap_or(0);
+            p.max_domain_elems = p.max_domain_elems.max(dom_elems);
+            match n {
+                Node::Compute { op, .. } => {
+                    p.ops_per_elem += 1;
+                    p.total_elem_ops += dom_elems;
+                    p.total_bit_serial_latency += bit_serial_latency(*op, dtype);
+                    match per_op.iter_mut().find(|(o, _)| o == op) {
+                        Some((_, c)) => *c += 1,
+                        None => per_op.push((*op, 1)),
+                    }
+                }
+                Node::Reduce { input, dim, op } => {
+                    let in_dom = self.domain(*input).expect("reduce inputs are finite");
+                    let extent = in_dom.extent(*dim).max(1);
+                    // Tree reduction: ceil(log2(extent)) rounds of compute+shift.
+                    let rounds = 64 - (extent - 1).leading_zeros() as u64;
+                    let eq = reduce_equivalent_op(*op);
+                    p.ops_per_elem += rounds;
+                    p.total_elem_ops += in_dom.num_elements();
+                    p.total_bit_serial_latency +=
+                        rounds * (bit_serial_latency(eq, dtype) + dtype.bits() as u64);
+                }
+                Node::Mv { .. } | Node::Bc { .. } => {
+                    p.moved_elems += dom_elems;
+                }
+                _ => {}
+            }
+        }
+        p.per_op = per_op;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{ComputeOp, OutputTarget, TdfgBuilder};
+    use infs_geom::HyperRect;
+    use infs_sdfg::{ArrayDecl, DataType, ReduceOp};
+
+    fn rect(iv: &[(i64, i64)]) -> HyperRect {
+        HyperRect::new(iv.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn stats_and_hints_and_profile() {
+        let mut b = TdfgBuilder::new(2, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![8, 8], DataType::F32));
+        let x = b.input(a, rect(&[(0, 8), (0, 8)])).unwrap();
+        let m = b.mv(x, 0, 1).unwrap();
+        let s = b.compute(ComputeOp::Add, &[x, m]).unwrap();
+        let r = b.reduce(s, 1, ReduceOp::Sum).unwrap();
+        b.output(r, OutputTarget::array(a, rect(&[(1, 8), (0, 1)])));
+        let g = b.build().unwrap();
+
+        let st = g.stats();
+        assert_eq!(st.nodes, 4);
+        assert_eq!(st.computes, 1);
+        assert_eq!(st.moves, 1);
+        assert_eq!(st.reduces, 1);
+
+        let hints = g.layout_hints();
+        assert_eq!(hints.shift_dims, vec![0]);
+        assert_eq!(hints.reduce_dim, Some(1));
+        assert!(hints.broadcast_dims.is_empty());
+
+        let p = g.op_profile();
+        assert_eq!(p.max_domain_elems, 64);
+        // 1 compute + 3 reduce rounds (log2 8).
+        assert_eq!(p.ops_per_elem, 1 + 3);
+        assert!(p.total_bit_serial_latency > 0);
+        assert_eq!(p.node_count, 4);
+        assert_eq!(p.moved_elems, 7 * 8);
+        assert_eq!(p.per_op, vec![(ComputeOp::Add, 1)]);
+    }
+
+    #[test]
+    fn zero_distance_mv_is_not_a_shift_hint() {
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        let a = b.declare_array(ArrayDecl::new("A", vec![8], DataType::F32));
+        let x = b.input(a, rect(&[(0, 8)])).unwrap();
+        let m = b.mv(x, 0, 0).unwrap();
+        b.output(m, OutputTarget::array(a, rect(&[(0, 8)])));
+        let g = b.build().unwrap();
+        assert!(g.layout_hints().shift_dims.is_empty());
+    }
+}

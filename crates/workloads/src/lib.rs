@@ -1,0 +1,202 @@
+//! The Infinity Stream benchmark suite.
+//!
+//! Implements every workload of the paper's evaluation (Table 3), the Fig 2
+//! microbenchmarks, and the PointNet++ case study (Table 4), each with:
+//!
+//! * the kernels (written against the `infs-frontend` loop-nest IR — the
+//!   "plain C" of this reproduction), structured the way the paper describes:
+//!   dense phases tensorize, irregular/low-parallelism phases stay as streams,
+//!   and sequential host loops re-enter regions with fresh symbols;
+//! * a driver that runs the phases on a simulated [`Machine`] under any
+//!   [`ExecMode`];
+//! * deterministic input generation; and
+//! * a plain-Rust scalar **reference implementation**, against which every
+//!   configuration's functional output is verified.
+//!
+//! Benchmarks scale: [`Scale::Paper`] uses the Table 3 input sizes (timing
+//! runs), [`Scale::Test`] shrinks them so functional verification stays fast.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conv;
+mod gather_mlp;
+mod gauss;
+mod kmeans;
+mod micro;
+mod mm;
+mod pointnet;
+mod stencil;
+mod util;
+
+pub use conv::{Conv2d, Conv3d};
+pub use gather_mlp::GatherMlp;
+pub use gauss::GaussElim;
+pub use kmeans::Kmeans;
+pub use micro::{ArraySum, VecAdd};
+pub use mm::MatMul;
+pub use pointnet::{PointNet, PointNetVariant};
+pub use stencil::{Dwt2d, Stencil1d, Stencil2d, Stencil3d};
+pub use util::Dataflow;
+
+use infs_sdfg::{ArrayDecl, Memory};
+use infs_sim::{ExecMode, Machine, RunStats, SimError, SystemConfig};
+
+/// Input-size scale of a benchmark instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The Table 3 sizes used for figure regeneration (timing-only friendly).
+    Paper,
+    /// Reduced sizes for fast functional verification in tests.
+    Test,
+}
+
+/// A runnable benchmark: kernels + driver + reference.
+pub trait Benchmark {
+    /// Display name (Table 3 naming, e.g. `"stencil2d"` or `"mm/out"`).
+    fn name(&self) -> &str;
+
+    /// The shared array table all of the benchmark's kernels use.
+    fn arrays(&self) -> Vec<ArrayDecl>;
+
+    /// Fills input arrays (deterministic).
+    fn init(&self, mem: &mut Memory);
+
+    /// Drives all phases/iterations on the machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (functional failures).
+    fn run(&self, m: &mut Machine, mode: ExecMode) -> Result<(), SimError>;
+
+    /// Scalar reference implementation over the same memory layout.
+    fn reference(&self, mem: &mut Memory);
+
+    /// Arrays whose contents constitute the checked output.
+    fn output_arrays(&self) -> Vec<infs_sdfg::ArrayId>;
+}
+
+/// Runs a benchmark end-to-end and returns the machine statistics.
+///
+/// With `functional` disabled the run is timing-only (for paper-scale inputs
+/// whose interpretation would take hours); functional verification then
+/// happens separately at [`Scale::Test`] via [`verify`].
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_timed(
+    b: &dyn Benchmark,
+    mode: ExecMode,
+    cfg: &SystemConfig,
+    functional: bool,
+    assume_transposed: bool,
+) -> Result<RunStats, SimError> {
+    let arrays = b.arrays();
+    let mut m = Machine::new(cfg.clone(), &arrays);
+    m.set_functional(functional);
+    m.set_assume_transposed(assume_transposed);
+    // §6: inputs are assumed tiled to fit in (and warm in) the L3.
+    m.set_resident_all();
+    if functional {
+        b.init(m.memory());
+    }
+    b.run(&mut m, mode)?;
+    Ok(m.finish())
+}
+
+/// Verifies a benchmark's functional output under a mode against its scalar
+/// reference.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatching element.
+pub fn verify(b: &dyn Benchmark, mode: ExecMode, cfg: &SystemConfig) -> Result<(), String> {
+    let arrays = b.arrays();
+    let mut m = Machine::new(cfg.clone(), &arrays);
+    b.init(m.memory());
+    b.run(&mut m, mode).map_err(|e| e.to_string())?;
+
+    let mut golden = Memory::for_arrays(&arrays);
+    b.init(&mut golden);
+    b.reference(&mut golden);
+
+    for id in b.output_arrays() {
+        let got = m.memory_ref().array(id);
+        let want = golden.array(id);
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            let tol = 1e-3 * w.abs().max(1.0);
+            if (g - w).abs() > tol {
+                return Err(format!(
+                    "{}: array {} ({}) differs at {}: got {}, want {}",
+                    b.name(),
+                    id,
+                    arrays[id.0 as usize].name,
+                    i,
+                    g,
+                    w
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The ten Fig 11 benchmarks at a given scale, best dataflow per the paper
+/// (tiled inner product for Base is handled inside `mm`/`kmeans`/`gather_mlp`
+/// via [`Dataflow`] selection in the figure harness).
+pub fn fig11_suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Stencil1d::new(scale)),
+        Box::new(Stencil2d::new(scale)),
+        Box::new(Stencil3d::new(scale)),
+        Box::new(Dwt2d::new(scale)),
+        Box::new(GaussElim::new(scale)),
+        Box::new(Conv2d::new(scale)),
+        Box::new(Conv3d::new(scale)),
+        Box::new(MatMul::new(scale, Dataflow::Outer)),
+        Box::new(Kmeans::new(scale, Dataflow::Outer)),
+        Box::new(GatherMlp::new(scale, Dataflow::Outer)),
+    ]
+}
+
+/// All 13 Table 3 workload variants (the Fig 13/14 x-axis): the Fig 11 suite
+/// with both dataflows of the three reduction workloads.
+pub fn full_suite(scale: Scale) -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Stencil1d::new(scale)),
+        Box::new(Stencil2d::new(scale)),
+        Box::new(Stencil3d::new(scale)),
+        Box::new(Dwt2d::new(scale)),
+        Box::new(GaussElim::new(scale)),
+        Box::new(Conv2d::new(scale)),
+        Box::new(Conv3d::new(scale)),
+        Box::new(MatMul::new(scale, Dataflow::Inner)),
+        Box::new(MatMul::new(scale, Dataflow::Outer)),
+        Box::new(Kmeans::new(scale, Dataflow::Inner)),
+        Box::new(Kmeans::new(scale, Dataflow::Outer)),
+        Box::new(GatherMlp::new(scale, Dataflow::Inner)),
+        Box::new(GatherMlp::new(scale, Dataflow::Outer)),
+    ]
+}
+
+/// Constructs one benchmark by its Table 3 name (e.g. `"mm/out"`).
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
+    let b: Box<dyn Benchmark> = match name {
+        "stencil1d" => Box::new(Stencil1d::new(scale)),
+        "stencil2d" => Box::new(Stencil2d::new(scale)),
+        "stencil3d" => Box::new(Stencil3d::new(scale)),
+        "dwt2d" => Box::new(Dwt2d::new(scale)),
+        "gauss_elim" => Box::new(GaussElim::new(scale)),
+        "conv2d" => Box::new(Conv2d::new(scale)),
+        "conv3d" => Box::new(Conv3d::new(scale)),
+        "mm/in" => Box::new(MatMul::new(scale, Dataflow::Inner)),
+        "mm/out" => Box::new(MatMul::new(scale, Dataflow::Outer)),
+        "kmeans/in" => Box::new(Kmeans::new(scale, Dataflow::Inner)),
+        "kmeans/out" => Box::new(Kmeans::new(scale, Dataflow::Outer)),
+        "gather_mlp/in" => Box::new(GatherMlp::new(scale, Dataflow::Inner)),
+        "gather_mlp/out" => Box::new(GatherMlp::new(scale, Dataflow::Outer)),
+        _ => return None,
+    };
+    Some(b)
+}

@@ -1,0 +1,60 @@
+//! End-to-end PointNet++ inference (the paper's Fig 19 case study): a
+//! hierarchical point-cloud network whose stages naturally land on different
+//! paradigms — furthest-point sampling near-memory, dense MLP rounds
+//! in-memory, small layers on the cores — all chosen by the Eq 2 runtime
+//! decision inside one fused machine.
+//!
+//! ```text
+//! cargo run --release --example pointnet [ssg|msg]
+//! ```
+
+use infinity_stream::prelude::*;
+use infs_workloads::{Benchmark, PointNet, PointNetVariant, Scale};
+
+fn main() {
+    let variant = match std::env::args().nth(1).as_deref() {
+        Some("msg") => PointNetVariant::Msg,
+        _ => PointNetVariant::Ssg,
+    };
+    let vname = if variant == PointNetVariant::Msg { "MSG" } else { "SSG" };
+    let cfg = SystemConfig::default();
+
+    println!("PointNet++ {vname} classifier, 4k-point cloud (Table 4 parameters)\n");
+    let mut base_total = 0u64;
+    for (label, mode) in [
+        ("Base", ExecMode::Base { threads: 64 }),
+        ("Near-L3", ExecMode::NearL3),
+        ("In-L3", ExecMode::InL3),
+        ("Inf-S", ExecMode::InfS),
+    ] {
+        let net = PointNet::new(Scale::Paper, variant);
+        let arrays = net.arrays();
+        let mut m = Machine::new(cfg.clone(), &arrays);
+        m.set_functional(false);
+        m.set_resident_all();
+        let reports = net.run_detailed(&mut m, mode).expect("pointnet runs");
+        let total: u64 = reports.iter().map(|r| r.cycles).sum();
+        if base_total == 0 {
+            base_total = total;
+        }
+        println!(
+            "=== {label}: {total} cycles ({:.2}x over Base) ===",
+            base_total as f64 / total as f64
+        );
+        // Collapse the timeline per phase.
+        let mut per_phase: std::collections::BTreeMap<&'static str, (u64, String)> =
+            Default::default();
+        for r in &reports {
+            let e = per_phase.entry(r.phase).or_insert((0, String::new()));
+            e.0 += r.cycles;
+            e.1 = format!("{:?}", r.executed);
+        }
+        for (phase, (cycles, exec)) in per_phase {
+            println!(
+                "  {phase:<10} {:>5.1}%  ({exec})",
+                100.0 * cycles as f64 / total as f64
+            );
+        }
+        println!();
+    }
+}

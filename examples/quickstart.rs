@@ -1,0 +1,66 @@
+//! Quickstart: write a kernel in the loop-nest IR, compile it into a fat
+//! binary, and run it on the simulated 64-core / 144 MB compute-SRAM machine
+//! under every execution paradigm.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use infinity_stream::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. The program: SAXPY, y = a*x + y, over 1M elements. ------------
+    let n: u64 = 1 << 20;
+    let mut k = KernelBuilder::new("saxpy", DataType::F32);
+    let x = k.array("X", vec![n]);
+    let y = k.array("Y", vec![n]);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        y,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::mul(ScalarExpr::Param(0), ScalarExpr::load(x, vec![Idx::var(i)])),
+            ScalarExpr::load(y, vec![Idx::var(i)]),
+        ),
+    );
+    let kernel = k.build()?;
+
+    // --- 2. Static compilation: extract + optimize + schedule per geometry. -
+    let mut binary = FatBinary::new();
+    binary.push(Compiler::default().compile(kernel, &[])?);
+    println!(
+        "compiled fat binary: {} region(s), in-memory capable: {}",
+        binary.regions.len(),
+        binary.regions[0].tensorizable
+    );
+
+    // --- 3. Run under each paradigm and compare. ---------------------------
+    let xs: Vec<f32> = (0..n).map(|v| (v % 100) as f32).collect();
+    let ys: Vec<f32> = (0..n).map(|v| (v % 7) as f32).collect();
+    let mut baseline_out: Option<Vec<f32>> = None;
+    for (label, mode) in [
+        ("Base (64 threads)", ExecMode::Base { threads: 64 }),
+        ("Near-L3 streams", ExecMode::NearL3),
+        ("In-L3 bit-serial", ExecMode::InL3),
+        ("Infinity Stream", ExecMode::InfS),
+    ] {
+        let mut session = Session::new(SystemConfig::default(), binary.clone(), mode)?;
+        session.memory().write_array(x, &xs);
+        session.memory().write_array(y, &ys);
+        let report = session.run("saxpy", &[], &[2.0])?;
+        let out = session.memory_ref().array(y).to_vec();
+        match &baseline_out {
+            Some(b) => assert_eq!(&out, b, "all paradigms must agree"),
+            None => baseline_out = Some(out),
+        }
+        let stats = session.finish();
+        println!(
+            "{label:<20} {:>12} cycles   executed: {:?}   NoC byte-hops: {:.2e}",
+            report.cycles,
+            report.executed,
+            stats.traffic.noc_total(),
+        );
+    }
+    println!("all paradigms produced identical results");
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Cross-crate integration tests: the whole stack — front end → e-graph →
+//! fat binary → JIT runtime → simulated machine — exercised through the
+//! public `infinity_stream` API, plus cross-layer invariants that no single
+//! crate can check alone.
+
+use infinity_stream::prelude::*;
+use infinity_stream::runtime::{lower, TransposedLayout};
+use std::collections::HashMap;
+
+fn stencil_kernel(n: u64) -> Kernel {
+    let mut k = KernelBuilder::new("stencil", DataType::F32);
+    let a = k.array("A", vec![n, n]);
+    let b = k.array("B", vec![n, n]);
+    let i = k.parallel_loop("i", 1, n as i64 - 1);
+    let j = k.parallel_loop("j", 1, n as i64 - 1);
+    let tap = |di, dj| ScalarExpr::load(a, vec![Idx::var_plus(i, di), Idx::var_plus(j, dj)]);
+    let sum = ScalarExpr::add(
+        ScalarExpr::add(tap(0, 0), ScalarExpr::add(tap(-1, 0), tap(1, 0))),
+        ScalarExpr::add(tap(0, -1), tap(0, 1)),
+    );
+    k.assign(b, vec![Idx::var(i), Idx::var(j)], sum);
+    k.build().expect("kernel builds")
+}
+
+/// The optimizer must preserve the JIT-relevant semantics: the optimized and
+/// unoptimized graphs of the same kernel lower to command streams that move
+/// and compute the same number of elements or fewer.
+#[test]
+fn optimizer_never_increases_lowered_work() {
+    let cfg = SystemConfig::default();
+    let hw = cfg.hw();
+    let kernel = stencil_kernel(256);
+    let raw = kernel.tensorize(&[]).expect("tensorizes");
+    let opt = infinity_stream::egraph::optimize(&raw, &CostParams::default()).expect("optimizes");
+
+    let mut streams = Vec::new();
+    for g in [&raw, &opt] {
+        let schedule = infinity_stream::isa::Schedule::compute(g, hw.geometry).expect("schedules");
+        let layout = TransposedLayout::plan(g, &g.layout_hints(), &hw).expect("plans");
+        streams.push(lower(g, &schedule, &layout, &hw).expect("lowers"));
+    }
+    let moved = |s: &infinity_stream::runtime::CommandStream| {
+        s.stats.intra_elems + s.stats.inter_local_elems + s.stats.inter_remote_bytes / 4
+    };
+    assert!(
+        streams[1].stats.compute_cmds <= streams[0].stats.compute_cmds,
+        "optimization must not add compute commands"
+    );
+    assert!(
+        moved(&streams[1]) <= 2 * moved(&streams[0]),
+        "optimization must not blow up data movement"
+    );
+}
+
+/// End-to-end determinism: two sessions over the same binary and inputs
+/// produce bit-identical memory and identical cycle counts.
+#[test]
+fn sessions_are_deterministic() {
+    let run = || {
+        let mut binary = FatBinary::new();
+        binary.push(
+            Compiler::default()
+                .compile(stencil_kernel(64), &[])
+                .expect("compiles"),
+        );
+        let mut s = Session::new(SystemConfig::default(), binary, ExecMode::InfS)
+            .expect("session opens");
+        let init: Vec<f32> = (0..64 * 64).map(|v| (v % 13) as f32).collect();
+        s.memory().write_array(ArrayId(0), &init);
+        let r = s.run("stencil", &[], &[]).expect("runs");
+        (r.cycles, s.memory_ref().array(ArrayId(1)).to_vec())
+    };
+    let (c1, m1) = run();
+    let (c2, m2) = run();
+    assert_eq!(c1, c2);
+    assert_eq!(m1, m2);
+}
+
+/// The fat binary survives serialization: a JSON round trip re-instantiates,
+/// re-schedules and re-lowers to the same commands.
+#[test]
+fn fat_binary_roundtrip_is_executable() {
+    let mut binary = FatBinary::new();
+    binary.push(
+        Compiler::default()
+            .compile(stencil_kernel(64), &[])
+            .expect("compiles"),
+    );
+    let json = binary.to_json().expect("serializes");
+    let back = FatBinary::from_json(&json).expect("deserializes");
+    let a = back.regions[0].instantiate(&[]).expect("instantiates");
+    let b = binary.regions[0].instantiate(&[]).expect("instantiates");
+    assert_eq!(
+        a.tdfg.as_ref().map(Tdfg::command_signature),
+        b.tdfg.as_ref().map(Tdfg::command_signature),
+    );
+}
+
+/// tDFG interpreter vs sDFG interpreter vs machine execution: three routes to
+/// the same numbers for a kernel with runtime parameters.
+#[test]
+fn three_execution_routes_agree() {
+    let n = 128u64;
+    let mut k = KernelBuilder::new("axpb", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let out = k.array("O", vec![n]);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        out,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::mul(ScalarExpr::Param(0), ScalarExpr::load(a, vec![Idx::var(i)])),
+            ScalarExpr::Param(1),
+        ),
+    );
+    let kernel = k.build().expect("builds");
+    let params = [3.0f32, 4.0];
+    let init: Vec<f32> = (0..n).map(|v| v as f32).collect();
+
+    // Route 1: tDFG interpreter.
+    let g = kernel.tensorize(&[]).expect("tensorizes");
+    let mut mem1 = Memory::for_arrays(g.arrays());
+    mem1.write_array(a, &init);
+    infinity_stream::tdfg::interp::execute(&g, &mut mem1, &params, &HashMap::new())
+        .expect("tdfg executes");
+
+    // Route 2: sDFG interpreter.
+    let s = kernel.streamize(&[]).expect("streamizes");
+    let mut mem2 = Memory::for_arrays(s.arrays());
+    mem2.write_array(a, &init);
+    infinity_stream::sdfg::interp::execute(&s, &mut mem2, &params).expect("sdfg executes");
+
+    // Route 3: machine under Inf-S.
+    let mut binary = FatBinary::new();
+    binary.push(Compiler::default().compile(kernel, &[]).expect("compiles"));
+    let mut sess =
+        Session::new(SystemConfig::default(), binary, ExecMode::InfS).expect("session");
+    sess.memory().write_array(a, &init);
+    sess.run("axpb", &[], &params).expect("runs");
+
+    assert_eq!(mem1.array(out), mem2.array(out));
+    assert_eq!(mem1.array(out), sess.memory_ref().array(out));
+    assert_eq!(mem1.array(out)[2], 3.0 * 2.0 + 4.0);
+}
+
+/// Geometry portability: the same binary runs on a 512×512-SRAM machine (the
+/// fat binary's second schedule) without recompilation.
+#[test]
+fn runs_on_both_sram_geometries() {
+    let mut binary = FatBinary::new();
+    binary.push(
+        Compiler::default()
+            .compile(stencil_kernel(64), &[])
+            .expect("compiles"),
+    );
+    let inst = binary.regions[0].instantiate(&[]).expect("instantiates");
+    assert!(inst.schedule_for(SramGeometry::G256).is_some());
+    assert!(inst.schedule_for(SramGeometry::G512).is_some());
+
+    let mut cfg = SystemConfig::default();
+    cfg.geometry = SramGeometry::G512;
+    cfg.arrays_per_way = 4; // same capacity: 4x bigger arrays, 4x fewer
+    let mut s = Session::new(cfg, binary, ExecMode::InL3).expect("session");
+    let init: Vec<f32> = (0..64 * 64).map(|v| (v % 5) as f32).collect();
+    s.memory().write_array(ArrayId(0), &init);
+    let r = s.run("stencil", &[], &[]).expect("runs on 512x512 arrays");
+    assert!(r.cycles > 0);
+}
+
+/// Per-iteration symbols flow end to end (the gauss-style shrinking region).
+#[test]
+fn symbolic_regions_shrink_per_iteration() {
+    let n = 64u64;
+    let mut k = KernelBuilder::new("tail_scale", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let kv = k.sym("k");
+    let i = k.parallel_loop_bounds("i", Idx::sym_plus(kv, 1), Idx::constant(n as i64));
+    k.assign(
+        a,
+        vec![Idx::var(i)],
+        ScalarExpr::mul(ScalarExpr::load(a, vec![Idx::var(i)]), ScalarExpr::Const(2.0)),
+    );
+    let mut binary = FatBinary::new();
+    binary.push(Compiler::default().compile(k.build().expect("builds"), &[0]).expect("compiles"));
+    let mut s = Session::new(SystemConfig::default(), binary, ExecMode::InfS).expect("session");
+    s.memory().write_array(ArrayId(0), &vec![1.0; n as usize]);
+    for kk in 0..4 {
+        s.run("tail_scale", &[kk], &[]).expect("runs");
+    }
+    // Element e is doubled once per k with k+1 <= e, i.e. min(e, 4) times.
+    let out = s.memory_ref().array(ArrayId(0));
+    assert_eq!(out[0], 1.0);
+    assert_eq!(out[1], 2.0);
+    assert_eq!(out[3], 8.0);
+    assert_eq!(out[10], 16.0);
+}
