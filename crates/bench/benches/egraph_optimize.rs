@@ -34,7 +34,10 @@ fn conv2d_tdfg(n: u64) -> infs_tdfg::Tdfg {
         acc = ScalarExpr::add(acc, tap(di, dj, w));
     }
     k.assign(b, vec![Idx::var(i), Idx::var(j)], acc);
-    k.build().expect("builds").tensorize(&[]).expect("tensorizes")
+    k.build()
+        .expect("builds")
+        .tensorize(&[])
+        .expect("tensorizes")
 }
 
 fn three_tap_tdfg(n: u64) -> infs_tdfg::Tdfg {
@@ -50,7 +53,10 @@ fn three_tap_tdfg(n: u64) -> infs_tdfg::Tdfg {
         ScalarExpr::load(a, vec![Idx::var_plus(i, 1)]),
     );
     k.assign(b, vec![Idx::var(i)], e);
-    k.build().expect("builds").tensorize(&[]).expect("tensorizes")
+    k.build()
+        .expect("builds")
+        .tensorize(&[])
+        .expect("tensorizes")
 }
 
 fn bench_optimize(c: &mut Criterion) {

@@ -64,5 +64,10 @@ fn bench_tiling_search(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decompose, bench_tiles_overlapping, bench_tiling_search);
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_tiles_overlapping,
+    bench_tiling_search
+);
 criterion_main!(benches);

@@ -38,8 +38,7 @@ fn bench_interpreters(c: &mut Criterion) {
         let mut mem = Memory::for_arrays(tg.arrays());
         b.iter(|| {
             black_box(
-                infs_tdfg::interp::execute(&tg, &mut mem, &[], &HashMap::new())
-                    .expect("executes"),
+                infs_tdfg::interp::execute(&tg, &mut mem, &[], &HashMap::new()).expect("executes"),
             )
         })
     });

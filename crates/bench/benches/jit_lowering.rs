@@ -24,7 +24,10 @@ fn stencil_tdfg(n: u64) -> infs_tdfg::Tdfg {
         ScalarExpr::add(tap(0, -1), tap(0, 1)),
     );
     k.assign(b, vec![Idx::var(i), Idx::var(j)], sum);
-    k.build().expect("builds").tensorize(&[]).expect("tensorizes")
+    k.build()
+        .expect("builds")
+        .tensorize(&[])
+        .expect("tensorizes")
 }
 
 fn bench_lowering(c: &mut Criterion) {
@@ -38,8 +41,7 @@ fn bench_lowering(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("stencil2d", n), &n, |bench, _| {
             bench.iter(|| {
                 black_box(
-                    infs_runtime::lower(black_box(&g), &schedule, &layout, &hw)
-                        .expect("lowers"),
+                    infs_runtime::lower(black_box(&g), &schedule, &layout, &hw).expect("lowers"),
                 )
             })
         });

@@ -1,0 +1,61 @@
+//! Contended lookup/insert throughput of the lock-striped JIT memo cache,
+//! versus a single-map (1-shard) configuration — the concurrency cost the
+//! parallel run matrix pays when every worker simulates through one shared
+//! cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infs_runtime::{CommandStream, JitCache, LoweredStats};
+use std::hint::black_box;
+
+fn dummy_stream() -> CommandStream {
+    CommandStream {
+        cmds: Vec::new(),
+        jit_cycles: 1,
+        stats: LoweredStats::default(),
+    }
+}
+
+/// `threads` workers each drive `ops` mixed lookups/inserts over a shared
+/// key population (~90% hits once warm), returning total wall ops.
+fn hammer(cache: &JitCache, threads: usize, ops: usize) -> u64 {
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let cache = &cache;
+            s.spawn(move || {
+                for i in 0..ops {
+                    let k = ((t * 17 + i) % 64) as i64;
+                    cache
+                        .get_or_lower::<()>("bench", &[k], &[16, 16], || Ok(dummy_stream()))
+                        .expect("lowering cannot fail");
+                }
+            });
+        }
+    });
+    let (hits, misses) = cache.stats();
+    hits + misses
+}
+
+fn bench_memo_shards(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8);
+    let mut group = c.benchmark_group("memo_shards");
+    group.sample_size(10);
+    for shards in [1usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("{threads}threads"), shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let cache = JitCache::with_shards(shards);
+                    black_box(hammer(&cache, threads, 2_000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo_shards);
+criterion_main!(benches);

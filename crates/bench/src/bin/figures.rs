@@ -7,16 +7,36 @@
 //!
 //! Results land under `results/` as Markdown and are echoed to stdout.
 
-use infs_bench::{figures, Ctx};
+use infs_bench::{figures, Ctx, RunMatrix};
 
 const ALL: &[&str] = &[
-    "eq1", "area", "table3", "fig2", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "fig18", "fig19", "jit", "tiling", "ablate", "ablate_dtype",
+    "eq1",
+    "area",
+    "table3",
+    "fig2",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "jit",
+    "tiling",
+    "ablate",
+    "ablate_dtype",
 ];
 
 fn run(name: &str, ctx: &Ctx) {
     let t0 = std::time::Instant::now();
     match name {
+        // Populates results/matrix.json and exits: the target for wall-clock
+        // scaling runs (`RAYON_NUM_THREADS=1` forces the sequential path).
+        "matrix" => {
+            RunMatrix::load_or_run(ctx);
+        }
         "fig2" => figures::fig2(ctx),
         "fig11" => figures::fig11(ctx),
         "fig12" => figures::fig12(ctx),
@@ -39,7 +59,10 @@ fn run(name: &str, ctx: &Ctx) {
             std::process::exit(2);
         }
     }
-    eprintln!("[figures] {name} done in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[figures] {name} done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }
 
 fn main() {

@@ -4,9 +4,8 @@
 use crate::{ConfigName, Ctx, RunMatrix, Table};
 use infs_geom::TileShape;
 use infs_sim::{ExecMode, Machine, SystemConfig};
-use infs_workloads::{
-    by_name, ArraySum, Benchmark, PointNet, PointNetVariant, Scale, VecAdd,
-};
+use infs_workloads::{by_name, ArraySum, Benchmark, PointNet, PointNetVariant, Scale, VecAdd};
+use rayon::prelude::*;
 
 /// Steady-state cycles of one benchmark run (second invocation on a warmed
 /// machine — the Fig 2 microbenchmark setting: data in L3, transposed, JIT
@@ -95,7 +94,14 @@ pub fn fig11(ctx: &Ctx) {
     let m = RunMatrix::load_or_run(ctx);
     let mut t = Table::new(
         "Fig 11: speedup over Base (best dataflow per configuration)",
-        &["benchmark", "Base", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"],
+        &[
+            "benchmark",
+            "Base",
+            "Near-L3",
+            "In-L3",
+            "Inf-S",
+            "Inf-S-noJIT",
+        ],
     );
     let base = fig11_family_cycles(&m, ConfigName::Base);
     let mut per_cfg: Vec<Vec<f64>> = Vec::new();
@@ -124,12 +130,24 @@ pub fn fig12(ctx: &Ctx) {
     let m = RunMatrix::load_or_run(ctx);
     let mut t = Table::new(
         "Fig 12: NoC byte-hops normalized to Base (control/data/offload) and utilization",
-        &["benchmark", "config", "control", "data", "offload", "total", "noc util"],
+        &[
+            "benchmark",
+            "config",
+            "control",
+            "data",
+            "offload",
+            "total",
+            "noc util",
+        ],
     );
     for (family, _) in fig11_family_cycles(&m, ConfigName::Base) {
         let base_total = {
             let (name, _) = best_or_self(&m, &family, ConfigName::Base);
-            m.get(&name, ConfigName::Base).expect("entry").stats.traffic.noc_total()
+            m.get(&name, ConfigName::Base)
+                .expect("entry")
+                .stats
+                .traffic
+                .noc_total()
         };
         for config in [ConfigName::Base, ConfigName::NearL3, ConfigName::InfS] {
             let (name, _) = best_or_self(&m, &family, config);
@@ -174,10 +192,23 @@ pub fn fig13(ctx: &Ctx) {
         ],
     );
     for name in [
-        "stencil1d", "stencil2d", "stencil3d", "dwt2d", "gauss_elim", "conv2d", "conv3d",
-        "mm/in", "mm/out", "kmeans/in", "kmeans/out", "gather_mlp/in", "gather_mlp/out",
+        "stencil1d",
+        "stencil2d",
+        "stencil3d",
+        "dwt2d",
+        "gauss_elim",
+        "conv2d",
+        "conv3d",
+        "mm/in",
+        "mm/out",
+        "kmeans/in",
+        "kmeans/out",
+        "gather_mlp/in",
+        "gather_mlp/out",
     ] {
-        let Some(e) = m.get(name, ConfigName::InfS) else { continue };
+        let Some(e) = m.get(name, ConfigName::InfS) else {
+            continue;
+        };
         let tr = &e.stats.traffic;
         let total = tr.noc_total() + tr.intra_tile + tr.inter_tile_local;
         if total == 0.0 {
@@ -202,21 +233,49 @@ pub fn fig14(ctx: &Ctx) {
     let mut t = Table::new(
         "Fig 14: Inf-S cycle breakdown (fractions) and in-memory op share",
         &[
-            "benchmark", "DRAM", "JIT", "Move", "Compute", "FinalReduce", "Mix", "Near-Mem",
-            "Core", "ops in-mem",
+            "benchmark",
+            "DRAM",
+            "JIT",
+            "Move",
+            "Compute",
+            "FinalReduce",
+            "Mix",
+            "Near-Mem",
+            "Core",
+            "ops in-mem",
         ],
     );
     let mut avgs = [0.0f64; 8];
     let mut count = 0.0f64;
     for name in [
-        "stencil1d", "stencil2d", "stencil3d", "dwt2d", "gauss_elim", "conv2d", "conv3d",
-        "mm/in", "mm/out", "kmeans/in", "kmeans/out", "gather_mlp/in", "gather_mlp/out",
+        "stencil1d",
+        "stencil2d",
+        "stencil3d",
+        "dwt2d",
+        "gauss_elim",
+        "conv2d",
+        "conv3d",
+        "mm/in",
+        "mm/out",
+        "kmeans/in",
+        "kmeans/out",
+        "gather_mlp/in",
+        "gather_mlp/out",
     ] {
-        let Some(e) = m.get(name, ConfigName::InfS) else { continue };
+        let Some(e) = m.get(name, ConfigName::InfS) else {
+            continue;
+        };
         let b = &e.stats.breakdown;
         let total = b.total().max(1) as f64;
         let parts = [
-            b.dram, b.jit, b.mv, b.compute, b.final_reduce, b.mix, b.near_mem, b.core,
+            b.dram,
+            b.jit,
+            b.mv,
+            b.compute,
+            b.final_reduce,
+            b.mix,
+            b.near_mem,
+            b.core,
         ];
         let mut row = vec![name.to_string()];
         for (i, &p) in parts.iter().enumerate() {
@@ -242,7 +301,12 @@ pub fn fig15(ctx: &Ctx) {
     let mut t = Table::new(
         "Fig 15: inner vs outer product speedup over Base-In",
         &[
-            "family", "Base-In", "Base-Out", "Near-L3-In", "Near-L3-Out", "Inf-S-In",
+            "family",
+            "Base-In",
+            "Base-Out",
+            "Near-L3-In",
+            "Near-L3-Out",
+            "Inf-S-In",
             "Inf-S-Out",
         ],
     );
@@ -261,13 +325,8 @@ pub fn fig15(ctx: &Ctx) {
 }
 
 /// Tile-size sweep core: cycles of a benchmark under Inf-S for each tile.
-fn sweep_tiles(
-    ctx: &Ctx,
-    name: &str,
-    ndim: usize,
-) -> Vec<(TileShape, u64)> {
+fn sweep_tiles(ctx: &Ctx, name: &str, ndim: usize) -> Vec<(TileShape, u64)> {
     let bitlines = ctx.cfg.geometry.bitlines as u64;
-    let mut shapes: Vec<Vec<u64>> = vec![vec![]];
     // All factorizations of the bitline count over `ndim` dims.
     fn expand(rem: u64, dims_left: usize, cur: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
         if dims_left == 1 {
@@ -286,22 +345,27 @@ fn sweep_tiles(
             t *= 2;
         }
     }
-    let mut out = Vec::new();
-    expand(bitlines, ndim, &mut Vec::new(), &mut out);
-    shapes = out;
-    let mut results = Vec::new();
-    for dims in shapes {
-        let tile = TileShape::new(dims).expect("nonzero dims");
-        let b = by_name(name, ctx.scale()).expect("workload exists");
-        let arrays = b.arrays();
-        let mut m = Machine::new(ctx.cfg.clone(), &arrays);
-        m.set_functional(false);
-        m.set_tile_override(Some(tile.clone()));
-        if b.run(&mut m, ExecMode::InfS).is_ok() {
-            results.push((tile, m.finish().cycles));
-        }
-    }
-    results
+    let mut shapes = Vec::new();
+    expand(bitlines, ndim, &mut Vec::new(), &mut shapes);
+    // Each candidate runs a full Inf-S simulation on a fresh Machine — the
+    // sweep is embarrassingly parallel, and collection preserves input order.
+    shapes
+        .into_par_iter()
+        .map(|dims| {
+            let tile = TileShape::new(dims).expect("nonzero dims");
+            let b = by_name(name, ctx.scale()).expect("workload exists");
+            let arrays = b.arrays();
+            let mut m = Machine::new(ctx.cfg.clone(), &arrays);
+            m.set_functional(false);
+            m.set_tile_override(Some(tile.clone()));
+            b.run(&mut m, ExecMode::InfS)
+                .ok()
+                .map(|_| (tile, m.finish().cycles))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Fig 16: cycle sensitivity to the 2-D tile size, with the runtime heuristic's
@@ -311,8 +375,16 @@ pub fn fig16(ctx: &Ctx) {
         &["stencil2d", "mm/out"]
     } else {
         &[
-            "stencil2d", "dwt2d", "gauss_elim", "conv2d", "mm/in", "mm/out", "kmeans/in",
-            "kmeans/out", "gather_mlp/in", "gather_mlp/out",
+            "stencil2d",
+            "dwt2d",
+            "gauss_elim",
+            "conv2d",
+            "mm/in",
+            "mm/out",
+            "kmeans/in",
+            "kmeans/out",
+            "gather_mlp/in",
+            "gather_mlp/out",
         ]
     };
     let mut t = Table::new(
@@ -356,7 +428,11 @@ pub fn fig16(ctx: &Ctx) {
 
 /// Fig 17: speedup vs 3-D tile size for the 3-D workloads.
 pub fn fig17(ctx: &Ctx) {
-    let benches: &[&str] = if ctx.quick { &["stencil3d"] } else { &["stencil3d", "conv3d"] };
+    let benches: &[&str] = if ctx.quick {
+        &["stencil3d"]
+    } else {
+        &["stencil3d", "conv3d"]
+    };
     let mut t = Table::new(
         "Fig 17: Inf-S speedup vs 3-D tile size (normalized to worst)",
         &["benchmark", "tile", "cycles", "speedup vs worst"],
@@ -384,14 +460,25 @@ pub fn fig18(ctx: &Ctx) {
     let m = RunMatrix::load_or_run(ctx);
     let mut t = Table::new(
         "Fig 18: energy efficiency over Base (higher is better)",
-        &["benchmark", "Base", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"],
+        &[
+            "benchmark",
+            "Base",
+            "Near-L3",
+            "In-L3",
+            "Inf-S",
+            "Inf-S-noJIT",
+        ],
     );
     let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); 5];
     let families = fig11_family_cycles(&m, ConfigName::Base);
     for (family, _) in &families {
         let base_e = {
             let (name, _) = best_or_self(&m, family, ConfigName::Base);
-            m.get(&name, ConfigName::Base).expect("entry").stats.energy.total()
+            m.get(&name, ConfigName::Base)
+                .expect("entry")
+                .stats
+                .energy
+                .total()
         };
         let mut row = vec![family.clone()];
         for (i, config) in ConfigName::FIG11.iter().enumerate() {
@@ -439,12 +526,13 @@ pub fn fig19(ctx: &Ctx) {
             if ctx.quick {
                 b.init(m.memory());
             }
-            let reports = b.run_detailed(&mut m, config.mode()).expect("pointnet runs");
+            let reports = b
+                .run_detailed(&mut m, config.mode())
+                .expect("pointnet runs");
             let total: u64 = reports.iter().map(|r| r.cycles).sum();
             totals.push(total);
             // Aggregate per (stage, phase).
-            let mut agg: std::collections::BTreeMap<String, (u64, String)> =
-                Default::default();
+            let mut agg: std::collections::BTreeMap<String, (u64, String)> = Default::default();
             for r in &reports {
                 let e = agg
                     .entry(format!("{}.{}", r.stage, r.phase))
@@ -479,14 +567,30 @@ pub fn jit(ctx: &Ctx) {
     let m = RunMatrix::load_or_run(ctx);
     let mut t = Table::new(
         "JIT overheads under Inf-S (§8)",
-        &["benchmark", "jit cycle frac", "jit hits", "jit misses", "noJIT speedup"],
+        &[
+            "benchmark",
+            "jit cycle frac",
+            "jit hits",
+            "jit misses",
+            "noJIT speedup",
+        ],
     );
     let mut fracs = Vec::new();
     for name in [
-        "stencil1d", "stencil2d", "stencil3d", "dwt2d", "gauss_elim", "conv2d", "conv3d",
-        "mm/out", "kmeans/out", "gather_mlp/out",
+        "stencil1d",
+        "stencil2d",
+        "stencil3d",
+        "dwt2d",
+        "gauss_elim",
+        "conv2d",
+        "conv3d",
+        "mm/out",
+        "kmeans/out",
+        "gather_mlp/out",
     ] {
-        let Some(e) = m.get(name, ConfigName::InfS) else { continue };
+        let Some(e) = m.get(name, ConfigName::InfS) else {
+            continue;
+        };
         let frac = e.stats.breakdown.jit as f64 / e.stats.cycles.max(1) as f64;
         fracs.push(frac);
         let nojit = m.cycles(name, ConfigName::InfSNoJit) as f64;
@@ -554,7 +658,10 @@ pub fn tiling(ctx: &Ctx) {
 pub fn eq1(ctx: &Ctx) {
     let c = &ctx.cfg;
     let mut t = Table::new("Eq 1 / Table 2 derived quantities", &["quantity", "value"]);
-    t.row(vec!["total bitlines".into(), c.total_bitlines().to_string()]);
+    t.row(vec![
+        "total bitlines".into(),
+        c.total_bitlines().to_string(),
+    ]);
     t.row(vec![
         "peak int32 adds/cycle (Eq 1)".into(),
         c.eq1_peak_int32_adds_per_cycle().to_string(),
@@ -563,7 +670,10 @@ pub fn eq1(ctx: &Ctx) {
         "peak speedup over 64 AVX-512 cores".into(),
         (c.eq1_peak_int32_adds_per_cycle() / (c.cores as u64 * c.simd_lanes as u64)).to_string(),
     ]);
-    t.row(vec!["L3 capacity (MB)".into(), (c.l3_bytes() >> 20).to_string()]);
+    t.row(vec![
+        "L3 capacity (MB)".into(),
+        (c.l3_bytes() >> 20).to_string(),
+    ]);
     ctx.emit("eq1", &t);
 }
 
@@ -573,7 +683,10 @@ pub fn area(ctx: &Ctx) {
     let mut t = Table::new("Area overhead (§8)", &["component", "mm²"]);
     t.row(vec!["baseline chip".into(), Table::f(a.chip_mm2)]);
     t.row(vec!["in-memory compute".into(), Table::f(a.in_memory_mm2)]);
-    t.row(vec!["near-memory support".into(), Table::f(a.near_memory_mm2)]);
+    t.row(vec![
+        "near-memory support".into(),
+        Table::f(a.near_memory_mm2),
+    ]);
     t.row(vec![
         "total overhead".into(),
         format!("{:.2}%", a.overhead_fraction() * 100.0),

@@ -34,6 +34,12 @@ pub struct Ctx {
     pub out_dir: PathBuf,
 }
 
+// Compile-time audit: one Ctx is shared by reference across all sweep workers.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Ctx>();
+};
+
 impl Ctx {
     /// Default context at paper scale.
     pub fn new(quick: bool) -> Self {

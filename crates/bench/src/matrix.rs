@@ -4,8 +4,64 @@
 use crate::Ctx;
 use infs_sim::{ExecMode, RunStats};
 use infs_workloads::{by_name, run_timed, Scale};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Every workload variant in the evaluation (Table 3 naming).
+pub const WORKLOADS: [&str; 13] = [
+    "stencil1d",
+    "stencil2d",
+    "stencil3d",
+    "dwt2d",
+    "gauss_elim",
+    "conv2d",
+    "conv3d",
+    "mm/in",
+    "mm/out",
+    "kmeans/in",
+    "kmeans/out",
+    "gather_mlp/in",
+    "gather_mlp/out",
+];
+
+/// Every simulated configuration (Fig 11 set plus the Fig 2 Base-1 point).
+pub const ALL_CONFIGS: [ConfigName; 6] = [
+    ConfigName::Base1,
+    ConfigName::Base,
+    ConfigName::NearL3,
+    ConfigName::InL3,
+    ConfigName::InfS,
+    ConfigName::InfSNoJit,
+];
+
+/// A simulation failure tagged with the (workload, configuration) pair that
+/// produced it, so a 78-pair sweep reports *which* cell went wrong.
+#[derive(Debug)]
+pub struct MatrixError {
+    pub bench: String,
+    pub config: ConfigName,
+    pub source: infs_sim::SimError,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulating {} / {}: {}",
+            self.bench,
+            self.config.label(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for MatrixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// The five evaluated configurations (plus single-thread Base for Fig 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -108,80 +164,135 @@ impl RunMatrix {
     }
 
     /// Loads (or simulates and caches) the full matrix for a context.
+    ///
+    /// Panics on a simulation failure; use [`RunMatrix::try_load_or_run`] to
+    /// handle errors (the partial matrix is persisted either way).
     pub fn load_or_run(ctx: &Ctx) -> RunMatrix {
+        Self::try_load_or_run(ctx).unwrap_or_else(|e| panic!("run matrix failed: {e}"))
+    }
+
+    /// Loads (or simulates and caches) the full matrix, fanning the missing
+    /// (workload, configuration) pairs out across worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failed pair. Entries that completed — including ones
+    /// finished by other workers after the failure — are written to
+    /// `matrix.json` first, so a rerun resumes instead of starting over.
+    pub fn try_load_or_run(ctx: &Ctx) -> Result<RunMatrix, MatrixError> {
+        Self::run_subset(ctx, &WORKLOADS, &ALL_CONFIGS, true)
+    }
+
+    /// [`RunMatrix::try_load_or_run`] with an explicit sequential/parallel
+    /// switch; the determinism tests diff the two paths byte-for-byte.
+    pub fn try_load_or_run_with(ctx: &Ctx, parallel: bool) -> Result<RunMatrix, MatrixError> {
+        Self::run_subset(ctx, &WORKLOADS, &ALL_CONFIGS, parallel)
+    }
+
+    /// Core sweep over `names` × `configs`: reuses any cached entries whose
+    /// scale matches (a partial `matrix.json` from an interrupted run is
+    /// resumed, not discarded), simulates only the missing pairs, and
+    /// persists the merged result.
+    pub fn run_subset(
+        ctx: &Ctx,
+        names: &[&str],
+        configs: &[ConfigName],
+        parallel: bool,
+    ) -> Result<RunMatrix, MatrixError> {
         let path = ctx.out_dir.join("matrix.json");
         let scale_tag = if ctx.quick { "test" } else { "paper" };
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(m) = serde_json::from_str::<RunMatrix>(&text) {
-                if m.scale == scale_tag && !m.entries.is_empty() {
-                    eprintln!("[matrix] reusing cached {path:?} ({} entries)", m.entries.len());
-                    return m;
-                }
-            }
-        }
         let mut m = RunMatrix {
             scale: scale_tag.to_string(),
             entries: BTreeMap::new(),
         };
-        let names = [
-            "stencil1d",
-            "stencil2d",
-            "stencil3d",
-            "dwt2d",
-            "gauss_elim",
-            "conv2d",
-            "conv3d",
-            "mm/in",
-            "mm/out",
-            "kmeans/in",
-            "kmeans/out",
-            "gather_mlp/in",
-            "gather_mlp/out",
-        ];
-        let configs = [
-            ConfigName::Base1,
-            ConfigName::Base,
-            ConfigName::NearL3,
-            ConfigName::InL3,
-            ConfigName::InfS,
-            ConfigName::InfSNoJit,
-        ];
-        for name in names {
-            for config in configs {
-                let t0 = std::time::Instant::now();
-                let stats = run_one(name, config, ctx).expect("workload simulation succeeds");
-                eprintln!(
-                    "[matrix] {name} / {}: {} cycles ({:.1}s host)",
-                    config.label(),
-                    stats.cycles,
-                    t0.elapsed().as_secs_f64()
-                );
-                m.entries.insert(
-                    Self::key(name, config),
-                    MatrixEntry {
-                        bench: name.to_string(),
-                        config,
-                        stats,
-                    },
-                );
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(prev) = serde_json::from_str::<RunMatrix>(&text) {
+                if prev.scale == scale_tag {
+                    m.entries = prev.entries;
+                }
             }
         }
+
+        let missing: Vec<(&str, ConfigName)> = names
+            .iter()
+            .flat_map(|&name| configs.iter().map(move |&config| (name, config)))
+            .filter(|&(name, config)| !m.entries.contains_key(&Self::key(name, config)))
+            .collect();
+        if missing.is_empty() {
+            if !m.entries.is_empty() {
+                eprintln!(
+                    "[matrix] reusing cached {path:?} ({} entries)",
+                    m.entries.len()
+                );
+            }
+            return Ok(m);
+        }
+        let workers = if parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        eprintln!(
+            "[matrix] {} cached, {} to simulate on {workers} worker(s)",
+            m.entries.len(),
+            missing.len()
+        );
+
+        let sim_pair = |(name, config): (&str, ConfigName)| {
+            let t0 = std::time::Instant::now();
+            let stats = run_one(name, config, ctx).map_err(|source| MatrixError {
+                bench: name.to_string(),
+                config,
+                source,
+            })?;
+            eprintln!(
+                "[matrix] {name} / {}: {} cycles ({:.1}s host)",
+                config.label(),
+                stats.cycles,
+                t0.elapsed().as_secs_f64()
+            );
+            Ok((
+                Self::key(name, config),
+                MatrixEntry {
+                    bench: name.to_string(),
+                    config,
+                    stats,
+                },
+            ))
+        };
+        let results: Vec<Result<(String, MatrixEntry), MatrixError>> = if parallel {
+            missing.into_par_iter().map(&sim_pair).collect()
+        } else {
+            missing.into_iter().map(sim_pair).collect()
+        };
+
+        let mut first_err = None;
+        for r in results {
+            match r {
+                Ok((key, entry)) => {
+                    m.entries.insert(key, entry);
+                }
+                Err(e) if first_err.is_none() => first_err = Some(e),
+                Err(_) => {}
+            }
+        }
+
+        // Persist whatever completed — on failure a rerun resumes from here.
         std::fs::create_dir_all(&ctx.out_dir).ok();
         if let Ok(text) = serde_json::to_string(&m) {
             std::fs::write(&path, text).ok();
         }
-        m
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(m),
+        }
     }
 }
 
 /// Simulates one (workload, configuration) pair. Functional execution is on
 /// only at test scale — paper-scale runs are timing-only, with correctness
 /// covered by the test-scale verification suite.
-pub fn run_one(
-    name: &str,
-    config: ConfigName,
-    ctx: &Ctx,
-) -> Result<RunStats, infs_sim::SimError> {
+pub fn run_one(name: &str, config: ConfigName, ctx: &Ctx) -> Result<RunStats, infs_sim::SimError> {
     let b = by_name(name, ctx.scale()).unwrap_or_else(|| panic!("unknown workload {name}"));
     let functional = ctx.scale() == Scale::Test;
     run_timed(b.as_ref(), config.mode(), &ctx.cfg, functional, false)
@@ -217,5 +328,28 @@ mod tests {
         let (name, c) = m.best_variant("mm", ConfigName::InfS);
         assert_eq!((name.as_str(), c), ("mm/out", 50));
         assert_eq!(m.cycles("mm/in", ConfigName::Base), u64::MAX);
+    }
+
+    #[test]
+    fn pair_lists_cover_the_paper_sweep() {
+        assert_eq!(WORKLOADS.len() * ALL_CONFIGS.len(), 78);
+        // Keys must be collision-free across the full cross product.
+        let keys: std::collections::BTreeSet<String> = WORKLOADS
+            .iter()
+            .flat_map(|w| ALL_CONFIGS.iter().map(|c| RunMatrix::key(w, *c)))
+            .collect();
+        assert_eq!(keys.len(), 78);
+    }
+
+    #[test]
+    fn matrix_error_names_the_pair() {
+        let e = MatrixError {
+            bench: "conv2d".into(),
+            config: ConfigName::NearL3,
+            source: infs_sim::SimError::Runtime(infs_runtime::RuntimeError::NotInMemory),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("conv2d"), "{msg}");
+        assert!(msg.contains("Near-L3"), "{msg}");
     }
 }

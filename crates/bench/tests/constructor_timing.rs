@@ -5,8 +5,19 @@ use infs_workloads::{by_name, Scale};
 #[ignore]
 fn time_constructors() {
     for name in [
-        "stencil1d", "stencil2d", "stencil3d", "dwt2d", "gauss_elim", "conv2d", "conv3d",
-        "mm/in", "mm/out", "kmeans/in", "kmeans/out", "gather_mlp/in", "gather_mlp/out",
+        "stencil1d",
+        "stencil2d",
+        "stencil3d",
+        "dwt2d",
+        "gauss_elim",
+        "conv2d",
+        "conv3d",
+        "mm/in",
+        "mm/out",
+        "kmeans/in",
+        "kmeans/out",
+        "gather_mlp/in",
+        "gather_mlp/out",
     ] {
         let t0 = std::time::Instant::now();
         let _b = by_name(name, Scale::Test).unwrap();

@@ -1,0 +1,93 @@
+//! The parallel run matrix must be an invisible optimization: same bytes on
+//! disk as the sequential sweep, and a partial `matrix.json` must be resumed
+//! rather than recomputed.
+
+use infs_bench::matrix::{ConfigName, RunMatrix};
+use infs_bench::Ctx;
+use std::path::Path;
+
+/// Small but non-trivial slice of the 13×6 paper sweep (4 pairs, quick scale).
+const NAMES: [&str; 2] = ["stencil1d", "mm/in"];
+const CONFIGS: [ConfigName; 2] = [ConfigName::Base1, ConfigName::InfS];
+
+fn fresh_ctx(tag: &str) -> Ctx {
+    let dir = std::env::temp_dir().join(format!("infs-determinism-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Ctx {
+        out_dir: dir,
+        ..Ctx::new(true)
+    }
+}
+
+fn matrix_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("matrix.json")).expect("matrix.json written")
+}
+
+#[test]
+fn parallel_and_sequential_matrices_are_byte_identical() {
+    let seq = fresh_ctx("seq");
+    let par = fresh_ctx("par");
+    let m_seq = RunMatrix::run_subset(&seq, &NAMES, &CONFIGS, false).unwrap();
+    let m_par = RunMatrix::run_subset(&par, &NAMES, &CONFIGS, true).unwrap();
+    assert_eq!(m_seq.entries.len(), NAMES.len() * CONFIGS.len());
+    assert_eq!(
+        m_seq.entries.keys().collect::<Vec<_>>(),
+        m_par.entries.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(
+        matrix_bytes(&seq.out_dir),
+        matrix_bytes(&par.out_dir),
+        "parallel sweep must serialize to the exact bytes of the sequential sweep"
+    );
+    let _ = std::fs::remove_dir_all(&seq.out_dir);
+    let _ = std::fs::remove_dir_all(&par.out_dir);
+}
+
+#[test]
+fn partial_matrix_is_resumed_not_recomputed() {
+    let ctx = fresh_ctx("resume");
+    let full = RunMatrix::run_subset(&ctx, &NAMES, &CONFIGS, true).unwrap();
+
+    // Poison one cached entry with a sentinel cycle count and drop another:
+    // a resumed run must keep the sentinel (cached pairs are not re-simulated)
+    // and re-simulate only the missing pair.
+    let path = ctx.out_dir.join("matrix.json");
+    let mut m: RunMatrix = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let keys: Vec<String> = m.entries.keys().cloned().collect();
+    let poisoned = keys[0].clone();
+    let dropped = keys[1].clone();
+    m.entries.get_mut(&poisoned).unwrap().stats.cycles = 424_242;
+    m.entries.remove(&dropped);
+    std::fs::write(&path, serde_json::to_string(&m).unwrap()).unwrap();
+
+    let resumed = RunMatrix::run_subset(&ctx, &NAMES, &CONFIGS, true).unwrap();
+    assert_eq!(resumed.entries.len(), full.entries.len());
+    assert_eq!(
+        resumed.entries[&poisoned].stats.cycles, 424_242,
+        "cached entry was re-simulated instead of reused"
+    );
+    assert_eq!(
+        resumed.entries[&dropped].stats.cycles, full.entries[&dropped].stats.cycles,
+        "missing pair must be re-simulated to its deterministic result"
+    );
+    let _ = std::fs::remove_dir_all(&ctx.out_dir);
+}
+
+#[test]
+fn scale_mismatch_invalidates_the_cache() {
+    let ctx = fresh_ctx("scale");
+    RunMatrix::run_subset(&ctx, &NAMES[..1], &CONFIGS[..1], true).unwrap();
+    // Rewrite the cache as if it came from a paper-scale run; a quick-scale
+    // sweep must ignore it and simulate from scratch.
+    let path = ctx.out_dir.join("matrix.json");
+    let mut m: RunMatrix = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    m.scale = "paper".to_string();
+    let key = m.entries.keys().next().unwrap().clone();
+    m.entries.get_mut(&key).unwrap().stats.cycles = 777;
+    std::fs::write(&path, serde_json::to_string(&m).unwrap()).unwrap();
+
+    let fresh = RunMatrix::run_subset(&ctx, &NAMES[..1], &CONFIGS[..1], true).unwrap();
+    assert_eq!(fresh.scale, "test");
+    assert_ne!(fresh.entries[&key].stats.cycles, 777);
+    let _ = std::fs::remove_dir_all(&ctx.out_dir);
+}

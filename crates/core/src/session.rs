@@ -70,6 +70,15 @@ pub struct Session {
     mode: ExecMode,
 }
 
+// Compile-time audit: sessions are moved onto worker threads by parallel
+// sweeps, and session errors cross thread boundaries inside results. Holds
+// with no `unsafe impl` because everything inside is owned plain data.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<SessionError>();
+};
+
 impl Session {
     /// Opens a session: allocates functional memory for the binary's array
     /// table on a machine configured for `mode`.
@@ -78,11 +87,7 @@ impl Session {
     ///
     /// Returns [`SessionError::EmptyBinary`] or
     /// [`SessionError::InconsistentArrays`] for malformed binaries.
-    pub fn new(
-        cfg: SystemConfig,
-        binary: FatBinary,
-        mode: ExecMode,
-    ) -> Result<Self, SessionError> {
+    pub fn new(cfg: SystemConfig, binary: FatBinary, mode: ExecMode) -> Result<Self, SessionError> {
         let first = binary.regions.first().ok_or(SessionError::EmptyBinary)?;
         let arrays = first.kernel().arrays().to_vec();
         for r in &binary.regions {
@@ -164,7 +169,11 @@ mod tests {
             ScalarExpr::mul(ScalarExpr::load(a, vec![Idx::var(i)]), ScalarExpr::Param(0)),
         );
         let mut fb = FatBinary::new();
-        fb.push(Compiler::default().compile(k.build().unwrap(), &[]).unwrap());
+        fb.push(
+            Compiler::default()
+                .compile(k.build().unwrap(), &[])
+                .unwrap(),
+        );
         (fb, a)
     }
 

@@ -135,8 +135,7 @@ mod tests {
         };
         assert_eq!(p.enode_cost(&mv0, Some(&r), DataType::F32), 0.0);
         assert!(
-            p.enode_cost(&bc, Some(&r), DataType::F32)
-                < p.enode_cost(&mv, Some(&r), DataType::F32)
+            p.enode_cost(&bc, Some(&r), DataType::F32) < p.enode_cost(&mv, Some(&r), DataType::F32)
         );
     }
 }

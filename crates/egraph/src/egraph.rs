@@ -160,7 +160,8 @@ impl EGraph {
         self.classes[self.find(id).0 as usize].domain.as_ref()
     }
 
-    /// Canonicalized, deduplicated e-nodes of a class.
+    /// Canonicalized, deduplicated e-nodes of a class (allocates; the rule
+    /// engine's hot path uses [`class_nodes`](Self::class_nodes) instead).
     pub fn nodes(&self, id: EClassId) -> Vec<ENode> {
         let c = &self.classes[self.find(id).0 as usize];
         let mut out: Vec<ENode> = Vec::with_capacity(c.nodes.len());
@@ -173,12 +174,29 @@ impl EGraph {
         out
     }
 
-    /// Iterates over canonical class ids.
-    pub fn class_ids(&self) -> Vec<EClassId> {
+    /// The stored e-nodes of a class, borrowed without cloning.
+    ///
+    /// Immediately after [`rebuild`](Self::rebuild) the stored nodes are
+    /// canonical and deduplicated. Between rebuilds (i.e. while rules in the
+    /// same saturation iteration are mutating the graph), child ids may be
+    /// stale — they still resolve to the right class through
+    /// [`find`](Self::find), and [`add`](Self::add)/[`union`](Self::union)
+    /// re-canonicalize, so pattern scans over this slice stay sound; at worst
+    /// a stale id hides an equality until the next iteration's rebuild.
+    pub fn class_nodes(&self, id: EClassId) -> &[ENode] {
+        &self.classes[self.find(id).0 as usize].nodes
+    }
+
+    /// Iterates over canonical class ids without allocating.
+    pub fn classes_iter(&self) -> impl Iterator<Item = EClassId> + '_ {
         (0..self.uf.len() as u32)
             .map(EClassId)
-            .filter(|&i| self.find(i) == i)
-            .collect()
+            .filter(move |&i| self.find(i) == i)
+    }
+
+    /// Canonical class ids, collected (see [`classes_iter`](Self::classes_iter)).
+    pub fn class_ids(&self) -> Vec<EClassId> {
+        self.classes_iter().collect()
     }
 
     /// Computes the domain an e-node would have, per the tDFG domain rules.
@@ -225,7 +243,10 @@ impl EGraph {
                     .with_interval(*dim, *dist, *dist + *count as i64)
                     .map_err(|_| ())?;
                 Ok(Some(
-                    spread.intersect(&self.bounding).map_err(|_| ())?.ok_or(())?,
+                    spread
+                        .intersect(&self.bounding)
+                        .map_err(|_| ())?
+                        .ok_or(())?,
                 ))
             }
             ENode::Shrink { input, dim, p, q } => {
@@ -289,7 +310,15 @@ impl EGraph {
         self.uf[merge.0 as usize] = keep.0;
         let merged = std::mem::take(&mut self.classes[merge.0 as usize]);
         let kc = &mut self.classes[keep.0 as usize];
-        kc.nodes.extend(merged.nodes);
+        for n in merged.nodes {
+            // Exact duplicates would survive every later scan; canonical-form
+            // duplicates are collapsed by `rebuild`.
+            if kc.nodes.contains(&n) {
+                self.n_enodes -= 1;
+            } else {
+                kc.nodes.push(n);
+            }
+        }
         kc.parents.extend(merged.parents);
         self.dirty.push(keep);
         true
@@ -313,8 +342,26 @@ impl EGraph {
                     }
                 }
                 let pclass = self.find_mut(pclass);
+                // Keep the stored node list canonical too: swap the stale copy
+                // of `pnode` inside its owning class for `canon` (or drop it if
+                // `canon` is already stored), so borrowed `class_nodes` slices
+                // see canonical, deduplicated nodes after every rebuild.
+                if canon != pnode {
+                    let nodes = &mut self.classes[pclass.0 as usize].nodes;
+                    if let Some(pos) = nodes.iter().position(|n| *n == pnode) {
+                        if nodes.contains(&canon) {
+                            nodes.remove(pos);
+                            self.n_enodes -= 1;
+                        } else {
+                            nodes[pos] = canon.clone();
+                        }
+                    }
+                }
                 self.memo.insert(canon.clone(), pclass);
-                if !new_parents.iter().any(|(n, c2)| *n == canon && *c2 == pclass) {
+                if !new_parents
+                    .iter()
+                    .any(|(n, c2)| *n == canon && *c2 == pclass)
+                {
                     new_parents.push((canon, pclass));
                 }
             }
@@ -398,7 +445,7 @@ mod tests {
         let mut eg = EGraph::from_tdfg(&g);
         let full = eg.class_of_node(NodeId(0)); // [0,8)
         let moved = eg.class_of_node(NodeId(1)); // [1,8)
-        // Different domains: refuse.
+                                                 // Different domains: refuse.
         assert!(!eg.union(full, moved));
         let c = eg
             .add(ENode::Compute {
@@ -434,7 +481,11 @@ mod tests {
         assert_ne!(eg.find(cp1), eg.find(cp2));
         eg.union(cp1, x);
         eg.rebuild();
-        assert_eq!(eg.find(cp2), eg.find(cp1), "congruence must merge Copy(x) chain");
+        assert_eq!(
+            eg.find(cp2),
+            eg.find(cp1),
+            "congruence must merge Copy(x) chain"
+        );
     }
 
     #[test]

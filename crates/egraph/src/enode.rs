@@ -87,9 +87,10 @@ impl ENode {
     /// Child e-classes, in operand order.
     pub fn children(&self) -> Vec<EClassId> {
         match self {
-            ENode::Input { .. } | ENode::ConstVal { .. } | ENode::Param { .. } | ENode::StreamIn { .. } => {
-                Vec::new()
-            }
+            ENode::Input { .. }
+            | ENode::ConstVal { .. }
+            | ENode::Param { .. }
+            | ENode::StreamIn { .. } => Vec::new(),
             ENode::Compute { inputs, .. } => inputs.clone(),
             ENode::Mv { input, .. }
             | ENode::Bc { input, .. }

@@ -44,13 +44,16 @@ fn add_union(eg: &mut EGraph, class: EClassId, n: ENode) -> usize {
     }
 }
 
-fn each_match(
-    eg: &EGraph,
-    mut f: impl FnMut(EClassId, &ENode),
-) {
-    for id in eg.class_ids() {
-        for n in eg.nodes(id) {
-            f(id, &n);
+/// Drives `f` over every `(class, e-node)` pair, borrowing the stored node
+/// lists directly (`class_nodes`) instead of cloning/canonicalizing them —
+/// the scan phase of every rule, so this is the e-graph's hottest loop.
+/// Rules collect matches first and mutate afterwards, so the borrows are safe;
+/// ids read out of stored nodes may be stale between rebuilds but resolve to
+/// the right class through `find` inside `add`/`union`/`domain`.
+fn each_match(eg: &EGraph, mut f: impl FnMut(EClassId, &ENode)) {
+    for id in eg.classes_iter() {
+        for n in eg.class_nodes(id) {
+            f(id, n);
         }
     }
 }
@@ -101,22 +104,22 @@ impl Rewrite for Associativity {
         each_match(eg, |id, n| {
             if let ENode::Compute { op, inputs } = n {
                 if op.is_associative() && inputs.len() == 2 {
-                    for inner in eg.nodes(inputs[0]) {
+                    for inner in eg.class_nodes(inputs[0]) {
                         if let ENode::Compute {
                             op: iop,
                             inputs: iin,
-                        } = &inner
+                        } = inner
                         {
                             if iop == op && iin.len() == 2 {
                                 left.push((id, *op, iin[0], iin[1], inputs[1]));
                             }
                         }
                     }
-                    for inner in eg.nodes(inputs[1]) {
+                    for inner in eg.class_nodes(inputs[1]) {
                         if let ENode::Compute {
                             op: iop,
                             inputs: iin,
-                        } = &inner
+                        } = inner
                         {
                             if iop == op && iin.len() == 2 {
                                 right.push((id, *op, inputs[0], iin[0], iin[1]));
@@ -181,13 +184,16 @@ impl Rewrite for Factor {
                 if *op == Add && inputs.len() == 2 {
                     // Find Mul children sharing a factor (in any operand slot).
                     let muls_of = |c: EClassId| -> Vec<(EClassId, EClassId)> {
-                        eg.nodes(c)
-                            .into_iter()
+                        eg.class_nodes(c)
+                            .iter()
                             .filter_map(|m| match m {
                                 ENode::Compute {
                                     op: Mul,
                                     inputs: mi,
-                                } if mi.len() == 2 => Some((mi[0], mi[1])),
+                                    // Canonicalize here: the shared-factor test
+                                    // below compares class ids, and stored child
+                                    // ids can be stale between rebuilds.
+                                } if mi.len() == 2 => Some((eg.find(mi[0]), eg.find(mi[1]))),
                                 _ => None,
                             })
                             .flat_map(|(x, k)| vec![(x, k), (k, x)])
@@ -203,11 +209,11 @@ impl Rewrite for Factor {
                 } else if *op == Mul && inputs.len() == 2 {
                     // Distribute over an Add child in either slot.
                     for (sum_slot, k) in [(inputs[0], inputs[1]), (inputs[1], inputs[0])] {
-                        for s in eg.nodes(sum_slot) {
+                        for s in eg.class_nodes(sum_slot) {
                             if let ENode::Compute {
                                 op: Add,
                                 inputs: si,
-                            } = &s
+                            } = s
                             {
                                 if si.len() == 2 {
                                     distributes.push((id, si[0], si[1], k));
@@ -274,8 +280,8 @@ impl Rewrite for MvComputeExchange {
         each_match(eg, |id, n| {
             match n {
                 ENode::Mv { input, dim, dist } => {
-                    for inner in eg.nodes(*input) {
-                        if let ENode::Compute { op, inputs } = &inner {
+                    for inner in eg.class_nodes(*input) {
+                        if let ENode::Compute { op, inputs } = inner {
                             pushes.push((id, *op, inputs.clone(), *dim, *dist));
                         }
                     }
@@ -292,22 +298,22 @@ impl Rewrite for MvComputeExchange {
                         return;
                     }
                     let cands: Vec<(usize, i64)> = eg
-                        .nodes(inputs[finite[0]])
-                        .into_iter()
+                        .class_nodes(inputs[finite[0]])
+                        .iter()
                         .filter_map(|m| match m {
-                            ENode::Mv { dim, dist, .. } if dist != 0 => Some((dim, dist)),
+                            ENode::Mv { dim, dist, .. } if *dist != 0 => Some((*dim, *dist)),
                             _ => None,
                         })
                         .collect();
                     'cand: for (dim, dist) in cands {
                         let mut sources = inputs.clone();
                         for &fi in &finite {
-                            let src = eg.nodes(inputs[fi]).into_iter().find_map(|m| match m {
+                            let src = eg.class_nodes(inputs[fi]).iter().find_map(|m| match m {
                                 ENode::Mv {
                                     input: s,
                                     dim: d2,
                                     dist: t2,
-                                } if d2 == dim && t2 == dist => Some(s),
+                                } if *d2 == dim && *t2 == dist => Some(*s),
                                 _ => None,
                             });
                             match src {
@@ -385,8 +391,8 @@ impl Rewrite for BcComputeExchange {
                 dist,
                 count,
             } => {
-                for inner in eg.nodes(*input) {
-                    if let ENode::Compute { op, inputs } = &inner {
+                for inner in eg.class_nodes(*input) {
+                    if let ENode::Compute { op, inputs } = inner {
                         pushes.push((id, *op, inputs.clone(), *dim, *dist, *count));
                     }
                 }
@@ -402,25 +408,25 @@ impl Rewrite for BcComputeExchange {
                     return;
                 }
                 let cands: Vec<(usize, i64, u64)> = eg
-                    .nodes(inputs[finite[0]])
-                    .into_iter()
+                    .class_nodes(inputs[finite[0]])
+                    .iter()
                     .filter_map(|m| match m {
                         ENode::Bc {
                             dim, dist, count, ..
-                        } => Some((dim, dist, count)),
+                        } => Some((*dim, *dist, *count)),
                         _ => None,
                     })
                     .collect();
                 'cand: for (dim, dist, count) in cands {
                     let mut sources = inputs.clone();
                     for &fi in &finite {
-                        let src = eg.nodes(inputs[fi]).into_iter().find_map(|m| match m {
+                        let src = eg.class_nodes(inputs[fi]).iter().find_map(|m| match m {
                             ENode::Bc {
                                 input: s,
                                 dim: d2,
                                 dist: t2,
                                 count: c2,
-                            } if d2 == dim && t2 == dist && c2 == count => Some(s),
+                            } if *d2 == dim && *t2 == dist && *c2 == count => Some(*s),
                             _ => None,
                         });
                         match src {
@@ -564,7 +570,7 @@ impl Rewrite for ShrinkThroughCompute {
         each_match(eg, |id, n| {
             if let ENode::Compute { op, inputs } = n {
                 for (slot, c) in inputs.iter().enumerate() {
-                    for inner in eg.nodes(*c) {
+                    for inner in eg.class_nodes(*c) {
                         if let ENode::Shrink {
                             input: src,
                             dim,
@@ -573,8 +579,8 @@ impl Rewrite for ShrinkThroughCompute {
                         } = inner
                         {
                             let mut new_inputs = inputs.clone();
-                            new_inputs[slot] = src;
-                            matches.push((id, *op, new_inputs, dim, p, q));
+                            new_inputs[slot] = *src;
+                            matches.push((id, *op, new_inputs, *dim, *p, *q));
                         }
                     }
                 }
@@ -612,7 +618,7 @@ impl Rewrite for ShrinkThroughMv {
         let mut matches = Vec::new();
         each_match(eg, |id, n| {
             if let ENode::Mv { input, dim, dist } = n {
-                for inner in eg.nodes(*input) {
+                for inner in eg.class_nodes(*input) {
                     if let ENode::Shrink {
                         input: src,
                         dim: sdim,
@@ -620,7 +626,7 @@ impl Rewrite for ShrinkThroughMv {
                         q,
                     } = inner
                     {
-                        matches.push((id, src, *dim, *dist, sdim, p, q));
+                        matches.push((id, *src, *dim, *dist, *sdim, *p, *q));
                     }
                 }
             }
@@ -634,7 +640,11 @@ impl Rewrite for ShrinkThroughMv {
             }) else {
                 continue;
             };
-            let (np, nq) = if sdim == mdim { (p + dist, q + dist) } else { (p, q) };
+            let (np, nq) = if sdim == mdim {
+                (p + dist, q + dist)
+            } else {
+                (p, q)
+            };
             unions += add_union(
                 eg,
                 id,
@@ -669,7 +679,7 @@ impl Rewrite for ShrinkThroughBc {
                 dist,
                 count,
             } => {
-                for inner in eg.nodes(*input) {
+                for inner in eg.class_nodes(*input) {
                     if let ENode::Shrink {
                         input: src,
                         dim: sdim,
@@ -677,19 +687,14 @@ impl Rewrite for ShrinkThroughBc {
                         q,
                     } = inner
                     {
-                        if sdim != *dim {
-                            commutes.push((id, src, *dim, *dist, *count, sdim, p, q));
+                        if sdim != dim {
+                            commutes.push((id, *src, *dim, *dist, *count, *sdim, *p, *q));
                         }
                     }
                 }
             }
-            ENode::Shrink {
-                input,
-                dim,
-                p,
-                q,
-            } => {
-                for inner in eg.nodes(*input) {
+            ENode::Shrink { input, dim, p, q } => {
+                for inner in eg.class_nodes(*input) {
                     if let ENode::Bc {
                         input: src,
                         dim: bdim,
@@ -697,11 +702,11 @@ impl Rewrite for ShrinkThroughBc {
                         count,
                     } = inner
                     {
-                        if bdim == *dim {
-                            let np = (*p).max(dist);
-                            let nq = (*q).min(dist + count as i64);
+                        if bdim == dim {
+                            let np = (*p).max(*dist);
+                            let nq = (*q).min(*dist + *count as i64);
                             if np < nq {
-                                absorbs.push((id, src, *dim, np, (nq - np) as u64));
+                                absorbs.push((id, *src, *dim, np, (nq - np) as u64));
                             }
                         }
                     }
@@ -758,7 +763,7 @@ impl Rewrite for ShrinkMerge {
         let mut matches = Vec::new();
         each_match(eg, |id, n| {
             if let ENode::Shrink { input, dim, p, q } = n {
-                for inner in eg.nodes(*input) {
+                for inner in eg.class_nodes(*input) {
                     if let ENode::Shrink {
                         input: src,
                         dim: idim,
@@ -766,7 +771,7 @@ impl Rewrite for ShrinkMerge {
                         q: iq,
                     } = inner
                     {
-                        matches.push((id, src, *dim, *p, *q, idim, ip, iq));
+                        matches.push((id, *src, *dim, *p, *q, *idim, *ip, *iq));
                     }
                 }
             }
@@ -822,14 +827,14 @@ impl Rewrite for MvMerge {
         let mut matches = Vec::new();
         each_match(eg, |id, n| {
             if let ENode::Mv { input, dim, dist } = n {
-                for inner in eg.nodes(*input) {
+                for inner in eg.class_nodes(*input) {
                     if let ENode::Mv {
                         input: src,
                         dim: idim,
                         dist: idist,
                     } = inner
                     {
-                        matches.push((id, src, *dim, *dist, idim, idist));
+                        matches.push((id, *src, *dim, *dist, *idim, *idist));
                     }
                 }
             }

@@ -45,7 +45,10 @@ fn assert_equivalent(a: &Tdfg, b: &Tdfg, inputs: &[(infs_sdfg::ArrayId, Vec<f32>
     assert_eq!(oa.scalars.len(), ob.scalars.len());
     for (name, v) in &oa.scalars {
         let w = ob.scalar(name).expect("same scalar outputs");
-        assert!((v - w).abs() <= 1e-4 * v.abs().max(1.0), "{name}: {v} vs {w}");
+        assert!(
+            (v - w).abs() <= 1e-4 * v.abs().max(1.0),
+            "{name}: {v} vs {w}"
+        );
     }
 }
 
@@ -70,7 +73,11 @@ fn fig20_reuses_constant_multiply() {
 
     let opt = optimize(&g, &CostParams::default()).unwrap();
     assert_eq!(count_op(&g, ComputeOp::Mul), 2);
-    assert_eq!(count_op(&opt, ComputeOp::Mul), 1, "multiply should be reused:\n{opt}");
+    assert_eq!(
+        count_op(&opt, ComputeOp::Mul),
+        1,
+        "multiply should be reused:\n{opt}"
+    );
 
     let data: Vec<f32> = (0..n).map(|i| (i * 7 % 13) as f32).collect();
     assert_equivalent(&g, &opt, &[(a, data)]);
@@ -115,8 +122,16 @@ fn broadcast_graph_preserved() {
     let (m, n) = (8i64, 8i64);
     let mut b = TdfgBuilder::new(2, DataType::F32);
     let col = b.declare_array(ArrayDecl::new("col", vec![m as u64, 1], DataType::F32));
-    let mat = b.declare_array(ArrayDecl::new("mat", vec![m as u64, n as u64], DataType::F32));
-    let out = b.declare_array(ArrayDecl::new("out", vec![m as u64, n as u64], DataType::F32));
+    let mat = b.declare_array(ArrayDecl::new(
+        "mat",
+        vec![m as u64, n as u64],
+        DataType::F32,
+    ));
+    let out = b.declare_array(ArrayDecl::new(
+        "out",
+        vec![m as u64, n as u64],
+        DataType::F32,
+    ));
     let c = b.input(col, rect(&[(0, m), (0, 1)])).unwrap();
     let cb = b.bc(c, 1, 0, n as u64).unwrap();
     let mm = b.input(mat, rect(&[(0, m), (0, n)])).unwrap();

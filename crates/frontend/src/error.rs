@@ -60,7 +60,10 @@ impl fmt::Display for FrontendError {
                 array,
                 got,
                 expected,
-            } => write!(f, "array {array} indexed with {got} indices but has rank {expected}"),
+            } => write!(
+                f,
+                "array {array} indexed with {got} indices but has rank {expected}"
+            ),
             FrontendError::UnboundSym(s) => write!(f, "symbol #{s} was not bound"),
             FrontendError::EmptyLoop { index, lo, hi } => {
                 write!(f, "loop {index} has empty range [{lo}, {hi})")

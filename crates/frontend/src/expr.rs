@@ -199,9 +199,7 @@ impl ScalarExpr {
     /// Number of arithmetic operations in the expression tree.
     pub fn op_count(&self) -> u64 {
         match self {
-            ScalarExpr::Op { args, .. } => {
-                1 + args.iter().map(ScalarExpr::op_count).sum::<u64>()
-            }
+            ScalarExpr::Op { args, .. } => 1 + args.iter().map(ScalarExpr::op_count).sum::<u64>(),
             _ => 0,
         }
     }

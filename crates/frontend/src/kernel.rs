@@ -341,7 +341,10 @@ mod tests {
             k.loop_bounds(&[0]),
             Err(FrontendError::EmptyLoop { .. })
         ));
-        assert!(matches!(k.loop_bounds(&[]), Err(FrontendError::UnboundSym(0))));
+        assert!(matches!(
+            k.loop_bounds(&[]),
+            Err(FrontendError::UnboundSym(0))
+        ));
         assert!(!k.has_indirect());
         assert_eq!(k.name(), "k");
     }
@@ -352,10 +355,7 @@ mod tests {
         let a = b.array("A", vec![4, 4]);
         let i = b.parallel_loop("i", 0, 4);
         b.assign(a, vec![Idx::var(i)], ScalarExpr::Const(0.0));
-        assert!(matches!(
-            b.build(),
-            Err(FrontendError::IndexArity { .. })
-        ));
+        assert!(matches!(b.build(), Err(FrontendError::IndexArity { .. })));
     }
 
     #[test]
@@ -383,8 +383,12 @@ mod tests {
         let k = b.build().unwrap();
         assert!(k.has_indirect());
         assert_eq!(
-            ScalarExpr::bin(ComputeOp::Add, ScalarExpr::Const(0.0), ScalarExpr::Const(1.0))
-                .op_count(),
+            ScalarExpr::bin(
+                ComputeOp::Add,
+                ScalarExpr::Const(0.0),
+                ScalarExpr::Const(1.0)
+            )
+            .op_count(),
             1
         );
     }

@@ -181,9 +181,7 @@ impl Ctx<'_> {
             ComputeOp::Abs => self.g.expr(StreamExpr::Un(UnOp::Abs, ids[0])),
             ComputeOp::Sqrt => self.g.expr(StreamExpr::Un(UnOp::Sqrt, ids[0])),
             ComputeOp::Relu => self.g.expr(StreamExpr::Un(UnOp::Relu, ids[0])),
-            ComputeOp::Select => self
-                .g
-                .expr(StreamExpr::Select(ids[0], ids[1], ids[2])),
+            ComputeOp::Select => self.g.expr(StreamExpr::Select(ids[0], ids[1], ids[2])),
             ComputeOp::Copy => ids[0],
         }
     }

@@ -116,9 +116,9 @@ impl Ctx<'_> {
         idx.iter()
             .enumerate()
             .map(|(d, e)| {
-                let (offset, coeffs) = e.fold_syms(ndim, &self.syms).ok_or_else(|| {
-                    FrontendError::UnboundSym(e.max_sym().unwrap_or(0))
-                })?;
+                let (offset, coeffs) = e
+                    .fold_syms(ndim, &self.syms)
+                    .ok_or_else(|| FrontendError::UnboundSym(e.max_sym().unwrap_or(0)))?;
                 let nonzero: Vec<(usize, i64)> = coeffs
                     .iter()
                     .enumerate()
@@ -215,9 +215,7 @@ impl Ctx<'_> {
             ScalarExpr::LoadIndirect { array, .. } => Err(FrontendError::NotTensorizable {
                 reason: format!("indirect access to {array} is only executable near-memory"),
             }),
-            ScalarExpr::Const(v) => {
-                self.memoize(Key::Const(v.to_bits()), |b| Ok(b.constant(*v)))
-            }
+            ScalarExpr::Const(v) => self.memoize(Key::Const(v.to_bits()), |b| Ok(b.constant(*v))),
             ScalarExpr::Param(i) => self.memoize(Key::Param(*i), |b| Ok(b.param(*i))),
             ScalarExpr::LoopVal(v) => Err(FrontendError::NotTensorizable {
                 reason: format!(
@@ -408,7 +406,11 @@ mod tests {
         let kernel = k.build().unwrap();
         let g = kernel.tensorize(&[]).unwrap();
 
-        let moves = g.nodes().iter().filter(|n| matches!(n, Node::Mv { .. })).count();
+        let moves = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n, Node::Mv { .. }))
+            .count();
         assert_eq!(moves, 2, "two shifted taps need explicit alignment:\n{g}");
 
         let av: Vec<f32> = (0..n).map(|x| (x * x) as f32).collect();
@@ -433,7 +435,11 @@ mod tests {
         );
         k.assign(b, vec![Idx::var(i)], e);
         let g = k.build().unwrap().tensorize(&[]).unwrap();
-        let inputs = g.nodes().iter().filter(|n| matches!(n, Node::Input { .. })).count();
+        let inputs = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n, Node::Input { .. }))
+            .count();
         assert_eq!(inputs, 1);
     }
 
@@ -455,7 +461,11 @@ mod tests {
         kb.accum(c, vec![Idx::var(ln), Idx::var(lm)], ReduceOp::Sum, prod);
         let g = kb.build().unwrap().tensorize(&[]).unwrap();
 
-        let bcs = g.nodes().iter().filter(|x| matches!(x, Node::Bc { .. })).count();
+        let bcs = g
+            .nodes()
+            .iter()
+            .filter(|x| matches!(x, Node::Bc { .. }))
+            .count();
         assert_eq!(bcs, 2, "column and row both broadcast:\n{g}");
 
         let mut mem = Memory::for_arrays(g.arrays());
@@ -465,10 +475,10 @@ mod tests {
         mem.write_array(brow, &bv);
         mem.write_array(c, &vec![1.0; (m * n) as usize]);
         infs_tdfg::interp::execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
-        for mm in 0..m as usize {
-            for nn in 0..n as usize {
+        for (mm, &aval) in av.iter().enumerate() {
+            for (nn, &bval) in bv.iter().enumerate() {
                 let got = mem.array(c)[nn + mm * n as usize];
-                assert_eq!(got, 1.0 + av[mm] * bv[nn], "C[{mm}][{nn}]");
+                assert_eq!(got, 1.0 + aval * bval, "C[{mm}][{nn}]");
             }
         }
     }

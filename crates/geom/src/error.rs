@@ -47,7 +47,10 @@ impl fmt::Display for GeomError {
                 write!(f, "dimensionality mismatch: {lhs} vs {rhs}")
             }
             GeomError::DimOutOfRange { dim, ndim } => {
-                write!(f, "dimension {dim} out of range for {ndim}-dimensional object")
+                write!(
+                    f,
+                    "dimension {dim} out of range for {ndim}-dimensional object"
+                )
             }
             GeomError::NoValidTiling { detail } => {
                 write!(f, "no valid tiling: {detail}")

@@ -208,7 +208,13 @@ pub fn pick_tile_shape(req: &TilingRequest) -> Result<TileShape, GeomError> {
     candidates
         .into_iter()
         .map(|s| (tile_score(&s, req), s))
-        .min_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"))
+        // Keep the FIRST minimum: `min_by` returns the last on ties, which
+        // would silently break the documented enumeration-order tie-break
+        // (and disagree with `TransposedLayout::plan`'s stable sort).
+        .fold(None::<(f64, TileShape)>, |best, cand| match best {
+            Some(b) if b.0 <= cand.0 => Some(b),
+            _ => Some(cand),
+        })
         .map(|(_, s)| s)
         .ok_or_else(|| GeomError::NoValidTiling {
             detail: format!(

@@ -141,7 +141,9 @@ mod tests {
     fn single_and_contiguous() {
         assert_eq!(StridePattern::single(5).indices().collect::<Vec<_>>(), [5]);
         assert_eq!(
-            StridePattern::contiguous(3, 3).indices().collect::<Vec<_>>(),
+            StridePattern::contiguous(3, 3)
+                .indices()
+                .collect::<Vec<_>>(),
             [3, 4, 5]
         );
     }

@@ -295,9 +295,8 @@ impl TileGrid {
                 ((p / t) as u64, ((q - 1) / t) as u64 + 1)
             })
             .collect();
-        let tile_rect =
-            HyperRect::new(ranges.iter().map(|&(a, b)| (a as i64, b as i64)).collect())
-                .expect("tile ranges are well formed");
+        let tile_rect = HyperRect::new(ranges.iter().map(|&(a, b)| (a as i64, b as i64)).collect())
+            .expect("tile ranges are well formed");
         tile_rect
             .points()
             .map(|pt| {
@@ -328,8 +327,14 @@ mod tests {
         assert_eq!(g.num_tiles(), 4);
         // Tile order dim0-fastest: tile 0 = [0,2)x[0,2), tile 1 = [2,4)x[0,2),
         // tile 2 = [0,2)x[2,4), tile 3 = [2,4)x[2,4).
-        assert_eq!(g.tile_rect(1), HyperRect::new(vec![(2, 4), (0, 2)]).unwrap());
-        assert_eq!(g.tile_rect(2), HyperRect::new(vec![(0, 2), (2, 4)]).unwrap());
+        assert_eq!(
+            g.tile_rect(1),
+            HyperRect::new(vec![(2, 4), (0, 2)]).unwrap()
+        );
+        assert_eq!(
+            g.tile_rect(2),
+            HyperRect::new(vec![(0, 2), (2, 4)]).unwrap()
+        );
     }
 
     #[test]

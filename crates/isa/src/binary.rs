@@ -129,14 +129,24 @@ impl CompiledRegion {
                 .filter_map(|&geom| Schedule::compute(&g, geom).ok())
                 .collect();
             if schedules.is_empty() {
-                (None, Vec::new(), LayoutHints::default(), OpProfile::default())
+                (
+                    None,
+                    Vec::new(),
+                    LayoutHints::default(),
+                    OpProfile::default(),
+                )
             } else {
                 let hints = g.layout_hints();
                 let profile = g.op_profile();
                 (Some(g), schedules, hints, profile)
             }
         } else {
-            (None, Vec::new(), LayoutHints::default(), OpProfile::default())
+            (
+                None,
+                Vec::new(),
+                LayoutHints::default(),
+                OpProfile::default(),
+            )
         };
         Ok(RegionInstance {
             name: self.kernel.name().to_string(),

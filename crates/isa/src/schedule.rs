@@ -216,7 +216,10 @@ mod tests {
         let s = Schedule::compute(&g, SramGeometry::G256).unwrap();
         // 1 array of fp32 -> 32 wordlines reserved; (256-32)/32 = 7 registers.
         assert_eq!(s.num_regs, 7);
-        assert!(s.max_live <= 2, "chain should need at most 2 live registers");
+        assert!(
+            s.max_live <= 2,
+            "chain should need at most 2 live registers"
+        );
         // The final value (an output) holds a register.
         assert!(s.reg_of_node.last().unwrap().is_some());
         // The input holds none.
@@ -275,7 +278,10 @@ mod tests {
         }
         let x = b2.input(infs_sdfg::ArrayId(3), rect(&[(0, 8)])).unwrap();
         let y = b2.compute(ComputeOp::Neg, &[x]).unwrap();
-        b2.output(y, OutputTarget::array(infs_sdfg::ArrayId(7), rect(&[(0, 8)])));
+        b2.output(
+            y,
+            OutputTarget::array(infs_sdfg::ArrayId(7), rect(&[(0, 8)])),
+        );
         let g2 = b2.build().unwrap();
         let s2 = Schedule::compute(&g2, SramGeometry::G256).unwrap();
         assert_eq!(s2.used_arrays.len(), 2);

@@ -83,10 +83,7 @@ mod tests {
     #[test]
     fn jit_model_scales_with_banks() {
         let hw = HwConfig::default();
-        let half = HwConfig {
-            n_banks: 32,
-            ..hw
-        };
+        let half = HwConfig { n_banks: 32, ..hw };
         assert!(hw.jit_cycles(100) > half.jit_cycles(100));
     }
 }

@@ -32,7 +32,9 @@ pub fn decide(profile: &OpProfile, hw: &HwConfig, expected_jit_cycles: u64) -> P
     }
     // TP_core is the offloading core's own peak (the paper offloads from a
     // single-thread scalar version, §7): one 512-bit vector per cycle.
-    let lhs = profile.max_domain_elems.saturating_mul(profile.ops_per_elem)
+    let lhs = profile
+        .max_domain_elems
+        .saturating_mul(profile.ops_per_elem)
         / (hw.simd_lanes as u64).max(1);
     // Fixed offload overhead: configuration, way reservation and the final
     // sync barrier — keeps tiny regions (small MLP layers, Fig 19) off the
@@ -90,9 +92,6 @@ mod tests {
     #[test]
     fn empty_profile_is_near_memory() {
         let hw = HwConfig::default();
-        assert_eq!(
-            decide(&OpProfile::default(), &hw, 0),
-            Paradigm::NearMemory
-        );
+        assert_eq!(decide(&OpProfile::default(), &hw, 0), Paradigm::NearMemory);
     }
 }

@@ -1,7 +1,8 @@
 use crate::{HwConfig, RuntimeError};
-use infs_geom::layout::{pick_tile_shape, valid_tilings, LayoutHints, TilingRequest};
+use infs_geom::layout::{pick_tile_shape, tile_score, valid_tilings, LayoutHints, TilingRequest};
 use infs_geom::{HyperRect, TileAddr, TileGrid, TileShape};
 use infs_tdfg::Tdfg;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The transposed, tiled data layout of one region (paper §4.1, Table 1).
@@ -20,21 +21,56 @@ pub struct TransposedLayout {
 }
 
 impl TransposedLayout {
-    /// Plans the layout for a region: searches valid tile sizes under the §4.1
-    /// constraints and picks one with the compiler's hints.
+    /// Plans the layout for a region: evaluates every valid tile size under
+    /// the §4.1 constraints in parallel and picks the best-scored feasible
+    /// one (falling back to the next candidate when the best-scored tile has
+    /// no feasible grid).
     ///
     /// # Errors
     ///
     /// * [`RuntimeError::BadBounding`] — the lattice bounding box is not
     ///   origin-anchored (arrays are placed at the origin in this release).
     /// * [`RuntimeError::CapacityExceeded`] — more tiles than compute SRAM
-    ///   arrays: the working set must fit in L3 (§6).
+    ///   arrays for every candidate: the working set must fit in L3 (§6).
     /// * [`RuntimeError::NoLayout`] — no tile size satisfies the constraints;
     ///   the caller must fall back to near-memory execution.
     pub fn plan(tdfg: &Tdfg, hints: &LayoutHints, hw: &HwConfig) -> Result<Self, RuntimeError> {
         let request = Self::request(tdfg, hints, hw)?;
-        let tile = pick_tile_shape(&request)?;
-        Self::with_tile_internal(tdfg, tile, hw)
+        let candidates = if request.array_is_line_aligned() {
+            valid_tilings(&request)
+        } else {
+            Vec::new()
+        };
+        if candidates.is_empty() {
+            // Reuse pick_tile_shape's diagnostics for the no-candidate cases
+            // (line misalignment / no admissible factorization).
+            let err = pick_tile_shape(&request).expect_err("no candidate tiling");
+            return Err(err.into());
+        }
+        // Score + feasibility for every candidate at once. Each feasibility
+        // probe builds the full TileGrid, so the search is the expensive part
+        // of planning; candidates are independent and evaluated in parallel.
+        let mut evaluated: Vec<(f64, Result<Self, RuntimeError>)> = candidates
+            .into_par_iter()
+            .map(|tile| {
+                let score = tile_score(&tile, &request);
+                (score, Self::with_tile_internal(tdfg, tile, hw))
+            })
+            .collect();
+        // Stable sort keeps enumeration order on score ties, matching the
+        // sequential pick_tile_shape choice exactly.
+        evaluated.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
+        let mut first_err = None;
+        for (_, outcome) in evaluated {
+            match outcome {
+                Ok(layout) => return Ok(layout),
+                Err(e) if first_err.is_none() => first_err = Some(e),
+                Err(_) => {}
+            }
+        }
+        // All candidates infeasible: report the best-scored one's failure
+        // (e.g. CapacityExceeded when the region exceeds compute SRAM).
+        Err(first_err.expect("candidates were nonempty"))
     }
 
     /// Plans the layout with an explicitly chosen tile shape — the oracle /
@@ -50,12 +86,14 @@ impl TransposedLayout {
         hw: &HwConfig,
     ) -> Result<Self, RuntimeError> {
         if tile.num_elements() != hw.geometry.bitlines as u64 {
-            return Err(RuntimeError::NoLayout(infs_geom::GeomError::NoValidTiling {
-                detail: format!(
-                    "tile {tile} does not fill {} bitlines",
-                    hw.geometry.bitlines
-                ),
-            }));
+            return Err(RuntimeError::NoLayout(
+                infs_geom::GeomError::NoValidTiling {
+                    detail: format!(
+                        "tile {tile} does not fill {} bitlines",
+                        hw.geometry.bitlines
+                    ),
+                },
+            ));
         }
         Self::with_tile_internal(tdfg, tile, hw)
     }
@@ -243,7 +281,8 @@ mod tests {
         let hw = HwConfig::default();
         let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).unwrap();
         let addr = layout.locate(&[17, 3]).unwrap();
-        assert_eq!(addr.tile, 1 + 0 * 32);
+        // Tile coordinates (1, 0) on the 32-wide tile grid.
+        assert_eq!(addr.tile, 1);
         assert!(addr.bitline < 256);
         assert!(layout.locate(&[512, 0]).is_none());
     }

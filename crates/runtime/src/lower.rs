@@ -270,11 +270,7 @@ impl Lowerer<'_> {
                 if dist == 0 {
                     return Ok(());
                 }
-                let domain = self
-                    .g
-                    .domain(id)
-                    .cloned()
-                    .expect("mv domains are finite");
+                let domain = self.g.domain(id).cloned().expect("mv domains are finite");
                 // Effective source: only elements whose destination survives
                 // the bounding clip are moved.
                 let eff_src = domain
@@ -360,7 +356,9 @@ impl Lowerer<'_> {
         let mut total = 0u64;
         for tile in grid.tiles_overlapping(sub) {
             let tr = grid.tile_rect(tile);
-            let Ok(Some(part)) = tr.intersect(sub) else { continue };
+            let Ok(Some(part)) = tr.intersect(sub) else {
+                continue;
+            };
             // Elements whose intra-tile coordinate along `dim` is in the mask.
             let (plo, phi) = part.interval(dim);
             let tile_base = tr.start(dim).div_euclid(t) * t;
@@ -394,8 +392,7 @@ impl Lowerer<'_> {
                 if dst_bank == src_bank {
                     local_inter += elems;
                 } else {
-                    *remote.entry((src_bank, dst_bank)).or_insert(0) +=
-                        elems * self.elem_bytes;
+                    *remote.entry((src_bank, dst_bank)).or_insert(0) += elems * self.elem_bytes;
                 }
             }
         }
@@ -486,8 +483,7 @@ impl Lowerer<'_> {
                 }
                 // Multicast: one copy per (source tile, destination bank).
                 if seen.insert((dst_bank, src_tile)) {
-                    let bytes =
-                        self.layout.tile_overlap_elems(src_tile, &needed) * self.elem_bytes;
+                    let bytes = self.layout.tile_overlap_elems(src_tile, &needed) * self.elem_bytes;
                     if bytes > 0 {
                         *remote.entry((src_bank, dst_bank)).or_insert(0) += bytes;
                     }
@@ -668,8 +664,7 @@ mod tests {
         assert!(inter >= 1, "expected inter-tile shifts: {:?}", cs.cmds);
         assert!(cs.stats.intra_elems > 0);
         assert_eq!(
-            cs.stats.intra_elems + cs.stats.inter_local_elems
-                + cs.stats.inter_remote_bytes / 4,
+            cs.stats.intra_elems + cs.stats.inter_local_elems + cs.stats.inter_remote_bytes / 4,
             g.domain(infs_tdfg::NodeId(1)).unwrap().num_elements(),
             "every surviving element is moved exactly once"
         );
@@ -686,10 +681,14 @@ mod tests {
             .cmds
             .iter()
             .all(|c| !matches!(c, InfCommand::IntraShift { .. })));
-        assert!(cs
-            .cmds
-            .iter()
-            .any(|c| matches!(c, InfCommand::InterShift { tile_dist: 1, intra_dist: 0, .. })));
+        assert!(cs.cmds.iter().any(|c| matches!(
+            c,
+            InfCommand::InterShift {
+                tile_dist: 1,
+                intra_dist: 0,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -776,7 +775,9 @@ mod tests {
             .cmds
             .iter()
             .find_map(|c| match c {
-                InfCommand::Broadcast { banks, remote, .. } => Some((banks.clone(), remote.clone())),
+                InfCommand::Broadcast { banks, remote, .. } => {
+                    Some((banks.clone(), remote.clone()))
+                }
                 _ => None,
             })
             .expect("broadcast command");
@@ -880,23 +881,18 @@ mod tests {
             ..Default::default()
         };
         let schedule = Schedule::compute(&g, hw.geometry).unwrap();
-        let tall = TransposedLayout::plan_with_tile(
-            &g,
-            TileShape::new(vec![1, 16]).unwrap(),
-            &hw,
-        )
-        .unwrap();
-        let wide = TransposedLayout::plan_with_tile(
-            &g,
-            TileShape::new(vec![16, 1]).unwrap(),
-            &hw,
-        )
-        .unwrap();
+        let tall = TransposedLayout::plan_with_tile(&g, TileShape::new(vec![1, 16]).unwrap(), &hw)
+            .unwrap();
+        let wide = TransposedLayout::plan_with_tile(&g, TileShape::new(vec![16, 1]).unwrap(), &hw)
+            .unwrap();
         let cs_tall = lower(&g, &schedule, &tall, &hw).unwrap();
         let cs_wide = lower(&g, &schedule, &wide, &hw).unwrap();
         // Shift along dim 1: tall tiles (16 in dim 1) keep it intra-tile.
         assert!(cs_tall.stats.intra_elems > 0);
-        assert_eq!(cs_tall.stats.inter_local_elems + cs_tall.stats.inter_remote_bytes, 0);
+        assert_eq!(
+            cs_tall.stats.inter_local_elems + cs_tall.stats.inter_remote_bytes,
+            0
+        );
         // Wide tiles (1 in dim 1) force every element across tiles.
         assert_eq!(cs_wide.stats.intra_elems, 0);
         assert!(cs_wide.stats.inter_local_elems > 0 || cs_wide.stats.inter_remote_bytes > 0);

@@ -1,7 +1,18 @@
 use crate::CommandStream;
 use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// The §4.2 memoization key: `(region name, symbol values, tile shape)` —
+/// anything that changes the lowered commands (gauss_elim's shrinking tensors,
+/// a different layout) produces a different key.
+type MemoKey = (String, Vec<i64>, Vec<u64>);
+
+/// One lock stripe of the cache.
+type Shard = Mutex<HashMap<MemoKey, Arc<CommandStream>>>;
 
 /// Memoization cache for JIT-lowered command streams (§4.2 "Reducing JIT
 /// Overheads").
@@ -9,25 +20,65 @@ use std::sync::Arc;
 /// Re-executing the same tDFG with the same parameters — iterative stencils,
 /// the per-`k` rounds of outer-product matmul — reuses the lowered commands;
 /// the paper combines a small hardware command cache with software memoization
-/// and credits these optimizations with a >1000× JIT-time reduction. Keys are
-/// `(region name, symbol values, tile shape)`: anything that changes the
-/// lowered commands (gauss_elim's shrinking tensors, a different layout)
-/// misses.
-#[derive(Debug, Default)]
+/// and credits these optimizations with a >1000× JIT-time reduction.
+///
+/// The cache is lock-striped: keys hash to one of a power-of-two number of
+/// independently locked shards, so concurrent sessions (the parallel run
+/// matrix runs one simulation per worker thread) contend only when they touch
+/// the same shard. Hit/miss counters are lock-free atomics.
+#[derive(Debug)]
 pub struct JitCache {
-    #[allow(clippy::type_complexity)] // the key is exactly the §4.2 memo key
-    map: Mutex<HashMap<(String, Vec<i64>, Vec<u64>), Arc<CommandStream>>>,
-    hits: Mutex<u64>,
-    misses: Mutex<u64>,
+    shards: Box<[Shard]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default shard count; enough stripes that a handful of worker threads
+/// rarely collide, small enough to stay cache-friendly.
+const DEFAULT_SHARDS: usize = 16;
+
+impl Default for JitCache {
+    fn default() -> Self {
+        JitCache::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl JitCache {
-    /// An empty cache.
+    /// An empty cache with the default shard count.
     pub fn new() -> Self {
         JitCache::default()
     }
 
+    /// An empty cache striped over `shards` locks (rounded up to a power of
+    /// two; `1` degenerates to a single-map cache, which the equivalence
+    /// tests use as the reference).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        JitCache {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &MemoKey) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        // Shard count is a power of two, so the mask is a uniform selector.
+        &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
+    }
+
     /// Looks up or lowers a command stream.
+    ///
+    /// `lower` runs outside the shard lock, so a slow lowering never blocks
+    /// lookups of other keys in the same shard; if two threads race to lower
+    /// the same key, the first insert wins and both get the same outcome kind
+    /// (miss) with a usable stream.
     ///
     /// # Errors
     ///
@@ -40,33 +91,60 @@ impl JitCache {
         lower: impl FnOnce() -> Result<CommandStream, E>,
     ) -> Result<(Arc<CommandStream>, bool), E> {
         let key = (region.to_string(), syms.to_vec(), tile.to_vec());
-        if let Some(found) = self.map.lock().get(&key).cloned() {
-            *self.hits.lock() += 1;
+        let shard = self.shard_of(&key);
+        if let Some(found) = shard.lock().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok((found, true));
         }
         let cs = Arc::new(lower()?);
-        self.map.lock().insert(key, cs.clone());
-        *self.misses.lock() += 1;
-        Ok((cs, false))
+        let stored = shard
+            .lock()
+            .entry(key)
+            .or_insert_with(|| cs.clone())
+            .clone();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((stored, false))
     }
 
     /// True if the cache already holds a stream for this key (used by the
     /// offload decision to anticipate a memoization hit).
     pub fn contains(&self, region: &str, syms: &[i64], tile: &[u64]) -> bool {
         let key = (region.to_string(), syms.to_vec(), tile.to_vec());
-        self.map.lock().contains_key(&key)
+        self.shard_of(&key).lock().contains_key(&key)
     }
 
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
-        (*self.hits.lock(), *self.misses.lock())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total cached streams across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when no stream is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Drops all cached streams (e.g. on a context switch that reclaims LLC).
     pub fn clear(&self) {
-        self.map.lock().clear();
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
     }
 }
+
+// Compile-time audit: the cache is shared by reference across simulator
+// threads; striping must not cost the auto traits.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<JitCache>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -112,6 +190,7 @@ mod tests {
         assert!(!hit);
         assert_eq!(cache.stats(), (0, 3));
         cache.clear();
+        assert!(cache.is_empty());
         let (_, hit) = cache
             .get_or_lower::<()>("r", &[1], &[16, 16], || Ok(dummy(4)))
             .unwrap();
@@ -124,5 +203,68 @@ mod tests {
         let r = cache.get_or_lower::<&str>("r", &[], &[], || Err("boom"));
         assert_eq!(r.unwrap_err(), "boom");
         assert_eq!(cache.stats(), (0, 0));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(JitCache::with_shards(1).num_shards(), 1);
+        assert_eq!(JitCache::with_shards(5).num_shards(), 8);
+        assert_eq!(JitCache::new().num_shards(), DEFAULT_SHARDS);
+    }
+
+    /// Sharded cache behaves identically to a single-map (1-shard) cache on
+    /// the same key sequence: same hits, misses, and entry count.
+    #[test]
+    fn sharded_matches_single_map_reference() {
+        let sharded = JitCache::with_shards(16);
+        let reference = JitCache::with_shards(1);
+        let keys: Vec<(String, Vec<i64>, Vec<u64>)> = (0..64)
+            .map(|i| {
+                (
+                    format!("region{}", i % 7),
+                    vec![i % 5, i / 8],
+                    vec![16, (i % 3 + 1) as u64],
+                )
+            })
+            .collect();
+        for (region, syms, tile) in keys.iter().chain(keys.iter()) {
+            let (_, h1) = sharded
+                .get_or_lower::<()>(region, syms, tile, || Ok(dummy(1)))
+                .unwrap();
+            let (_, h2) = reference
+                .get_or_lower::<()>(region, syms, tile, || Ok(dummy(1)))
+                .unwrap();
+            assert_eq!(h1, h2);
+        }
+        assert_eq!(sharded.stats(), reference.stats());
+        assert_eq!(sharded.len(), reference.len());
+    }
+
+    /// Concurrent mixed lookup/insert traffic from many threads lands every
+    /// stream exactly once and counts hits+misses == operations.
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = JitCache::new();
+        let n_threads = 8;
+        let ops_per_thread = 200u64;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..ops_per_thread {
+                        // 50 distinct keys shared across threads.
+                        let k = (t as u64 + i) % 50;
+                        cache
+                            .get_or_lower::<()>("r", &[k as i64], &[16], || Ok(dummy(k)))
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, n_threads as u64 * ops_per_thread);
+        assert_eq!(cache.len(), 50);
+        // Every key is eventually cached exactly once per distinct key.
+        assert!(misses >= 50, "misses {misses}");
     }
 }

@@ -1,6 +1,4 @@
-use crate::{
-    AccessFn, ArrayDecl, ArrayId, ExprId, ReduceOp, SdfgError, StreamExpr,
-};
+use crate::{AccessFn, ArrayDecl, ArrayId, ExprId, ReduceOp, SdfgError, StreamExpr};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 

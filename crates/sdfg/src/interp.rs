@@ -5,9 +5,7 @@
 //! for near-memory execution: the simulator's near-L3 stream engines produce the
 //! same values, and only differ in where/when the work happens.
 
-use crate::{
-    AccessFn, Memory, ReduceOp, Sdfg, SdfgError, StreamExpr, StreamId, StreamKind,
-};
+use crate::{AccessFn, Memory, ReduceOp, Sdfg, SdfgError, StreamExpr, StreamId, StreamKind};
 
 /// Scalar outputs of an sDFG execution (one per reduce stream, by name).
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -162,12 +160,8 @@ fn eval_expr(
     let v = match e {
         StreamExpr::StreamVal(s) => stream_value(st, s)?,
         StreamExpr::Const(c) => c,
-        StreamExpr::Param(i) => *params
-            .get(i as usize)
-            .ok_or(SdfgError::MissingParam(i))?,
-        StreamExpr::LoopVar(k) => *ivs
-            .get(k as usize)
-            .ok_or(SdfgError::MissingParam(k))? as f32,
+        StreamExpr::Param(i) => *params.get(i as usize).ok_or(SdfgError::MissingParam(i))?,
+        StreamExpr::LoopVar(k) => *ivs.get(k as usize).ok_or(SdfgError::MissingParam(k))? as f32,
         StreamExpr::Bin(op, a, b) => {
             let av = eval_expr(g, a, ivs, st, params)?;
             let bv = eval_expr(g, b, ivs, st, params)?;
@@ -189,7 +183,7 @@ fn eval_expr(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{AffineMap, ArrayDecl, ArrayId, DataType};
+    use crate::{AffineMap, ArrayDecl, DataType};
 
     #[test]
     fn vector_add_c_equals_a_plus_b() {

@@ -132,15 +132,15 @@ impl SystemConfig {
     /// Total compute bitlines across the machine (4 Mi by default — "in total,
     /// it has 4M bitlines").
     pub fn total_bitlines(&self) -> u64 {
-        self.n_banks as u64
-            * self.compute_arrays_per_bank() as u64
-            * self.geometry.bitlines as u64
+        self.n_banks as u64 * self.compute_arrays_per_bank() as u64 * self.geometry.bitlines as u64
     }
 
     /// Total L3 capacity in bytes (18 ways × 16 arrays × 8 kB × 64 banks =
     /// 144 MB by default).
     pub fn l3_bytes(&self) -> u64 {
-        self.n_banks as u64 * self.ways as u64 * self.arrays_per_way as u64
+        self.n_banks as u64
+            * self.ways as u64
+            * self.arrays_per_way as u64
             * self.geometry.size_bytes()
     }
 

@@ -92,7 +92,11 @@ pub fn core_time(
         p.l3_bytes as f64 / threads as f64,
     );
     let dram = p.dram_bytes as f64 / cfg.dram_bytes_per_cycle
-        + if p.dram_bytes > 0 { cfg.dram_latency as f64 } else { 0.0 };
+        + if p.dram_bytes > 0 {
+            cfg.dram_latency as f64
+        } else {
+            0.0
+        };
     // Latency-bound fills: each core sustains at most mshrs × line / roundtrip
     // bytes per cycle of demand misses — often the binding constraint.
     let fill_bw = threads as f64 * cfg.mshrs_per_core as f64 * cfg.line_bytes as f64

@@ -133,7 +133,11 @@ mod tests {
     #[test]
     fn area_overhead_is_6_52_percent() {
         let a = area_report();
-        assert!((a.overhead_fraction() - 0.0652).abs() < 0.0005, "{}", a.overhead_fraction());
+        assert!(
+            (a.overhead_fraction() - 0.0652).abs() < 0.0005,
+            "{}",
+            a.overhead_fraction()
+        );
     }
 
     #[test]

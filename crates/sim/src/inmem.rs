@@ -160,10 +160,14 @@ pub fn execute(
             InfCommand::FinalReduce { partials, .. } => {
                 // Collected and reduced by the near-memory stream engines,
                 // reporting to TC_core.
-                barrier(&mut bank_time, &mut pending_hops, &mut pending_max_flow, &mut out);
-                let t = (*partials as f64
-                    / (cfg.n_banks as f64 * cfg.sel3_ops_per_cycle))
-                    .ceil() as u64
+                barrier(
+                    &mut bank_time,
+                    &mut pending_hops,
+                    &mut pending_max_flow,
+                    &mut out,
+                );
+                let t = (*partials as f64 / (cfg.n_banks as f64 * cfg.sel3_ops_per_cycle)).ceil()
+                    as u64
                     + cfg.sel3_init_latency;
                 let bh = (*partials * elem_bytes) as f64 * mesh.avg_hops();
                 let noc_t = mesh.phase_cycles(bh, 0.0);
@@ -176,11 +180,21 @@ pub fn execute(
                 out.energy.noc += bh * e.noc_byte_hop;
             }
             InfCommand::Sync => {
-                barrier(&mut bank_time, &mut pending_hops, &mut pending_max_flow, &mut out);
+                barrier(
+                    &mut bank_time,
+                    &mut pending_hops,
+                    &mut pending_max_flow,
+                    &mut out,
+                );
             }
         }
     }
-    barrier(&mut bank_time, &mut pending_hops, &mut pending_max_flow, &mut out);
+    barrier(
+        &mut bank_time,
+        &mut pending_hops,
+        &mut pending_max_flow,
+        &mut out,
+    );
     out.cycles = bank_time.into_iter().max().unwrap_or(0);
     out.energy.noc += out.traffic.noc_offload * e.noc_byte_hop;
     out
@@ -279,8 +293,12 @@ mod tests {
             }],
         };
         let no_sync = execute(&cs(vec![shift.clone()]), &cfg, &mesh, &e);
-        let with_sync =
-            execute(&cs(vec![shift.clone(), InfCommand::Sync, shift]), &cfg, &mesh, &e);
+        let with_sync = execute(
+            &cs(vec![shift.clone(), InfCommand::Sync, shift]),
+            &cfg,
+            &mesh,
+            &e,
+        );
         assert!(no_sync.traffic.noc_inter_tile > 0.0);
         assert!(with_sync.cycles > no_sync.cycles);
         assert!(with_sync.traffic.noc_offload > no_sync.traffic.noc_offload);

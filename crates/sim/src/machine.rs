@@ -276,7 +276,9 @@ impl Machine {
     /// Whether the memoization cache already holds this region's commands
     /// (consulted by the decision model; the paper's hardware command cache).
     fn jit_would_hit(&self, region: &RegionInstance) -> bool {
-        let Some(tdfg) = region.tdfg.as_ref() else { return false };
+        let Some(tdfg) = region.tdfg.as_ref() else {
+            return false;
+        };
         let hw = self.cfg.hw();
         let layout = match &self.tile_override {
             Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw),
@@ -365,7 +367,10 @@ impl Machine {
         params: &[f32],
         nojit: bool,
     ) -> Result<RegionReport, SimError> {
-        let tdfg = region.tdfg.as_ref().expect("caller checked tensorizability");
+        let tdfg = region
+            .tdfg
+            .as_ref()
+            .expect("caller checked tensorizability");
         let schedule = region
             .schedule_for(self.cfg.geometry)
             .expect("caller checked the schedule");
@@ -382,12 +387,11 @@ impl Machine {
         // 2. JIT lower (memoized on the command-determining structure, so
         // regions differing only in store targets share lowered commands).
         let sig = tdfg.command_signature();
-        let (cs, hit) = self.jit.get_or_lower(
-            &region.name,
-            &[sig as i64],
-            layout.tile().dims(),
-            || infs_runtime::lower(tdfg, schedule, &layout, &hw),
-        )?;
+        let (cs, hit) =
+            self.jit
+                .get_or_lower(&region.name, &[sig as i64], layout.tile().dims(), || {
+                    infs_runtime::lower(tdfg, schedule, &layout, &hw)
+                })?;
         let jit_cycles = if nojit {
             0
         } else if hit {
@@ -460,8 +464,8 @@ impl Machine {
             0
         } else {
             let t_dram = cold_bytes as f64 / self.cfg.dram_bytes_per_cycle;
-            let t_ttu = bytes as f64
-                / (self.cfg.n_banks as f64 * self.cfg.bank_bytes_per_cycle as f64);
+            let t_ttu =
+                bytes as f64 / (self.cfg.n_banks as f64 * self.cfg.bank_bytes_per_cycle as f64);
             let byte_hops = bytes as f64 * self.mesh.avg_hops() * 0.5;
             let t_noc = self.mesh.phase_cycles(byte_hops, 0.0);
             self.stats.traffic.noc_data += byte_hops;
@@ -469,7 +473,11 @@ impl Machine {
             self.stats.energy.l3 += bytes as f64 * self.eparams.l3_byte;
             self.stats.energy.noc += byte_hops * self.eparams.noc_byte_hop;
             t_dram.max(t_ttu).max(t_noc as f64).ceil() as u64
-                + if cold_bytes > 0 { self.cfg.dram_latency } else { 0 }
+                + if cold_bytes > 0 {
+                    self.cfg.dram_latency
+                } else {
+                    0
+                }
         };
         match &mut self.transposed {
             Some(active) => active.arrays.extend(missing),

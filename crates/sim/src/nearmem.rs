@@ -69,7 +69,10 @@ pub fn nearmem_time(
             AccessFn::Indirect { .. } => 1.0,
             AccessFn::Affine(m) => {
                 let covers_all = (0..nloops).all(|k| {
-                    trips[k] <= 1 || m.coeffs.iter().any(|row| row.get(k).is_some_and(|&c| c != 0))
+                    trips[k] <= 1
+                        || m.coeffs
+                            .iter()
+                            .any(|row| row.get(k).is_some_and(|&c| c != 0))
                 });
                 if covers_all {
                     // Producer streams forward one-way to their consumer's
@@ -86,15 +89,18 @@ pub fn nearmem_time(
     let data_byte_hops = data_bytes_remote * mesh.avg_hops();
     // Flow control every 16 cache lines plus per-stream configuration.
     let flow_msgs = (bytes_read + bytes_written) as f64 / (16.0 * cfg.line_bytes as f64);
-    let offload_byte_hops =
-        (flow_msgs * 16.0 + g.streams().len() as f64 * 64.0) * mesh.avg_hops();
+    let offload_byte_hops = (flow_msgs * 16.0 + g.streams().len() as f64 * 64.0) * mesh.avg_hops();
     let t_noc = mesh.phase_cycles(data_byte_hops + offload_byte_hops, 0.0);
 
     // DRAM cold misses for non-resident footprints.
     let dram_bytes: u64 = if resident {
         0
     } else {
-        g.arrays().iter().map(|a| a.size_bytes()).sum::<u64>().min(bytes_read + bytes_written)
+        g.arrays()
+            .iter()
+            .map(|a| a.size_bytes())
+            .sum::<u64>()
+            .min(bytes_read + bytes_written)
     };
     let t_dram = dram_bytes as f64 / cfg.dram_bytes_per_cycle;
 
@@ -159,13 +165,7 @@ mod tests {
         let e = EnergyParams::default();
         let g = vec_add(4 << 20);
         let near = nearmem_time(&g, &cfg, &mesh, &e, true);
-        let base = core_time(
-            &CoreProfile::from_sdfg(&g, &cfg, true),
-            64,
-            &cfg,
-            &mesh,
-            &e,
-        );
+        let base = core_time(&CoreProfile::from_sdfg(&g, &cfg, true), 64, &cfg, &mesh, &e);
         assert!(
             near.cycles < base.cycles,
             "near {} vs base {}",
@@ -203,13 +203,7 @@ mod tests {
         let mesh = Mesh::new(&cfg);
         let e = EnergyParams::default();
         let near = nearmem_time(&g, &cfg, &mesh, &e, true);
-        let base = core_time(
-            &CoreProfile::from_sdfg(&g, &cfg, true),
-            64,
-            &cfg,
-            &mesh,
-            &e,
-        );
+        let base = core_time(&CoreProfile::from_sdfg(&g, &cfg, true), 64, &cfg, &mesh, &e);
         // Near-memory forwards the re-read operands over and over.
         assert!(
             near.traffic.noc_data > 2.0 * base.traffic.noc_data,

@@ -99,7 +99,11 @@ mod tests {
             }
             total / (64.0 * 64.0)
         };
-        assert!((m.avg_hops() - brute).abs() < 1e-9, "{} vs {brute}", m.avg_hops());
+        assert!(
+            (m.avg_hops() - brute).abs() < 1e-9,
+            "{} vs {brute}",
+            m.avg_hops()
+        );
     }
 
     #[test]

@@ -161,11 +161,15 @@ mod tests {
 
     #[test]
     fn accumulate_adds_everything() {
-        let mut a = RunStats::default();
-        a.cycles = 10;
+        let mut a = RunStats {
+            cycles: 10,
+            ..Default::default()
+        };
         a.traffic.noc_data = 5.0;
-        let mut b = RunStats::default();
-        b.cycles = 7;
+        let mut b = RunStats {
+            cycles: 7,
+            ..Default::default()
+        };
         b.traffic.noc_data = 3.0;
         b.traffic.intra_tile = 2.0;
         a.accumulate(&b);

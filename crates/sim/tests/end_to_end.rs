@@ -76,7 +76,11 @@ fn fig2_ordering_large_vec_add() {
     assert!(t_base64 > t_near, "base64 {t_base64} vs near {t_near}");
     assert!(t_near > t_inl3, "near {t_near} vs inl3 {t_inl3}");
     // Fig 2: In-L3 beats Near-L3 by an order of magnitude at 4M.
-    assert!(t_near as f64 / t_inl3 as f64 > 5.0, "near/inl3 = {}", t_near as f64 / t_inl3 as f64);
+    assert!(
+        t_near as f64 / t_inl3 as f64 > 5.0,
+        "near/inl3 = {}",
+        t_near as f64 / t_inl3 as f64
+    );
 }
 
 #[test]
@@ -121,7 +125,10 @@ fn prepare_charges_dram_and_traffic_when_not_resident() {
     let r = m.run_region(&region, &[], ExecMode::InL3).unwrap();
     assert!(r.cycles > 0);
     let stats = m.finish();
-    assert!(stats.breakdown.dram > 0, "transpose/prepare must cost DRAM time");
+    assert!(
+        stats.breakdown.dram > 0,
+        "transpose/prepare must cost DRAM time"
+    );
     assert!(stats.traffic.noc_data > 0.0);
     assert!(stats.energy.dram > 0.0);
 }

@@ -18,7 +18,11 @@ fn elementwise_region(name: &str, n: u64, hint_dim: usize) -> RegionInstance {
     let j = k.parallel_loop("j", 0, n as i64 - i64::from(hint_dim == 1));
     let shifted = ScalarExpr::load(a, vec![Idx::var_plus(i, di), Idx::var_plus(j, dj)]);
     let base = ScalarExpr::load(a, vec![Idx::var(i), Idx::var(j)]);
-    k.assign(b, vec![Idx::var(i), Idx::var(j)], ScalarExpr::add(base, shifted));
+    k.assign(
+        b,
+        vec![Idx::var(i), Idx::var(j)],
+        ScalarExpr::add(base, shifted),
+    );
     let _ = b;
     Compiler::default()
         .compile(k.build().expect("builds"), &[])
@@ -52,7 +56,10 @@ fn explicit_release_charges_eviction() {
     let before = m.stats().clone();
     m.release_transposed();
     let after = m.stats();
-    assert!(after.breakdown.dram > before.breakdown.dram, "eviction writes back");
+    assert!(
+        after.breakdown.dram > before.breakdown.dram,
+        "eviction writes back"
+    );
     assert!(after.energy.dram > before.energy.dram);
     // Releasing twice is a no-op.
     let again = after.clone();
@@ -69,7 +76,8 @@ fn core_fallback_keeps_transposed_state() {
     m.set_functional(false);
     m.set_resident_all();
     m.run_region(&region, &[], ExecMode::InL3).unwrap();
-    m.run_region(&region, &[], ExecMode::Base { threads: 64 }).unwrap();
+    m.run_region(&region, &[], ExecMode::Base { threads: 64 })
+        .unwrap();
     let warm = m.run_region(&region, &[], ExecMode::InL3).unwrap().cycles;
     let stats = m.finish();
     assert_eq!(stats.jit_misses, 1, "no re-lowering after a core interlude");
@@ -98,11 +106,10 @@ fn near_memory_between_in_memory_counts_as_mix() {
 fn bigger_arrays_shorten_command_streams() {
     // The 512×512 geometry quarters the tile count; the same region lowers to
     // fewer, larger commands and must not be slower.
-    let mk_cfg = |g| {
-        let mut cfg = SystemConfig::default();
-        cfg.geometry = g;
-        cfg.arrays_per_way = 4; // keep total capacity constant
-        cfg
+    let mk_cfg = |g| SystemConfig {
+        geometry: g,
+        arrays_per_way: 4, // keep total capacity constant
+        ..Default::default()
     };
     let region = elementwise_region("r", 512, 0);
     let run = |cfg: SystemConfig| {
@@ -114,7 +121,10 @@ fn bigger_arrays_shorten_command_streams() {
     };
     let t256 = run(SystemConfig::default());
     let t512 = run(mk_cfg(infs_isa::SramGeometry::G512));
-    assert!(t512 <= t256 * 2, "512x512 arrays must stay in the same band: {t512} vs {t256}");
+    assert!(
+        t512 <= t256 * 2,
+        "512x512 arrays must stay in the same band: {t512} vs {t256}"
+    );
 }
 
 #[test]

@@ -83,22 +83,37 @@ impl fmt::Display for TdfgError {
             } => write!(f, "node {node}: expected {expected} inputs, got {got}"),
             TdfgError::EmptyDomain(n) => write!(f, "node {n} has an empty domain"),
             TdfgError::DimOutOfRange { node, dim, ndim } => {
-                write!(f, "node {node}: dimension {dim} out of range for {ndim}-d lattice")
+                write!(
+                    f,
+                    "node {node}: dimension {dim} out of range for {ndim}-d lattice"
+                )
             }
             TdfgError::RankMismatch { node, got, ndim } => {
-                write!(f, "node {node}: rectangle rank {got} does not match {ndim}-d lattice")
+                write!(
+                    f,
+                    "node {node}: rectangle rank {got} does not match {ndim}-d lattice"
+                )
             }
             TdfgError::BroadcastNotThin(n) => {
-                write!(f, "node {n}: broadcast input must have unit extent in the broadcast dimension")
+                write!(
+                    f,
+                    "node {n}: broadcast input must have unit extent in the broadcast dimension"
+                )
             }
             TdfgError::InputOutOfArray { node, array } => {
                 write!(f, "node {node}: input region falls outside array {array}")
             }
             TdfgError::OutputNotCovered { output } => {
-                write!(f, "output {output}: target region not covered by the node's domain")
+                write!(
+                    f,
+                    "output {output}: target region not covered by the node's domain"
+                )
             }
             TdfgError::ScalarNotSingle { output } => {
-                write!(f, "output {output}: scalar target requires a single-element domain")
+                write!(
+                    f,
+                    "output {output}: scalar target requires a single-element domain"
+                )
             }
             TdfgError::Geom(e) => write!(f, "geometry error: {e}"),
             TdfgError::MissingStreamInput(n) => {

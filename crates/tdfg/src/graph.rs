@@ -188,7 +188,11 @@ impl Tdfg {
 
 impl fmt::Display for Tdfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "tdfg ndim={} dtype={} bounding={}", self.ndim, self.dtype, self.bounding)?;
+        writeln!(
+            f,
+            "tdfg ndim={} dtype={} bounding={}",
+            self.ndim, self.dtype, self.bounding
+        )?;
         for (i, n) in self.nodes.iter().enumerate() {
             let dom = match &self.domains[i] {
                 Some(r) => r.to_string(),
@@ -196,9 +200,11 @@ impl fmt::Display for Tdfg {
             };
             write!(f, "  %{i} = ")?;
             match n {
-                Node::Input { array, rect, array_offset } => {
-                    write!(f, "tensor {array} {rect} off={array_offset:?}")?
-                }
+                Node::Input {
+                    array,
+                    rect,
+                    array_offset,
+                } => write!(f, "tensor {array} {rect} off={array_offset:?}")?,
                 Node::ConstVal { value } => write!(f, "const {value}")?,
                 Node::Param { index } => write!(f, "param #{index}")?,
                 Node::Compute { op, inputs } => {
@@ -208,15 +214,16 @@ impl fmt::Display for Tdfg {
                     }
                 }
                 Node::Mv { input, dim, dist } => write!(f, "mv {input} dim={dim} dist={dist}")?,
-                Node::Bc { input, dim, dist, count } => {
-                    write!(f, "bc {input} dim={dim} dist={dist} count={count}")?
-                }
+                Node::Bc {
+                    input,
+                    dim,
+                    dist,
+                    count,
+                } => write!(f, "bc {input} dim={dim} dist={dist} count={count}")?,
                 Node::Shrink { input, dim, p, q } => {
                     write!(f, "shrink {input} dim={dim} [{p},{q})")?
                 }
-                Node::Reduce { input, dim, op } => {
-                    write!(f, "reduce {input} dim={dim} op={op}")?
-                }
+                Node::Reduce { input, dim, op } => write!(f, "reduce {input} dim={dim} op={op}")?,
                 Node::StreamIn { stream, rect } => write!(f, "strm {stream} {rect}")?,
             }
             writeln!(f, "  : {dom}")?;
@@ -412,7 +419,13 @@ impl TdfgBuilder {
     /// # Errors
     ///
     /// Returns an error for a dangling reference or out-of-range dimension.
-    pub fn shrink(&mut self, input: NodeId, dim: usize, p: i64, q: i64) -> Result<NodeId, TdfgError> {
+    pub fn shrink(
+        &mut self,
+        input: NodeId,
+        dim: usize,
+        p: i64,
+        q: i64,
+    ) -> Result<NodeId, TdfgError> {
         self.check_ref(input)?;
         self.check_dim(dim)?;
         Ok(self.push(Node::Shrink { input, dim, p, q }))
@@ -535,8 +548,12 @@ impl TdfgBuilder {
                     let decl = arrays
                         .get(array.0 as usize)
                         .ok_or(TdfgError::UnknownArray(*array))?;
-                    check_region_in_array(rect, array_offset, decl)
-                        .map_err(|_| TdfgError::InputOutOfArray { node: id, array: *array })?;
+                    check_region_in_array(rect, array_offset, decl).map_err(|_| {
+                        TdfgError::InputOutOfArray {
+                            node: id,
+                            array: *array,
+                        }
+                    })?;
                     Some(rect.clone())
                 }
                 Node::ConstVal { .. } | Node::Param { .. } => None,
@@ -545,9 +562,7 @@ impl TdfgBuilder {
                     for x in inputs {
                         if let Some(d) = get(x) {
                             acc = Some(match acc {
-                                Some(a) => a
-                                    .intersect(d)?
-                                    .ok_or(TdfgError::EmptyDomain(id))?,
+                                Some(a) => a.intersect(d)?.ok_or(TdfgError::EmptyDomain(id))?,
                                 None => d.clone(),
                             });
                         }
@@ -655,11 +670,7 @@ impl TdfgBuilder {
 /// Checks that a lattice region, offset into array coordinates, lies within the
 /// array's bounds. Lattice dimensions beyond the array's rank must map to the
 /// degenerate coordinate range `[0, 1)`.
-fn check_region_in_array(
-    rect: &HyperRect,
-    offset: &[i64],
-    decl: &ArrayDecl,
-) -> Result<(), ()> {
+fn check_region_in_array(rect: &HyperRect, offset: &[i64], decl: &ArrayDecl) -> Result<(), ()> {
     if offset.len() != rect.ndim() {
         return Err(());
     }
@@ -730,9 +741,7 @@ mod tests {
     fn bc_places_copies_absolutely() {
         let mut b = TdfgBuilder::new(2, DataType::F32);
         let a = b.declare_array(ArrayDecl::new("A", vec![4, 4], DataType::F32));
-        let row = b
-            .input_at(a, rect(&[(0, 4), (2, 3)]), vec![0, 0])
-            .unwrap();
+        let row = b.input_at(a, rect(&[(0, 4), (2, 3)]), vec![0, 0]).unwrap();
         let bcast = b.bc(row, 1, 0, 4).unwrap();
         b.output(bcast, OutputTarget::array(a, rect(&[(0, 4), (0, 4)])));
         let g = b.build().unwrap();
@@ -786,9 +795,7 @@ mod tests {
         // Lattice [0,4)x[0,1) reads A[0,4)x[2,3): a single matrix column.
         let mut b = TdfgBuilder::new(2, DataType::F32);
         let a = b.declare_array(ArrayDecl::new("A", vec![4, 4], DataType::F32));
-        let col = b
-            .input_at(a, rect(&[(0, 4), (0, 1)]), vec![0, 2])
-            .unwrap();
+        let col = b.input_at(a, rect(&[(0, 4), (0, 1)]), vec![0, 2]).unwrap();
         b.output(col, OutputTarget::array(a, rect(&[(0, 4), (0, 1)])));
         assert!(b.build().is_ok());
     }

@@ -264,9 +264,7 @@ pub fn execute(
                 let t = match v {
                     Val::Tensor(t) => t.clone(),
                     Val::Uniform(u) => TensorData::splat(
-                        g.domain(*node)
-                            .expect("stream outputs are finite")
-                            .clone(),
+                        g.domain(*node).expect("stream outputs are finite").clone(),
                         *u,
                     ),
                 };
@@ -409,9 +407,7 @@ mod tests {
     fn stream_in_supplies_tensor() {
         let mut b = TdfgBuilder::new(1, DataType::F32);
         let a = b.declare_array(ArrayDecl::new("A", vec![4], DataType::F32));
-        let s = b
-            .stream_in(StreamId(0), rect(&[(0, 4)]))
-            .unwrap();
+        let s = b.stream_in(StreamId(0), rect(&[(0, 4)])).unwrap();
         let x = b.input(a, rect(&[(0, 4)])).unwrap();
         let sum = b.compute(ComputeOp::Add, &[s, x]).unwrap();
         b.output(sum, OutputTarget::array(a, rect(&[(0, 4)])));
@@ -419,7 +415,10 @@ mod tests {
         let mut mem = Memory::for_arrays(g.arrays());
         mem.write_array(a, &[1., 1., 1., 1.]);
         let mut ins = HashMap::new();
-        ins.insert(s, TensorData::new(rect(&[(0, 4)]), vec![10., 20., 30., 40.]));
+        ins.insert(
+            s,
+            TensorData::new(rect(&[(0, 4)]), vec![10., 20., 30., 40.]),
+        );
         execute(&g, &mut mem, &[], &ins).unwrap();
         assert_eq!(mem.array(a), &[11., 21., 31., 41.]);
 

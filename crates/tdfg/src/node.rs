@@ -112,9 +112,10 @@ impl Node {
     /// Ids of the tensors this node reads.
     pub fn inputs(&self) -> Vec<NodeId> {
         match self {
-            Node::Input { .. } | Node::ConstVal { .. } | Node::Param { .. } | Node::StreamIn { .. } => {
-                Vec::new()
-            }
+            Node::Input { .. }
+            | Node::ConstVal { .. }
+            | Node::Param { .. }
+            | Node::StreamIn { .. } => Vec::new(),
             Node::Compute { inputs, .. } => inputs.clone(),
             Node::Mv { input, .. }
             | Node::Bc { input, .. }

@@ -46,7 +46,11 @@ impl ComputeOp {
     /// Number of input tensors the operation consumes.
     pub fn arity(self) -> usize {
         match self {
-            ComputeOp::Neg | ComputeOp::Abs | ComputeOp::Sqrt | ComputeOp::Relu | ComputeOp::Copy => 1,
+            ComputeOp::Neg
+            | ComputeOp::Abs
+            | ComputeOp::Sqrt
+            | ComputeOp::Relu
+            | ComputeOp::Copy => 1,
             ComputeOp::Select => 3,
             _ => 2,
         }
@@ -143,7 +147,10 @@ pub fn bit_serial_latency(op: ComputeOp, dtype: DataType) -> u64 {
             ComputeOp::Add | ComputeOp::Sub => 2 * n + 1,
             ComputeOp::Mul => n * n + 5 * n,
             ComputeOp::Div | ComputeOp::Sqrt => 3 * n * n / 2 + 5 * n,
-            ComputeOp::Min | ComputeOp::Max | ComputeOp::CmpLt | ComputeOp::CmpLe
+            ComputeOp::Min
+            | ComputeOp::Max
+            | ComputeOp::CmpLt
+            | ComputeOp::CmpLe
             | ComputeOp::CmpEq => 2 * n + 1,
             ComputeOp::Neg | ComputeOp::Abs | ComputeOp::Relu | ComputeOp::Copy => n + 1,
             ComputeOp::Select => 3 * n + 1,
@@ -156,14 +163,17 @@ pub fn bit_serial_latency(op: ComputeOp, dtype: DataType) -> u64 {
                 // Align (shift mantissa by exponent diff) + add + normalize.
                 ComputeOp::Add | ComputeOp::Sub => 8 * M + 2 * E, // 208
                 // Mantissa multiply + exponent add + normalize.
-                ComputeOp::Mul => M * M + 5 * M + 2 * E + 1,      // 713
+                ComputeOp::Mul => M * M + 5 * M + 2 * E + 1, // 713
                 ComputeOp::Div => 3 * M * M / 2 + 5 * M + 2 * E + 1, // 1001
-                ComputeOp::Sqrt => 2 * M * M,                     // 1152
+                ComputeOp::Sqrt => 2 * M * M,                // 1152
                 // Sign-magnitude comparison works on the raw bit pattern.
-                ComputeOp::Min | ComputeOp::Max | ComputeOp::CmpLt | ComputeOp::CmpLe
-                | ComputeOp::CmpEq => 2 * 32 + 1,                 // 65
+                ComputeOp::Min
+                | ComputeOp::Max
+                | ComputeOp::CmpLt
+                | ComputeOp::CmpLe
+                | ComputeOp::CmpEq => 2 * 32 + 1, // 65
                 ComputeOp::Neg | ComputeOp::Abs | ComputeOp::Relu | ComputeOp::Copy => 32 + 2, // 34
-                ComputeOp::Select => 3 * 32 + 1,                  // 97
+                ComputeOp::Select => 3 * 32 + 1,                                               // 97
             }
         }
     }

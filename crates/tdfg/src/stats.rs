@@ -82,18 +82,15 @@ impl Tdfg {
         let mut hints = LayoutHints::default();
         for n in self.nodes() {
             match n {
-                Node::Mv { dim, dist, .. }
-                    if *dist != 0 && !hints.shift_dims.contains(dim) => {
-                        hints.shift_dims.push(*dim);
-                    }
-                Node::Bc { dim, .. }
-                    if !hints.broadcast_dims.contains(dim) => {
-                        hints.broadcast_dims.push(*dim);
-                    }
-                Node::Reduce { dim, .. }
-                    if hints.reduce_dim.is_none() => {
-                        hints.reduce_dim = Some(*dim);
-                    }
+                Node::Mv { dim, dist, .. } if *dist != 0 && !hints.shift_dims.contains(dim) => {
+                    hints.shift_dims.push(*dim);
+                }
+                Node::Bc { dim, .. } if !hints.broadcast_dims.contains(dim) => {
+                    hints.broadcast_dims.push(*dim);
+                }
+                Node::Reduce { dim, .. } if hints.reduce_dim.is_none() => {
+                    hints.reduce_dim = Some(*dim);
+                }
                 _ => {}
             }
         }

@@ -86,7 +86,10 @@ impl Benchmark for Conv2d {
         for j in 1..n - 1 {
             for i in 1..n - 1 {
                 b[i + j * n] = C2 * at(i, j)
-                    + C0 * (at(i - 1, j - 1) + at(i + 1, j - 1) + at(i - 1, j + 1) + at(i + 1, j + 1))
+                    + C0 * (at(i - 1, j - 1)
+                        + at(i + 1, j - 1)
+                        + at(i - 1, j + 1)
+                        + at(i + 1, j + 1))
                     + C1 * (at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1));
             }
         }
@@ -159,10 +162,7 @@ impl Conv3d {
                     Idx::sym(ci),
                 ],
             );
-            let w = ScalarExpr::load(
-                wbuf,
-                vec![Idx::constant(0), Idx::constant(0), Idx::var(co)],
-            );
+            let w = ScalarExpr::load(wbuf, vec![Idx::constant(0), Idx::constant(0), Idx::var(co)]);
             k.accum(
                 out,
                 vec![Idx::var(x), Idx::var(y), Idx::var(co)],
@@ -221,12 +221,7 @@ impl Benchmark for Conv3d {
                         for t in 0..9 {
                             let (dx, dy) = ((t % 3) as i64 - 1, (t / 3) as i64 - 1);
                             let w = wt[co + ch * (ci + ch * t)];
-                            acc += w
-                                * iat(
-                                    (x as i64 + dx) as usize,
-                                    (y as i64 + dy) as usize,
-                                    ci,
-                                );
+                            acc += w * iat((x as i64 + dx) as usize, (y as i64 + dy) as usize, ci);
                         }
                     }
                     out[x + hw * (y + hw * co)] = acc;
@@ -262,7 +257,11 @@ mod tests {
     #[test]
     fn conv3d_verifies() {
         let b = Conv3d::new(Scale::Test);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }

@@ -270,7 +270,7 @@ impl Benchmark for GatherMlp {
                     acc += g[k + i * nk] * wv;
                 }
                 let o = match self.dataflow {
-                    Dataflow::Outer => i + n * m, // OUT[i][n], i contiguous
+                    Dataflow::Outer => i + n * m,  // OUT[i][n], i contiguous
                     Dataflow::Inner => n + i * nk, // OUT[n][i], n contiguous
                 };
                 out[o] = acc.max(0.0);
@@ -292,7 +292,11 @@ mod tests {
     #[test]
     fn gather_mlp_outer_verifies() {
         let b = GatherMlp::new(Scale::Test, Dataflow::Outer);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }
@@ -300,7 +304,11 @@ mod tests {
     #[test]
     fn gather_mlp_inner_verifies() {
         let b = GatherMlp::new(Scale::Test, Dataflow::Inner);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }

@@ -513,7 +513,11 @@ mod tests {
     #[test]
     fn kmeans_outer_verifies() {
         let b = Kmeans::new(Scale::Test, Dataflow::Outer);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }
@@ -521,7 +525,11 @@ mod tests {
     #[test]
     fn kmeans_inner_verifies() {
         let b = Kmeans::new(Scale::Test, Dataflow::Inner);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }

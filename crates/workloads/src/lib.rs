@@ -52,7 +52,12 @@ pub enum Scale {
 }
 
 /// A runnable benchmark: kernels + driver + reference.
-pub trait Benchmark {
+///
+/// `Send + Sync` is a supertrait so benchmark objects can be constructed on
+/// one thread and driven on another — the parallel run matrix simulates many
+/// (benchmark, configuration) pairs on worker threads at once. Implementors
+/// hold only plain data (shapes, scales, constants), so this costs nothing.
+pub trait Benchmark: Send + Sync {
     /// Display name (Table 3 naming, e.g. `"stencil2d"` or `"mm/out"`).
     fn name(&self) -> &str;
 
@@ -75,6 +80,19 @@ pub trait Benchmark {
     /// Arrays whose contents constitute the checked output.
     fn output_arrays(&self) -> Vec<infs_sdfg::ArrayId>;
 }
+
+// Compile-time audit of the types the parallel run matrix moves across or
+// shares between worker threads. No `unsafe impl` anywhere: these hold only
+// owned plain data, so the auto traits must come for free.
+const _: () = {
+    const fn assert_send<T: Send + ?Sized>() {}
+    const fn assert_sync<T: Sync + ?Sized>() {}
+    assert_send::<Box<dyn Benchmark>>();
+    assert_send::<Machine>();
+    assert_send::<RunStats>();
+    assert_send::<SimError>();
+    assert_sync::<SystemConfig>();
+};
 
 /// Runs a benchmark end-to-end and returns the machine statistics.
 ///

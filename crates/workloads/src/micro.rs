@@ -104,7 +104,10 @@ impl ArraySum {
         let i = k.parallel_loop("i", 0, n as i64);
         k.scalar_reduce("sum", ReduceOp::Sum, ScalarExpr::load(a, vec![Idx::var(i)]));
         let _ = out;
-        let region = instantiate(&compile(k.build().expect("array_sum builds"), &[], true), &[]);
+        let region = instantiate(
+            &compile(k.build().expect("array_sum builds"), &[], true),
+            &[],
+        );
         ArraySum { n, region }
     }
 
@@ -130,7 +133,12 @@ impl Benchmark for ArraySum {
     fn run(&self, m: &mut Machine, mode: ExecMode) -> Result<(), SimError> {
         let report = m.run_region(&self.region, &[], mode)?;
         // The scalar result lands in the output cell so verification can see it.
-        if let Some(v) = report.scalars.iter().find(|(n, _)| n == "sum").map(|&(_, v)| v) {
+        if let Some(v) = report
+            .scalars
+            .iter()
+            .find(|(n, _)| n == "sum")
+            .map(|&(_, v)| v)
+        {
             mem_store_scalar(m, v);
         }
         Ok(())

@@ -167,7 +167,13 @@ impl Benchmark for MatMul {
 
     fn arrays(&self) -> Vec<ArrayDecl> {
         match self.dataflow {
-            Dataflow::Outer => self.copy_a.as_ref().expect("built").kernel().arrays().to_vec(),
+            Dataflow::Outer => self
+                .copy_a
+                .as_ref()
+                .expect("built")
+                .kernel()
+                .arrays()
+                .to_vec(),
             Dataflow::Inner => self
                 .copy_acol
                 .as_ref()
@@ -251,7 +257,11 @@ mod tests {
     #[test]
     fn mm_outer_verifies() {
         let b = MatMul::new(Scale::Test, Dataflow::Outer);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }
@@ -259,7 +269,11 @@ mod tests {
     #[test]
     fn mm_inner_verifies() {
         let b = MatMul::new(Scale::Test, Dataflow::Inner);
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             verify(&b, mode, &SystemConfig::default()).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
         }
     }

@@ -176,16 +176,23 @@ impl PointNet {
 
         let mut stages: Vec<SaStage> = Vec::new();
         let build_stage = |decls: &mut Decls,
-                               stages: &mut Vec<SaStage>,
-                               label: &str,
-                               p: SaParams,
-                               np_in: u64,
-                               src_pts: ArrayId,
-                               feat_srcs: Vec<FeatSrc>,
-                               sample_here: bool,
-                               shared_cpts: Option<ArrayId>| {
+                           stages: &mut Vec<SaStage>,
+                           label: &str,
+                           p: SaParams,
+                           np_in: u64,
+                           src_pts: ArrayId,
+                           feat_srcs: Vec<FeatSrc>,
+                           sample_here: bool,
+                           shared_cpts: Option<ArrayId>| {
             let st = SaStage::build(
-                decls, label, p, np_in, src_pts, feat_srcs, sample_here, shared_cpts,
+                decls,
+                label,
+                p,
+                np_in,
+                src_pts,
+                feat_srcs,
+                sample_here,
+                shared_cpts,
             );
             stages.push(st);
         };
@@ -334,10 +341,7 @@ impl PointNet {
             let i = kb.parallel_loop("i", 0, din as i64);
             let o = kb.parallel_loop("o", 0, dout as i64);
             let input = if l == 0 {
-                ScalarExpr::load(
-                    fc_in,
-                    vec![Idx::constant(0), Idx::constant(0), Idx::var(i)],
-                )
+                ScalarExpr::load(fc_in, vec![Idx::constant(0), Idx::constant(0), Idx::var(i)])
             } else {
                 ScalarExpr::load(fc_out[l - 1], vec![Idx::constant(0), Idx::var(i)])
             };
@@ -452,8 +456,16 @@ impl SaStage {
         ];
         let weights = [
             decls.add(format!("{label}_W0"), vec![p.dims[0], din], DataType::F32),
-            decls.add(format!("{label}_W1"), vec![p.dims[1], p.dims[0]], DataType::F32),
-            decls.add(format!("{label}_W2"), vec![p.dims[2], p.dims[1]], DataType::F32),
+            decls.add(
+                format!("{label}_W1"),
+                vec![p.dims[1], p.dims[0]],
+                DataType::F32,
+            ),
+            decls.add(
+                format!("{label}_W2"),
+                vec![p.dims[2], p.dims[1]],
+                DataType::F32,
+            ),
         ];
         let agg = decls.add(format!("{label}_AGG"), vec![1, k, p.dims[2]], DataType::F32);
         // Kernels are compiled in `build_kernels` once the global table exists;
@@ -488,11 +500,31 @@ impl SaStage {
             fs_max: placeholder.clone(),
             ballq: placeholder.clone(),
             gathers: Vec::new(),
-            copy_g: [placeholder.clone(), placeholder.clone(), placeholder.clone()],
-            copy_w: [placeholder.clone(), placeholder.clone(), placeholder.clone()],
-            step: [placeholder.clone(), placeholder.clone(), placeholder.clone()],
-            relu: [placeholder.clone(), placeholder.clone(), placeholder.clone()],
-            mlp_inner: [placeholder.clone(), placeholder.clone(), placeholder.clone()],
+            copy_g: [
+                placeholder.clone(),
+                placeholder.clone(),
+                placeholder.clone(),
+            ],
+            copy_w: [
+                placeholder.clone(),
+                placeholder.clone(),
+                placeholder.clone(),
+            ],
+            step: [
+                placeholder.clone(),
+                placeholder.clone(),
+                placeholder.clone(),
+            ],
+            relu: [
+                placeholder.clone(),
+                placeholder.clone(),
+                placeholder.clone(),
+            ],
+            mlp_inner: [
+                placeholder.clone(),
+                placeholder.clone(),
+                placeholder.clone(),
+            ],
             aggregate: placeholder,
         }
     }
@@ -580,10 +612,8 @@ impl SaStage {
             let mut out = Vec::new();
             let mut offset = 0i64;
             for (si, src) in self.feat_srcs.iter().enumerate() {
-                let mut kb = KernelBuilder::new(
-                    format!("{}_gather{si}", self.label),
-                    DataType::F32,
-                );
+                let mut kb =
+                    KernelBuilder::new(format!("{}_gather{si}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
                 let j = kb.parallel_loop("j", 0, n as i64);
                 let c = kb.parallel_loop("c", 0, k as i64);
@@ -623,8 +653,7 @@ impl SaStage {
             let dout = self.p.dims[l];
             let _ = din_l;
             self.copy_g[l] = {
-                let mut kb =
-                    KernelBuilder::new(format!("{}_copyg{l}", self.label), DataType::F32);
+                let mut kb = KernelBuilder::new(format!("{}_copyg{l}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
                 let kk = kb.sym("kk");
                 let j = kb.parallel_loop("j", 0, n as i64);
@@ -637,8 +666,7 @@ impl SaStage {
                 compile(kb.build().expect("builds"), &[0], false)
             };
             self.copy_w[l] = {
-                let mut kb =
-                    KernelBuilder::new(format!("{}_copyw{l}", self.label), DataType::F32);
+                let mut kb = KernelBuilder::new(format!("{}_copyw{l}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
                 let kk = kb.sym("kk");
                 let o = kb.parallel_loop("o", 0, dout as i64);
@@ -650,8 +678,7 @@ impl SaStage {
                 compile(kb.build().expect("builds"), &[0], false)
             };
             self.step[l] = {
-                let mut kb =
-                    KernelBuilder::new(format!("{}_step{l}", self.label), DataType::F32);
+                let mut kb = KernelBuilder::new(format!("{}_step{l}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
                 let j = kb.parallel_loop("j", 0, n as i64);
                 let c = kb.parallel_loop("c", 0, k as i64);
@@ -675,8 +702,7 @@ impl SaStage {
                 // Fused single-region layer for core/near execution: the Base
                 // implementation is a tiled inner-product GEMM, not staged
                 // outer-product rounds (Fig 8).
-                let mut kb =
-                    KernelBuilder::new(format!("{}_mlpin{l}", self.label), DataType::F32);
+                let mut kb = KernelBuilder::new(format!("{}_mlpin{l}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
                 let kk = kb.parallel_loop("kk", 0, din_l as i64);
                 let j = kb.parallel_loop("j", 0, n as i64);
@@ -695,8 +721,7 @@ impl SaStage {
                 compile(kb.build().expect("builds"), &[], false)
             };
             self.relu[l] = {
-                let mut kb =
-                    KernelBuilder::new(format!("{}_relu{l}", self.label), DataType::F32);
+                let mut kb = KernelBuilder::new(format!("{}_relu{l}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
                 let j = kb.parallel_loop("j", 0, n as i64);
                 let c = kb.parallel_loop("c", 0, k as i64);
@@ -738,7 +763,10 @@ impl SaStage {
         mode: ExecMode,
         reports: &mut Vec<StageReport>,
     ) -> Result<(), SimError> {
-        let push = |phase: &'static str, cycles: u64, executed: Executed, reports: &mut Vec<StageReport>| {
+        let push = |phase: &'static str,
+                    cycles: u64,
+                    executed: Executed,
+                    reports: &mut Vec<StageReport>| {
             reports.push(StageReport {
                 stage: self.label.clone(),
                 phase,
@@ -929,7 +957,11 @@ mod tests {
         let b = PointNet::new(Scale::Test, PointNetVariant::Ssg);
         let cfg = infs_sim::SystemConfig::default();
         let mut outs = Vec::new();
-        for mode in [ExecMode::Base { threads: 64 }, ExecMode::NearL3, ExecMode::InfS] {
+        for mode in [
+            ExecMode::Base { threads: 64 },
+            ExecMode::NearL3,
+            ExecMode::InfS,
+        ] {
             let arrays = b.arrays();
             let mut m = Machine::new(cfg.clone(), &arrays);
             b.init(m.memory());

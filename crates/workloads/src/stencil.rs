@@ -41,7 +41,10 @@ impl Stencil1d {
                 load1(src, i, 1),
             );
             k.assign(dst, vec![Idx::var(i)], e);
-            instantiate(&compile(k.build().expect("stencil1d builds"), &[], true), &[])
+            instantiate(
+                &compile(k.build().expect("stencil1d builds"), &[], true),
+                &[],
+            )
         };
         Stencil1d {
             n,
@@ -126,7 +129,10 @@ impl Stencil2d {
             );
             let scaled = ScalarExpr::mul(sum, ScalarExpr::Const(0.2));
             k.assign(dst, vec![Idx::var(i), Idx::var(j)], scaled);
-            instantiate(&compile(k.build().expect("stencil2d builds"), &[], true), &[])
+            instantiate(
+                &compile(k.build().expect("stencil2d builds"), &[], true),
+                &[],
+            )
         };
         Stencil2d {
             n,
@@ -218,17 +224,17 @@ impl Stencil3d {
                 )
             };
             let sum = ScalarExpr::add(
-                ScalarExpr::add(
-                    tap(0, 0, 0),
-                    ScalarExpr::add(tap(-1, 0, 0), tap(1, 0, 0)),
-                ),
+                ScalarExpr::add(tap(0, 0, 0), ScalarExpr::add(tap(-1, 0, 0), tap(1, 0, 0))),
                 ScalarExpr::add(
                     ScalarExpr::add(tap(0, -1, 0), tap(0, 1, 0)),
                     ScalarExpr::add(tap(0, 0, -1), tap(0, 0, 1)),
                 ),
             );
             k.assign(dst, vec![Idx::var(x), Idx::var(y), Idx::var(z)], sum);
-            instantiate(&compile(k.build().expect("stencil3d builds"), &[], true), &[])
+            instantiate(
+                &compile(k.build().expect("stencil3d builds"), &[], true),
+                &[],
+            )
         };
         Stencil3d {
             shape,
@@ -321,23 +327,28 @@ impl Dwt2d {
                 .iter()
                 .map(|nm| k.array(*nm, vec![n, n]))
                 .collect();
-            let i = k.parallel_loop("i", if dim == 0 { lo } else { 0 }, if dim == 0 { hi } else { n as i64 });
-            let j = k.parallel_loop("j", if dim == 1 { lo } else { 0 }, if dim == 1 { hi } else { n as i64 });
+            let i = k.parallel_loop(
+                "i",
+                if dim == 0 { lo } else { 0 },
+                if dim == 0 { hi } else { n as i64 },
+            );
+            let j = k.parallel_loop(
+                "j",
+                if dim == 1 { lo } else { 0 },
+                if dim == 1 { hi } else { n as i64 },
+            );
             let tap = |arr: ArrayId, d: i64| {
                 let (di, dj) = if dim == 0 { (d, 0) } else { (0, d) };
                 ScalarExpr::load(arr, vec![Idx::var_plus(i, di), Idx::var_plus(j, dj)])
             };
             let (weight, base) = if predict { (-0.5, src) } else { (0.25, src) };
-            let neighbors = ScalarExpr::add(tap(arrays[aux as usize], -1), tap(arrays[aux as usize], 1));
+            let neighbors =
+                ScalarExpr::add(tap(arrays[aux as usize], -1), tap(arrays[aux as usize], 1));
             let e = ScalarExpr::add(
                 tap(arrays[base as usize], 0),
                 ScalarExpr::mul(neighbors, ScalarExpr::Const(weight)),
             );
-            k.assign(
-                arrays[dst as usize],
-                vec![Idx::var(i), Idx::var(j)],
-                e,
-            );
+            k.assign(arrays[dst as usize], vec![Idx::var(i), Idx::var(j)], e);
             instantiate(&compile(k.build().expect("dwt2d builds"), &[], true), &[])
         };
         let ni = n as i64;
@@ -357,7 +368,16 @@ impl Dwt2d {
     /// The element-wise lifting step used by the reference: along `dim`,
     /// `dst = src + w·(aux[−1] + aux[+1])` on coordinates `[lo, hi)`.
     #[allow(clippy::too_many_arguments)]
-    fn lift(src: &[f32], aux: &[f32], dst: &mut [f32], n: usize, dim: usize, lo: usize, hi: usize, w: f32) {
+    fn lift(
+        src: &[f32],
+        aux: &[f32],
+        dst: &mut [f32],
+        n: usize,
+        dim: usize,
+        lo: usize,
+        hi: usize,
+        w: f32,
+    ) {
         let stride = if dim == 0 { 1 } else { n };
         for y in 0..n {
             for x in 0..n {

@@ -85,9 +85,15 @@ mod tests {
         fill_uniform(&mut m1, ArrayId(0), 7, 0.0, 1.0);
         fill_uniform(&mut m2, ArrayId(0), 7, 0.0, 1.0);
         assert_eq!(m1.array(ArrayId(0)), m2.array(ArrayId(0)));
-        assert!(m1.array(ArrayId(0)).iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(m1
+            .array(ArrayId(0))
+            .iter()
+            .all(|&x| (0.0..1.0).contains(&x)));
         fill_small_ints(&mut m1, ArrayId(0), 3, 8);
-        assert!(m1.array(ArrayId(0)).iter().all(|&x| x.fract() == 0.0 && x < 8.0));
+        assert!(m1
+            .array(ArrayId(0))
+            .iter()
+            .all(|&x| x.fract() == 0.0 && x < 8.0));
     }
 
     #[test]

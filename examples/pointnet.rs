@@ -16,7 +16,11 @@ fn main() {
         Some("msg") => PointNetVariant::Msg,
         _ => PointNetVariant::Ssg,
     };
-    let vname = if variant == PointNetVariant::Msg { "MSG" } else { "SSG" };
+    let vname = if variant == PointNetVariant::Msg {
+        "MSG"
+    } else {
+        "SSG"
+    };
     let cfg = SystemConfig::default();
 
     println!("PointNet++ {vname} classifier, 4k-point cloud (Table 4 parameters)\n");

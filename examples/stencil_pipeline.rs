@@ -11,7 +11,10 @@ use infinity_stream::prelude::*;
 use infinity_stream::runtime::TransposedLayout as Layout;
 
 fn stencil_kernel(n: u64, fwd: bool) -> Kernel {
-    let mut k = KernelBuilder::new(if fwd { "stencil_fwd" } else { "stencil_bwd" }, DataType::F32);
+    let mut k = KernelBuilder::new(
+        if fwd { "stencil_fwd" } else { "stencil_bwd" },
+        DataType::F32,
+    );
     let a = k.array("A", vec![n, n]);
     let b = k.array("B", vec![n, n]);
     let (src, dst) = if fwd { (a, b) } else { (b, a) };
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut per_iter = Vec::new();
     for it in 0..iters {
-        let name = if it % 2 == 0 { "stencil_fwd" } else { "stencil_bwd" };
+        let name = if it % 2 == 0 {
+            "stencil_fwd"
+        } else {
+            "stencil_bwd"
+        };
         let report = session.run(name, &[], &[])?;
         per_iter.push(report.cycles);
     }
@@ -77,6 +84,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.traffic.noc_inter_tile,
         stats.traffic.noc_data,
     );
-    assert!(per_iter[2] <= per_iter[0], "memoized iterations are not slower");
+    assert!(
+        per_iter[2] <= per_iter[0],
+        "memoized iterations are not slower"
+    );
     Ok(())
 }

@@ -63,8 +63,8 @@ fn sessions_are_deterministic() {
                 .compile(stencil_kernel(64), &[])
                 .expect("compiles"),
         );
-        let mut s = Session::new(SystemConfig::default(), binary, ExecMode::InfS)
-            .expect("session opens");
+        let mut s =
+            Session::new(SystemConfig::default(), binary, ExecMode::InfS).expect("session opens");
         let init: Vec<f32> = (0..64 * 64).map(|v| (v % 13) as f32).collect();
         s.memory().write_array(ArrayId(0), &init);
         let r = s.run("stencil", &[], &[]).expect("runs");
@@ -133,8 +133,7 @@ fn three_execution_routes_agree() {
     // Route 3: machine under Inf-S.
     let mut binary = FatBinary::new();
     binary.push(Compiler::default().compile(kernel, &[]).expect("compiles"));
-    let mut sess =
-        Session::new(SystemConfig::default(), binary, ExecMode::InfS).expect("session");
+    let mut sess = Session::new(SystemConfig::default(), binary, ExecMode::InfS).expect("session");
     sess.memory().write_array(a, &init);
     sess.run("axpb", &[], &params).expect("runs");
 
@@ -157,9 +156,11 @@ fn runs_on_both_sram_geometries() {
     assert!(inst.schedule_for(SramGeometry::G256).is_some());
     assert!(inst.schedule_for(SramGeometry::G512).is_some());
 
-    let mut cfg = SystemConfig::default();
-    cfg.geometry = SramGeometry::G512;
-    cfg.arrays_per_way = 4; // same capacity: 4x bigger arrays, 4x fewer
+    let cfg = SystemConfig {
+        geometry: SramGeometry::G512,
+        arrays_per_way: 4, // same capacity: 4x bigger arrays, 4x fewer
+        ..Default::default()
+    };
     let mut s = Session::new(cfg, binary, ExecMode::InL3).expect("session");
     let init: Vec<f32> = (0..64 * 64).map(|v| (v % 5) as f32).collect();
     s.memory().write_array(ArrayId(0), &init);
@@ -178,10 +179,17 @@ fn symbolic_regions_shrink_per_iteration() {
     k.assign(
         a,
         vec![Idx::var(i)],
-        ScalarExpr::mul(ScalarExpr::load(a, vec![Idx::var(i)]), ScalarExpr::Const(2.0)),
+        ScalarExpr::mul(
+            ScalarExpr::load(a, vec![Idx::var(i)]),
+            ScalarExpr::Const(2.0),
+        ),
     );
     let mut binary = FatBinary::new();
-    binary.push(Compiler::default().compile(k.build().expect("builds"), &[0]).expect("compiles"));
+    binary.push(
+        Compiler::default()
+            .compile(k.build().expect("builds"), &[0])
+            .expect("compiles"),
+    );
     let mut s = Session::new(SystemConfig::default(), binary, ExecMode::InfS).expect("session");
     s.memory().write_array(ArrayId(0), &vec![1.0; n as usize]);
     for kk in 0..4 {

@@ -1,0 +1,255 @@
+//! Offline stand-in for `rayon` (see `vendor/README.md`). Implements the
+//! `into_par_iter()/par_iter() → map → collect/for_each` surface on top of
+//! `std::thread::scope`: workers claim items by atomic index and write results
+//! into per-index slots, so collected output is always in input order — the
+//! determinism the bench harness' byte-identical-artifact tests rely on.
+//! There is no work stealing; items should be coarse-grained (each one here is
+//! a full simulation or lowering), which makes a claim-by-index loop optimal.
+//!
+//! Thread count: `RAYON_NUM_THREADS` (a value of 1 forces sequential
+//! execution, useful for A/B determinism tests), else
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on worker threads, returning results in input order.
+///
+/// Each worker claims the next unprocessed index from a shared atomic counter
+/// and stores its result in that index's slot — completion order never affects
+/// output order. Panics in `f` propagate when the scope joins.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let results = &results;
+    let next_ref = &next;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("item slot")
+                    .take()
+                    .expect("item claimed once");
+                let out = f(item);
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+
+    results
+        .iter()
+        .map(|m| {
+            m.lock()
+                .expect("result slot")
+                .take()
+                .expect("worker stored result")
+        })
+        .collect()
+}
+
+/// Owned parallel iterator over a materialized item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Lazy `map` stage; evaluation happens at the terminal operation.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    pub fn map<R2, F2>(self, f2: F2) -> ParMap<T, impl Fn(T) -> R2 + Sync>
+    where
+        R2: Send,
+        F2: Fn(R) -> R2 + Sync,
+    {
+        let f1 = self.f;
+        ParMap {
+            items: self.items,
+            f: move |t| f2(f1(t)),
+        }
+    }
+
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    pub fn for_each<F2>(self, f2: F2)
+    where
+        F2: Fn(R) + Sync,
+    {
+        let f1 = self.f;
+        par_map_vec(self.items, move |t| f2(f1(t)));
+    }
+}
+
+/// Conversion into an owned parallel iterator (rayon's trait of the same name).
+pub trait IntoParallelIterator {
+    type Item: Send;
+
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Borrowing conversion: `par_iter()` yielding `&T` (rayon's trait).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ref_iter_and_chained_map() {
+        let v = vec![1i64, 2, 3, 4];
+        let out: Vec<i64> = v.par_iter().map(|&x| x + 1).map(|x| x * 10).collect();
+        assert_eq!(out, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        (0..100usize).into_par_iter().for_each(|i| {
+            total.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn collect_into_map() {
+        use std::collections::BTreeMap;
+        let m: BTreeMap<usize, usize> = vec![3usize, 1, 2]
+            .into_par_iter()
+            .map(|x| (x, x * x))
+            .collect();
+        assert_eq!(m.keys().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
