@@ -1,0 +1,98 @@
+//! Request throughput of the resident serving layer: mixed execute requests
+//! from several client threads against one in-process `infs-serve` server,
+//! with the artifact cache warm — measures admission + dispatch + session
+//! pooling overhead on top of the simulator itself, and the benefit of
+//! pooled (warm) sessions over cold per-request servers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use infs_serve::{
+    demo, ArrayPayload, ExecuteRequest, Request, RequestBody, ServeConfig, Server, WireMode,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const N: u64 = 256;
+
+fn execute_request(id: u64, artifact: &str, mode: WireMode) -> Request {
+    Request {
+        id,
+        tenant: format!("bench-{}", id % 4),
+        deadline_ms: None,
+        body: RequestBody::Execute(ExecuteRequest {
+            artifact: Some(artifact.to_string()),
+            binary: None,
+            region: "scale".to_string(),
+            syms: vec![],
+            params: vec![2.0],
+            mode,
+            inputs: vec![ArrayPayload {
+                array: 0,
+                data: vec![1.0; N as usize],
+            }],
+            outputs: vec![0],
+        }),
+    }
+}
+
+/// Compiles the demo kernel once and returns a running server plus the
+/// warm artifact id.
+fn warm_server(workers: usize) -> (Arc<Server>, String) {
+    let server = Arc::new(Server::new(ServeConfig {
+        workers,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    }));
+    let r = server.call(Request {
+        id: 0,
+        tenant: "bench".into(),
+        deadline_ms: None,
+        body: RequestBody::Compile(infs_serve::CompileRequest {
+            kernel: demo::scale(N),
+            representative_syms: vec![],
+            optimize: true,
+        }),
+    });
+    assert!(r.ok, "warmup compile failed: {:?}", r.error);
+    (server, r.artifact.expect("artifact id"))
+}
+
+/// `clients` threads each push `per_client` execute requests through the
+/// server and wait for every response; returns total requests completed.
+fn drive(server: &Arc<Server>, artifact: &str, clients: usize, per_client: usize) -> u64 {
+    std::thread::scope(|s| {
+        for t in 0..clients {
+            let server = server.clone();
+            let artifact = artifact.to_string();
+            s.spawn(move || {
+                for i in 0..per_client {
+                    let mode = [WireMode::InfS, WireMode::NearL3][(t + i) % 2];
+                    let r = server.call(execute_request(
+                        (t * per_client + i) as u64,
+                        &artifact,
+                        mode,
+                    ));
+                    assert!(r.ok, "bench execute failed: {:?}", r.error);
+                }
+            });
+        }
+    });
+    (clients * per_client) as u64
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let (server, artifact) = warm_server(workers);
+        group.bench_with_input(
+            BenchmarkId::new("4clients_x16", workers),
+            &workers,
+            |b, _| b.iter(|| black_box(drive(&server, &artifact, 4, 16))),
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

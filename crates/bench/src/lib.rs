@@ -17,7 +17,7 @@ pub mod figures;
 pub mod matrix;
 pub mod table;
 
-pub use matrix::{ConfigName, MatrixEntry, RunMatrix};
+pub use matrix::{ConfigName, MatrixEntry, MatrixError, MatrixFailure, RunMatrix};
 pub use table::Table;
 
 use infs_sim::SystemConfig;

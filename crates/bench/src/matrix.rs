@@ -36,13 +36,33 @@ pub const ALL_CONFIGS: [ConfigName; 6] = [
     ConfigName::InfSNoJit,
 ];
 
-/// A simulation failure tagged with the (workload, configuration) pair that
+/// A sweep failure tagged with the (workload, configuration) pair that
 /// produced it, so a 78-pair sweep reports *which* cell went wrong.
 #[derive(Debug)]
 pub struct MatrixError {
     pub bench: String,
     pub config: ConfigName,
-    pub source: infs_sim::SimError,
+    pub source: MatrixFailure,
+}
+
+/// What went wrong for one (workload, configuration) cell. A resident process
+/// embedding the bench API (the `infs-serve` server, a notebook) must get an
+/// error value for a bad workload name, not a `panic!` that kills it.
+#[derive(Debug)]
+pub enum MatrixFailure {
+    /// The workload name matches nothing in [`WORKLOADS`] / `by_name`.
+    UnknownWorkload,
+    /// The simulation itself failed.
+    Sim(infs_sim::SimError),
+}
+
+impl fmt::Display for MatrixFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixFailure::UnknownWorkload => write!(f, "unknown workload name"),
+            MatrixFailure::Sim(e) => write!(f, "{e}"),
+        }
+    }
 }
 
 impl fmt::Display for MatrixError {
@@ -59,7 +79,10 @@ impl fmt::Display for MatrixError {
 
 impl std::error::Error for MatrixError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        Some(&self.source)
+        match &self.source {
+            MatrixFailure::UnknownWorkload => None,
+            MatrixFailure::Sim(e) => Some(e),
+        }
     }
 }
 
@@ -240,11 +263,7 @@ impl RunMatrix {
 
         let sim_pair = |(name, config): (&str, ConfigName)| {
             let t0 = std::time::Instant::now();
-            let stats = run_one(name, config, ctx).map_err(|source| MatrixError {
-                bench: name.to_string(),
-                config,
-                source,
-            })?;
+            let stats = run_one(name, config, ctx)?;
             eprintln!(
                 "[matrix] {name} / {}: {} cycles ({:.1}s host)",
                 config.label(),
@@ -292,10 +311,23 @@ impl RunMatrix {
 /// Simulates one (workload, configuration) pair. Functional execution is on
 /// only at test scale — paper-scale runs are timing-only, with correctness
 /// covered by the test-scale verification suite.
-pub fn run_one(name: &str, config: ConfigName, ctx: &Ctx) -> Result<RunStats, infs_sim::SimError> {
-    let b = by_name(name, ctx.scale()).unwrap_or_else(|| panic!("unknown workload {name}"));
+///
+/// # Errors
+///
+/// Returns [`MatrixFailure::UnknownWorkload`] (tagged with the requested
+/// pair) for a name `by_name` does not know, and [`MatrixFailure::Sim`] for
+/// simulation failures — never panics, so a long-lived process can feed it
+/// untrusted names.
+pub fn run_one(name: &str, config: ConfigName, ctx: &Ctx) -> Result<RunStats, MatrixError> {
+    let err = |source| MatrixError {
+        bench: name.to_string(),
+        config,
+        source,
+    };
+    let b = by_name(name, ctx.scale()).ok_or_else(|| err(MatrixFailure::UnknownWorkload))?;
     let functional = ctx.scale() == Scale::Test;
     run_timed(b.as_ref(), config.mode(), &ctx.cfg, functional, false)
+        .map_err(|e| err(MatrixFailure::Sim(e)))
 }
 
 #[cfg(test)]
@@ -346,10 +378,29 @@ mod tests {
         let e = MatrixError {
             bench: "conv2d".into(),
             config: ConfigName::NearL3,
-            source: infs_sim::SimError::Runtime(infs_runtime::RuntimeError::NotInMemory),
+            source: MatrixFailure::Sim(infs_sim::SimError::Runtime(
+                infs_runtime::RuntimeError::NotInMemory,
+            )),
         };
         let msg = e.to_string();
         assert!(msg.contains("conv2d"), "{msg}");
         assert!(msg.contains("Near-L3"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    /// An unknown workload name is an error value, not a panic — a resident
+    /// process embedding the bench API must survive a bad request.
+    #[test]
+    fn unknown_workload_is_an_error_not_a_panic() {
+        let ctx = Ctx {
+            out_dir: std::env::temp_dir().join("infs-matrix-unknown-test"),
+            ..Ctx::new(true)
+        };
+        let e = run_one("no_such_workload", ConfigName::InfS, &ctx).unwrap_err();
+        assert!(matches!(e.source, MatrixFailure::UnknownWorkload));
+        let msg = e.to_string();
+        assert!(msg.contains("no_such_workload"), "{msg}");
+        assert!(msg.contains("unknown workload"), "{msg}");
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

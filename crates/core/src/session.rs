@@ -1,8 +1,10 @@
 use infs_isa::{FatBinary, IsaError};
+use infs_runtime::JitCache;
 use infs_sdfg::Memory;
 use infs_sim::{ExecMode, Machine, RegionReport, RunStats, SimError, SystemConfig};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from the high-level session API.
 #[derive(Debug)]
@@ -88,6 +90,40 @@ impl Session {
     /// Returns [`SessionError::EmptyBinary`] or
     /// [`SessionError::InconsistentArrays`] for malformed binaries.
     pub fn new(cfg: SystemConfig, binary: FatBinary, mode: ExecMode) -> Result<Self, SessionError> {
+        let arrays = Self::validate(&binary)?;
+        Ok(Session {
+            machine: Machine::new(cfg, &arrays),
+            binary,
+            mode,
+        })
+    }
+
+    /// Opens a session whose JIT-lowered command streams memoize into a
+    /// **shared** cache — the multi-tenant serving hook: a resident server
+    /// hands every session one `Arc<JitCache>`, so tenants re-running the
+    /// same region reuse each other's lowered commands while functional
+    /// memory stays private per session.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::new`].
+    pub fn with_jit(
+        cfg: SystemConfig,
+        binary: FatBinary,
+        mode: ExecMode,
+        jit: Arc<JitCache>,
+    ) -> Result<Self, SessionError> {
+        let arrays = Self::validate(&binary)?;
+        Ok(Session {
+            machine: Machine::with_jit(cfg, &arrays, jit),
+            binary,
+            mode,
+        })
+    }
+
+    /// Checks the binary is non-empty and its regions agree on one array
+    /// table; returns that table.
+    fn validate(binary: &FatBinary) -> Result<Vec<infs_sdfg::ArrayDecl>, SessionError> {
         let first = binary.regions.first().ok_or(SessionError::EmptyBinary)?;
         let arrays = first.kernel().arrays().to_vec();
         for r in &binary.regions {
@@ -95,11 +131,43 @@ impl Session {
                 return Err(SessionError::InconsistentArrays(r.name().to_string()));
             }
         }
-        Ok(Session {
-            machine: Machine::new(cfg, &arrays),
-            binary,
-            mode,
-        })
+        Ok(arrays)
+    }
+
+    /// Resets the session for reuse by an unrelated request: fresh zeroed
+    /// functional memory, no resident/transposed state, zeroed statistics.
+    /// The machine (and its possibly shared JIT cache) is kept — this is the
+    /// pooling hook that lets a server worker serve tenant after tenant from
+    /// one session without leaking data between them.
+    pub fn reset(&mut self) {
+        self.machine.reset();
+    }
+
+    /// Replaces the loaded binary with another that declares the **same
+    /// array table**, returning the old one — the second pooling hook: a
+    /// pooled machine (allocated memory, warm JIT cache) is rebound to a
+    /// different artifact without reallocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SessionError::EmptyBinary`] or
+    /// [`SessionError::InconsistentArrays`] (naming the first region whose
+    /// array table differs from the loaded one) and leaves the session
+    /// unchanged.
+    pub fn swap_binary(&mut self, binary: FatBinary) -> Result<FatBinary, SessionError> {
+        let new_arrays = Self::validate(&binary)?;
+        let current = self.binary.regions[0].kernel().arrays();
+        if new_arrays.as_slice() != current {
+            return Err(SessionError::InconsistentArrays(
+                binary.regions[0].name().to_string(),
+            ));
+        }
+        Ok(std::mem::replace(&mut self.binary, binary))
+    }
+
+    /// The loaded fat binary.
+    pub fn binary(&self) -> &FatBinary {
+        &self.binary
     }
 
     /// The execution mode regions run under.
@@ -203,6 +271,118 @@ mod tests {
     fn empty_binary_rejected() {
         assert!(matches!(
             Session::new(SystemConfig::default(), FatBinary::new(), ExecMode::InfS),
+            Err(SessionError::EmptyBinary)
+        ));
+    }
+
+    /// Two regions declaring different array tables cannot share a session;
+    /// the error names the offending region.
+    #[test]
+    fn inconsistent_arrays_rejected() {
+        let (mut fb, _) = binary();
+        let mut k = KernelBuilder::new("other", DataType::F32);
+        let b = k.array("B", vec![128]); // different table: one array, len 128
+        let i = k.parallel_loop("i", 0, 128);
+        k.assign(b, vec![Idx::var(i)], ScalarExpr::load(b, vec![Idx::var(i)]));
+        fb.push(
+            Compiler::default()
+                .compile(k.build().unwrap(), &[])
+                .unwrap(),
+        );
+        match Session::new(SystemConfig::default(), fb, ExecMode::InfS) {
+            Err(SessionError::InconsistentArrays(name)) => {
+                assert_eq!(name, "other");
+            }
+            other => panic!("expected InconsistentArrays, got {other:?}"),
+        }
+    }
+
+    /// Error Display strings are client-visible through the serving layer;
+    /// pin the three binary-shape variants.
+    #[test]
+    fn error_messages_name_the_cause() {
+        assert!(SessionError::UnknownRegion("f".into())
+            .to_string()
+            .contains("no region named 'f'"));
+        assert!(SessionError::EmptyBinary.to_string().contains("no regions"));
+        assert!(SessionError::InconsistentArrays("g".into())
+            .to_string()
+            .contains("'g'"));
+    }
+
+    /// A shared JitCache observes lowering traffic from multiple sessions;
+    /// re-running a region in a *new* session hits the commands the first
+    /// session lowered. InL3 forces the in-memory path (InfS's Eq 2 decision
+    /// would keep a region this small off the bitlines entirely).
+    #[test]
+    fn sessions_share_a_jit_cache() {
+        let jit = std::sync::Arc::new(infs_runtime::JitCache::new());
+        for round in 0..2 {
+            let (fb, a) = binary();
+            let mut s = Session::with_jit(SystemConfig::default(), fb, ExecMode::InL3, jit.clone())
+                .unwrap();
+            s.memory().write_array(a, &vec![1.0; 256]);
+            let r = s.run("scale", &[], &[2.0]).unwrap();
+            assert_eq!(r.executed, infs_sim::Executed::InMemory);
+            assert_eq!(
+                r.jit_hit,
+                Some(round == 1),
+                "round 0 lowers, round 1 hits the shared cache"
+            );
+        }
+        let (hits, misses) = jit.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    /// reset() clears functional memory and per-run state so a pooled session
+    /// serves unrelated requests without leaking data.
+    #[test]
+    fn reset_clears_memory_between_requests() {
+        let (fb, a) = binary();
+        let mut s = Session::new(SystemConfig::default(), fb, ExecMode::InfS).unwrap();
+        s.memory().write_array(a, &vec![2.0; 256]);
+        s.run("scale", &[], &[3.0]).unwrap();
+        assert!(s.memory_ref().array(a).iter().all(|&x| x == 6.0));
+        s.reset();
+        assert!(s.memory_ref().array(a).iter().all(|&x| x == 0.0));
+        // The session still runs after a reset.
+        s.memory().write_array(a, &vec![1.0; 256]);
+        s.run("scale", &[], &[5.0]).unwrap();
+        assert!(s.memory_ref().array(a).iter().all(|&x| x == 5.0));
+    }
+
+    /// swap_binary accepts a binary with the identical array table and
+    /// rejects one with a different table, leaving the session untouched.
+    #[test]
+    fn swap_binary_validates_array_table() {
+        let (fb, a) = binary();
+        let mut s = Session::new(SystemConfig::default(), fb, ExecMode::InfS).unwrap();
+        // Same table (the same kernel recompiled): accepted.
+        let (fb2, _) = binary();
+        let old = s.swap_binary(fb2).unwrap();
+        assert!(old.region("scale").is_some());
+        s.memory().write_array(a, &vec![1.0; 256]);
+        s.run("scale", &[], &[4.0]).unwrap();
+        assert!(s.memory_ref().array(a).iter().all(|&x| x == 4.0));
+        // Different table: rejected, session keeps working.
+        let mut k = KernelBuilder::new("misfit", DataType::F32);
+        let b = k.array("B", vec![32]);
+        let i = k.parallel_loop("i", 0, 32);
+        k.assign(b, vec![Idx::var(i)], ScalarExpr::load(b, vec![Idx::var(i)]));
+        let mut bad = FatBinary::new();
+        bad.push(
+            Compiler::default()
+                .compile(k.build().unwrap(), &[])
+                .unwrap(),
+        );
+        assert!(matches!(
+            s.swap_binary(bad),
+            Err(SessionError::InconsistentArrays(_))
+        ));
+        assert!(s.binary().region("scale").is_some());
+        // Empty binary is also rejected.
+        assert!(matches!(
+            s.swap_binary(FatBinary::new()),
             Err(SessionError::EmptyBinary)
         ));
     }

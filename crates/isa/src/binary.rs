@@ -46,13 +46,42 @@ impl Compiler {
         kernel: Kernel,
         representative_syms: &[i64],
     ) -> Result<CompiledRegion, IsaError> {
+        self.compile_with(kernel, representative_syms, &mut |_| true)
+    }
+
+    /// [`Compiler::compile`] with a progress gate called **before** each
+    /// pipeline stage. Returning `false` abandons compilation with
+    /// [`IsaError::Cancelled`] naming the stage that was about to run — this
+    /// is how a serving deadline cancels a compile between stages instead of
+    /// running an already-doomed request to completion.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiler::compile`], plus [`IsaError::Cancelled`].
+    pub fn compile_with(
+        &self,
+        kernel: Kernel,
+        representative_syms: &[i64],
+        gate: &mut dyn FnMut(CompileStage) -> bool,
+    ) -> Result<CompiledRegion, IsaError> {
+        let mut check = |stage: CompileStage| -> Result<(), IsaError> {
+            if gate(stage) {
+                Ok(())
+            } else {
+                Err(IsaError::Cancelled(stage.label().to_string()))
+            }
+        };
         // The near-memory path must always exist.
+        check(CompileStage::Streamize)?;
         kernel.streamize(representative_syms)?;
         // Probe the in-memory path.
+        check(CompileStage::Tensorize)?;
         let tensorizable = match kernel.tensorize(representative_syms) {
             Ok(g) => {
-                // At least one geometry must accommodate the region.
+                check(CompileStage::Optimize)?;
                 let g = self.maybe_optimize(&g)?;
+                // At least one geometry must accommodate the region.
+                check(CompileStage::Schedule)?;
                 self.geometries
                     .iter()
                     .any(|&geom| Schedule::compute(&g, geom).is_ok())
@@ -68,6 +97,7 @@ impl Compiler {
             tensorizable,
             representative: None,
         };
+        check(CompileStage::Instantiate)?;
         region.representative = Some(region.instantiate(representative_syms)?);
         Ok(region)
     }
@@ -77,6 +107,35 @@ impl Compiler {
             infs_egraph::optimize(g, &self.cost).map_err(IsaError::from)
         } else {
             Ok(g.clone())
+        }
+    }
+}
+
+/// The static-compilation pipeline stages, in execution order — what
+/// [`Compiler::compile_with`] reports to its progress gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompileStage {
+    /// Stream extraction (the near-memory path; must always succeed).
+    Streamize,
+    /// Tensor unrolling into the tDFG (the in-memory probe).
+    Tensorize,
+    /// E-graph equality saturation + extraction.
+    Optimize,
+    /// Per-geometry backend scheduling / register allocation.
+    Schedule,
+    /// Embedding the representative instantiation into the fat binary.
+    Instantiate,
+}
+
+impl CompileStage {
+    /// Human-readable stage name (used in [`IsaError::Cancelled`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            CompileStage::Streamize => "streamize",
+            CompileStage::Tensorize => "tensorize",
+            CompileStage::Optimize => "optimize",
+            CompileStage::Schedule => "schedule",
+            CompileStage::Instantiate => "instantiate",
         }
     }
 }
@@ -234,6 +293,30 @@ impl FatBinary {
     pub fn from_json(s: &str) -> Result<Self, IsaError> {
         serde_json::from_str(s).map_err(|e| IsaError::Serialize(e.to_string()))
     }
+
+    /// A stable 64-bit content hash of the binary (FNV-1a over its canonical
+    /// JSON encoding, which writes struct fields in declaration order).
+    /// Binaries that serialize identically hash identically — the
+    /// content-addressing key the serving layer's artifact cache uses, so a
+    /// kernel compiled by one tenant is found by every other tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Serialize`] if the binary cannot be encoded.
+    pub fn content_hash(&self) -> Result<u64, IsaError> {
+        Ok(fnv1a(self.to_json()?.as_bytes()))
+    }
+}
+
+/// FNV-1a over a byte string: tiny, dependency-free, stable across platforms
+/// and processes (unlike `DefaultHasher`, which is seeded per process).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -328,6 +411,87 @@ mod tests {
         assert!(back.region("stencil1d").unwrap().tensorizable);
         assert!(!back.region("gather").unwrap().tensorizable);
         assert!(back.region("nope").is_none());
+    }
+
+    /// Content hashes are stable across serialize→parse round trips, equal
+    /// for equal content, and (practically) distinct for different content.
+    #[test]
+    fn content_hash_is_stable_and_content_addressed() {
+        let c = Compiler::default();
+        let mut fb = FatBinary::new();
+        fb.push(c.compile(stencil_kernel(), &[64]).unwrap());
+        let h1 = fb.content_hash().unwrap();
+        let back = FatBinary::from_json(&fb.to_json().unwrap()).unwrap();
+        assert_eq!(back.content_hash().unwrap(), h1);
+        let mut other = FatBinary::new();
+        other.push(c.compile(gather_kernel(), &[]).unwrap());
+        assert_ne!(other.content_hash().unwrap(), h1);
+        assert_ne!(FatBinary::new().content_hash().unwrap(), h1);
+        // fnv1a itself is the published FNV-1a (empty-string basis check).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    /// The progress gate sees every stage in order for a tensorizable kernel,
+    /// and returning `false` cancels with the stage's name.
+    #[test]
+    fn staged_compile_gates_and_cancels() {
+        let c = Compiler::default();
+        let mut seen = Vec::new();
+        c.compile_with(stencil_kernel(), &[64], &mut |s| {
+            seen.push(s);
+            true
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                CompileStage::Streamize,
+                CompileStage::Tensorize,
+                CompileStage::Optimize,
+                CompileStage::Schedule,
+                CompileStage::Instantiate,
+            ]
+        );
+        // Cancel before the optimizer: the error names the stage.
+        let mut n = 0;
+        let err = c
+            .compile_with(stencil_kernel(), &[64], &mut |_| {
+                n += 1;
+                n <= 2
+            })
+            .unwrap_err();
+        match err {
+            IsaError::Cancelled(stage) => assert_eq!(stage, "optimize"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        assert!(err_display_mentions_stage());
+    }
+
+    fn err_display_mentions_stage() -> bool {
+        IsaError::Cancelled("optimize".into())
+            .to_string()
+            .contains("optimize")
+    }
+
+    /// A non-tensorizable kernel skips the optimize/schedule stages but still
+    /// gates streamize, tensorize and instantiate.
+    #[test]
+    fn staged_compile_skips_in_memory_stages_when_irregular() {
+        let c = Compiler::default();
+        let mut seen = Vec::new();
+        c.compile_with(gather_kernel(), &[], &mut |s| {
+            seen.push(s);
+            true
+        })
+        .unwrap();
+        assert_eq!(
+            seen,
+            vec![
+                CompileStage::Streamize,
+                CompileStage::Tensorize,
+                CompileStage::Instantiate,
+            ]
+        );
     }
 
     #[test]

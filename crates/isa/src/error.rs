@@ -29,6 +29,10 @@ pub enum IsaError {
     Tdfg(TdfgError),
     /// Serialization of the fat binary failed.
     Serialize(String),
+    /// A staged compilation was cancelled by its progress gate (e.g. a
+    /// serving deadline expired between pipeline stages); carries the name of
+    /// the stage that was about to run.
+    Cancelled(String),
 }
 
 impl fmt::Display for IsaError {
@@ -48,6 +52,9 @@ impl fmt::Display for IsaError {
             IsaError::Frontend(e) => write!(f, "front-end error: {e}"),
             IsaError::Tdfg(e) => write!(f, "tDFG error: {e}"),
             IsaError::Serialize(s) => write!(f, "fat binary serialization failed: {s}"),
+            IsaError::Cancelled(stage) => {
+                write!(f, "compilation cancelled before the {stage} stage")
+            }
         }
     }
 }

@@ -27,6 +27,6 @@ mod binary;
 mod error;
 mod schedule;
 
-pub use binary::{CompiledRegion, Compiler, FatBinary, RegionInstance};
+pub use binary::{fnv1a, CompileStage, CompiledRegion, Compiler, FatBinary, RegionInstance};
 pub use error::IsaError;
 pub use schedule::{Schedule, SramGeometry, WlReg};

@@ -1,0 +1,103 @@
+//! Property test for the fat-binary JSON round trip.
+//!
+//! The fat binary's JSON encoding is now also the serving layer's **wire
+//! format** (`infs-serve` ships binaries between client and server as
+//! newline-delimited JSON), so serialize → parse → serialize must be
+//! byte-identical for arbitrary multi-region binaries — not just the two
+//! hand-written examples the unit tests cover.
+
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_isa::{Compiler, FatBinary};
+use infs_sdfg::DataType;
+use proptest::prelude::*;
+
+/// Builds one compilable kernel from a small parameter tuple. Covers both
+/// pipeline outcomes: dense stencil-like kernels (tensorizable, schedules +
+/// representative tDFG embedded in the binary) and indirect gathers
+/// (near-memory only, no tDFG).
+fn kernel_from(
+    region: usize,
+    n_log: u32,
+    halo: bool,
+    scale_param: bool,
+    indirect: bool,
+) -> infs_frontend::Kernel {
+    let n = 1u64 << n_log; // 8..=64
+    if indirect {
+        let mut k = KernelBuilder::new(format!("gather{region}"), DataType::F32);
+        let data = k.array("data", vec![n]);
+        let idx = k.array_typed("idx", vec![n / 2], DataType::I32);
+        let out = k.array("out", vec![n / 2]);
+        let i = k.parallel_loop("i", 0, (n / 2) as i64);
+        k.assign(
+            out,
+            vec![Idx::var(i)],
+            ScalarExpr::LoadIndirect {
+                array: data,
+                dim: 0,
+                index: Box::new(ScalarExpr::load(idx, vec![Idx::var(i)])),
+                rest: vec![Idx::constant(0)],
+            },
+        );
+        return k.build().unwrap();
+    }
+    let mut k = KernelBuilder::new(format!("dense{region}"), DataType::F32);
+    let a = k.array("A", vec![n]);
+    let b = k.array("B", vec![n]);
+    let (lo, hi) = if halo {
+        (1, n as i64 - 1)
+    } else {
+        (0, n as i64)
+    };
+    let i = k.parallel_loop("i", lo, hi);
+    let mut e = ScalarExpr::load(a, vec![Idx::var(i)]);
+    if halo {
+        e = ScalarExpr::add(e, ScalarExpr::load(a, vec![Idx::var_plus(i, -1)]));
+    }
+    if scale_param {
+        e = ScalarExpr::mul(e, ScalarExpr::Param(0));
+    }
+    k.assign(b, vec![Idx::var(i)], e);
+    k.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary multi-region binaries survive serialize → parse → serialize
+    /// byte-identically, and the parsed binary preserves region identity and
+    /// its content address.
+    #[test]
+    fn prop_fat_binary_json_roundtrip_is_byte_identical(
+        shapes in proptest::collection::vec(
+            (3u32..7, proptest::bool::ANY, proptest::bool::ANY, proptest::bool::ANY),
+            1..4,
+        ),
+        optimize in proptest::bool::ANY,
+    ) {
+        let compiler = Compiler { optimize, ..Default::default() };
+        let mut fb = FatBinary::new();
+        for (region, &(n_log, halo, scale, indirect)) in shapes.iter().enumerate() {
+            let k = kernel_from(region, n_log, halo, scale, indirect);
+            fb.push(compiler.compile(k, &[]).unwrap());
+        }
+
+        let json1 = fb.to_json().unwrap();
+        let back = FatBinary::from_json(&json1).unwrap();
+        let json2 = back.to_json().unwrap();
+        prop_assert_eq!(&json1, &json2, "round trip changed the encoding");
+
+        // The parsed binary is the same artifact: same regions, same names,
+        // same tensorizability, same content address.
+        prop_assert_eq!(back.regions.len(), fb.regions.len());
+        for (orig, parsed) in fb.regions.iter().zip(&back.regions) {
+            prop_assert_eq!(orig.name(), parsed.name());
+            prop_assert_eq!(orig.tensorizable, parsed.tensorizable);
+        }
+        prop_assert_eq!(
+            back.content_hash().unwrap(),
+            fb.content_hash().unwrap(),
+            "content address changed across the wire"
+        );
+    }
+}

@@ -11,8 +11,15 @@ use std::sync::Arc;
 /// a different layout) produces a different key.
 type MemoKey = (String, Vec<i64>, Vec<u64>);
 
+/// One cached stream plus the logical time of its last hit (for eviction).
+#[derive(Debug)]
+struct Entry {
+    stream: Arc<CommandStream>,
+    last_hit: u64,
+}
+
 /// One lock stripe of the cache.
-type Shard = Mutex<HashMap<MemoKey, Arc<CommandStream>>>;
+type Shard = Mutex<HashMap<MemoKey, Entry>>;
 
 /// Memoization cache for JIT-lowered command streams (§4.2 "Reducing JIT
 /// Overheads").
@@ -26,11 +33,23 @@ type Shard = Mutex<HashMap<MemoKey, Arc<CommandStream>>>;
 /// independently locked shards, so concurrent sessions (the parallel run
 /// matrix runs one simulation per worker thread) contend only when they touch
 /// the same shard. Hit/miss counters are lock-free atomics.
+///
+/// A cache can be **bounded** ([`JitCache::bounded`]): each shard holds at
+/// most `capacity / shards` entries and evicts its least-recently-hit key on
+/// overflow. A long-lived process (the `infs-serve` server) shares one bounded
+/// cache across all sessions via `Arc<JitCache>`; batch sweeps keep the
+/// default unbounded behaviour.
 #[derive(Debug)]
 pub struct JitCache {
     shards: Box<[Shard]>,
+    /// Per-shard entry cap (`u64::MAX` = unbounded).
+    per_shard_cap: usize,
+    /// Logical clock for least-recently-hit eviction; ticks on every hit and
+    /// insert.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// Default shard count; enough stripes that a handful of worker threads
@@ -44,26 +63,63 @@ impl Default for JitCache {
 }
 
 impl JitCache {
-    /// An empty cache with the default shard count.
+    /// An empty unbounded cache with the default shard count.
     pub fn new() -> Self {
         JitCache::default()
     }
 
-    /// An empty cache striped over `shards` locks (rounded up to a power of
-    /// two; `1` degenerates to a single-map cache, which the equivalence
-    /// tests use as the reference).
+    /// An empty unbounded cache striped over `shards` locks (rounded up to a
+    /// power of two; `1` degenerates to a single-map cache, which the
+    /// equivalence tests use as the reference).
     pub fn with_shards(shards: usize) -> Self {
-        let n = shards.max(1).next_power_of_two();
+        JitCache::build(shards, None)
+    }
+
+    /// An empty **bounded** cache: at most `capacity` entries total (rounded
+    /// down to a multiple of the shard count, minimum one entry per shard),
+    /// with per-shard least-recently-hit eviction. The shard count shrinks so
+    /// it never exceeds `capacity` — a cap of 4 gives 4 single-entry shards,
+    /// not 16 shards of which 12 can never fill.
+    pub fn bounded(capacity: usize) -> Self {
+        JitCache::with_shards_bounded(DEFAULT_SHARDS, capacity)
+    }
+
+    /// A bounded cache with an explicit shard count (see [`JitCache::bounded`]).
+    pub fn with_shards_bounded(shards: usize, capacity: usize) -> Self {
+        JitCache::build(shards, Some(capacity.max(1)))
+    }
+
+    fn build(shards: usize, capacity: Option<usize>) -> Self {
+        let mut n = shards.max(1).next_power_of_two();
+        if let Some(cap) = capacity {
+            while n > 1 && n > cap {
+                n /= 2;
+            }
+        }
         JitCache {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_cap: capacity.map_or(usize::MAX, |cap| (cap / n).max(1)),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Number of lock stripes.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Total entry cap (`None` = unbounded). For a bounded cache this is the
+    /// *effective* cap — the requested capacity rounded down to a multiple of
+    /// the shard count.
+    pub fn capacity(&self) -> Option<usize> {
+        if self.per_shard_cap == usize::MAX {
+            None
+        } else {
+            Some(self.per_shard_cap * self.shards.len())
+        }
     }
 
     fn shard_of(&self, key: &MemoKey) -> &Shard {
@@ -73,12 +129,19 @@ impl JitCache {
         &self.shards[(h.finish() as usize) & (self.shards.len() - 1)]
     }
 
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Looks up or lowers a command stream.
     ///
     /// `lower` runs outside the shard lock, so a slow lowering never blocks
     /// lookups of other keys in the same shard; if two threads race to lower
     /// the same key, the first insert wins and both get the same outcome kind
     /// (miss) with a usable stream.
+    ///
+    /// On a bounded cache, inserting into a full shard first evicts the
+    /// shard's least-recently-hit entry.
     ///
     /// # Errors
     ///
@@ -92,16 +155,39 @@ impl JitCache {
     ) -> Result<(Arc<CommandStream>, bool), E> {
         let key = (region.to_string(), syms.to_vec(), tile.to_vec());
         let shard = self.shard_of(&key);
-        if let Some(found) = shard.lock().get(&key).cloned() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((found, true));
+        {
+            let mut map = shard.lock();
+            if let Some(entry) = map.get_mut(&key) {
+                entry.last_hit = self.tick();
+                let found = entry.stream.clone();
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((found, true));
+            }
         }
         let cs = Arc::new(lower()?);
-        let stored = shard
-            .lock()
-            .entry(key)
-            .or_insert_with(|| cs.clone())
-            .clone();
+        let stored = {
+            let mut map = shard.lock();
+            // A racing thread may have inserted while we lowered; only a
+            // genuinely new entry counts against the cap.
+            if !map.contains_key(&key) && map.len() >= self.per_shard_cap {
+                if let Some(victim) = map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_hit)
+                    .map(|(k, _)| k.clone())
+                {
+                    map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let stamp = self.tick();
+            map.entry(key)
+                .or_insert_with(|| Entry {
+                    stream: cs.clone(),
+                    last_hit: stamp,
+                })
+                .stream
+                .clone()
+        };
         self.misses.fetch_add(1, Ordering::Relaxed);
         Ok((stored, false))
     }
@@ -119,6 +205,11 @@ impl JitCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Total cached streams across all shards.
@@ -210,6 +301,105 @@ mod tests {
         assert_eq!(JitCache::with_shards(1).num_shards(), 1);
         assert_eq!(JitCache::with_shards(5).num_shards(), 8);
         assert_eq!(JitCache::new().num_shards(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn unbounded_cache_reports_no_capacity() {
+        assert_eq!(JitCache::new().capacity(), None);
+        assert_eq!(JitCache::with_shards(4).capacity(), None);
+    }
+
+    #[test]
+    fn bounded_capacity_shrinks_shards_not_below_one_entry_each() {
+        // Cap smaller than the default shard count: shards shrink to the cap.
+        let small = JitCache::bounded(4);
+        assert_eq!(small.num_shards(), 4);
+        assert_eq!(small.capacity(), Some(4));
+        // Cap rounds down to a multiple of the shard count.
+        let c = JitCache::with_shards_bounded(4, 10);
+        assert_eq!(c.num_shards(), 4);
+        assert_eq!(c.capacity(), Some(8));
+        // Degenerate cap of one entry.
+        let one = JitCache::bounded(1);
+        assert_eq!(one.num_shards(), 1);
+        assert_eq!(one.capacity(), Some(1));
+    }
+
+    /// Satellite acceptance: the cap holds under churn and the hit/miss
+    /// counters stay consistent with the operation count.
+    #[test]
+    fn capacity_holds_under_churn() {
+        let cap = 8;
+        let cache = JitCache::with_shards_bounded(4, cap);
+        let ops = 500u64;
+        for i in 0..ops {
+            let k = (i % 64) as i64; // 64 distinct keys through an 8-entry cache
+            cache
+                .get_or_lower::<()>("r", &[k], &[16], || Ok(dummy(i)))
+                .unwrap();
+            assert!(cache.len() <= cap, "len {} exceeds cap {cap}", cache.len());
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, ops);
+        assert!(misses > hits, "64 keys churning 8 slots must mostly miss");
+        assert_eq!(cache.evictions(), misses - cache.len() as u64);
+        assert!(cache.len() <= cap);
+    }
+
+    /// Least-recently-hit keys are the ones evicted: a key that is re-hit
+    /// every round survives churn that evicts everything else in its shard.
+    #[test]
+    fn eviction_prefers_least_recently_hit() {
+        let cache = JitCache::with_shards_bounded(1, 4);
+        cache
+            .get_or_lower::<()>("hot", &[], &[], || Ok(dummy(0)))
+            .unwrap();
+        for i in 0..40 {
+            // Refresh the hot key, then push a cold key through.
+            let (_, hit) = cache
+                .get_or_lower::<()>("hot", &[], &[], || Ok(dummy(0)))
+                .unwrap();
+            assert!(hit, "hot key evicted at round {i}");
+            cache
+                .get_or_lower::<()>("cold", &[i], &[], || Ok(dummy(1)))
+                .unwrap();
+        }
+        assert!(cache.contains("hot", &[], &[]));
+        assert!(cache.len() <= 4);
+    }
+
+    /// Concurrent churn through a bounded cache never exceeds the cap and the
+    /// counters add up.
+    #[test]
+    fn bounded_concurrent_churn_is_consistent() {
+        let cap = 16;
+        let cache = JitCache::with_shards_bounded(4, cap);
+        let n_threads = 8;
+        let ops_per_thread = 200u64;
+        std::thread::scope(|s| {
+            for t in 0..n_threads {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..ops_per_thread {
+                        let k = (t as u64 * 31 + i) % 80;
+                        cache
+                            .get_or_lower::<()>("r", &[k as i64], &[16], || Ok(dummy(k)))
+                            .unwrap();
+                        assert!(cache.len() <= cap);
+                    }
+                });
+            }
+        });
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, n_threads as u64 * ops_per_thread);
+        assert!(cache.len() <= cap);
+        // Two threads racing on the same key both count a miss but insert
+        // once, so evictions can only undershoot `misses - len`.
+        assert!(cache.evictions() <= misses - cache.len() as u64);
+        assert!(
+            cache.evictions() > 0,
+            "80 keys churning 16 slots must evict"
+        );
     }
 
     /// Sharded cache behaves identically to a single-map (1-shard) cache on

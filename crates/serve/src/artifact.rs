@@ -1,0 +1,173 @@
+//! The content-addressed artifact cache: compiled fat binaries keyed by a
+//! stable 64-bit content hash, shared by every tenant. A kernel compiled once
+//! (for a given symbol binding × geometry set × optimizer setting) is an
+//! artifact-cache hit for every subsequent identical request, from any tenant.
+
+use infs_isa::FatBinary;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct Entry {
+    binary: Arc<FatBinary>,
+    last_hit: u64,
+}
+
+/// A bounded cache of compiled artifacts. Eviction drops the
+/// least-recently-hit entry — the same policy as the bounded
+/// [`infs_runtime::JitCache`], one level up the stack (binaries instead of
+/// command streams).
+pub struct ArtifactCache {
+    entries: Mutex<HashMap<u64, Entry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `capacity` artifacts (at least one).
+    pub fn new(capacity: usize) -> Self {
+        ArtifactCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up an artifact by id, counting a hit or miss.
+    pub fn get(&self, id: u64) -> Option<Arc<FatBinary>> {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(&id) {
+            Some(e) => {
+                e.last_hit = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.binary.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// True if the artifact is cached, **without** counting a hit or miss
+    /// (used to register inline binaries idempotently).
+    pub fn contains(&self, id: u64) -> bool {
+        self.entries.lock().contains_key(&id)
+    }
+
+    /// Inserts an artifact, evicting the least-recently-hit entry when full.
+    /// Returns the binary (already cached one if a concurrent insert won).
+    pub fn insert(&self, id: u64, binary: Arc<FatBinary>) -> Arc<FatBinary> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if let Some(existing) = entries.get(&id) {
+            return existing.binary.clone();
+        }
+        if entries.len() >= self.capacity {
+            if let Some(&victim) = entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_hit)
+                .map(|(k, _)| k)
+            {
+                entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        entries.insert(
+            id,
+            Entry {
+                binary: binary.clone(),
+                last_hit: stamp,
+            },
+        );
+        binary
+    }
+
+    /// Lifetime (hits, misses, evictions).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Renders an artifact id for the wire (16 hex digits).
+pub fn format_id(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a wire artifact id.
+pub fn parse_id(s: &str) -> Option<u64> {
+    if s.len() == 16 {
+        u64::from_str_radix(s, 16).ok()
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bin() -> Arc<FatBinary> {
+        Arc::new(FatBinary::new())
+    }
+
+    #[test]
+    fn capacity_holds_and_evicts_least_recently_hit() {
+        let cache = ArtifactCache::new(2);
+        cache.insert(1, bin());
+        cache.insert(2, bin());
+        assert!(cache.get(1).is_some()); // 1 is now the most recently hit
+        cache.insert(3, bin()); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(1));
+        assert!(!cache.contains(2));
+        assert!(cache.contains(3));
+        let (hits, misses, evictions) = cache.stats();
+        assert_eq!((hits, misses, evictions), (1, 0, 1));
+    }
+
+    #[test]
+    fn insert_is_idempotent_per_id() {
+        let cache = ArtifactCache::new(4);
+        let first = cache.insert(7, bin());
+        let second = cache.insert(7, bin());
+        assert!(Arc::ptr_eq(&first, &second), "first insert wins");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn wire_ids_round_trip() {
+        for id in [0u64, 1, 0xdead_beef, u64::MAX] {
+            assert_eq!(parse_id(&format_id(id)), Some(id));
+        }
+        assert_eq!(parse_id("xyz"), None);
+        assert_eq!(parse_id(""), None);
+        assert_eq!(parse_id("00000000000000001"), None, "length must be 16");
+    }
+}

@@ -1,0 +1,157 @@
+//! `infs-client` — thin client for `infs-served`.
+//!
+//! ```text
+//! infs-client smoke [--addr HOST:PORT] [--keep-alive]
+//! ```
+//!
+//! `smoke` runs the end-to-end acceptance sequence the CI server-smoke step
+//! drives: ping, compile, execute (verifying outputs numerically), recompile
+//! (asserting an artifact-cache hit), then graceful shutdown. Any deviation —
+//! wrong outputs, missing stats, cache miss where a hit is required — exits
+//! non-zero.
+
+use infs_serve::{demo, ArrayPayload, Client, Response, WireMode};
+use std::process::ExitCode;
+
+struct Args {
+    addr: String,
+    keep_alive: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    match it.next().as_deref() {
+        Some("smoke") => {}
+        Some("--help") | Some("-h") | None => {
+            return Err("usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]".to_string())
+        }
+        Some(other) => return Err(format!("unknown command '{other}' (try --help)")),
+    }
+    let mut args = Args {
+        addr: "127.0.0.1:7199".to_string(),
+        keep_alive: false,
+    };
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--addr" => {
+                args.addr = it
+                    .next()
+                    .ok_or_else(|| "--addr requires a value".to_string())?
+            }
+            "--keep-alive" => args.keep_alive = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// A well-formed stats block: present on every response, with service time
+/// measured and, for executions, cycles and an execution site reported.
+fn check_stats(step: &str, r: &Response, executed: bool) -> Result<(), String> {
+    if !r.ok {
+        let why = r
+            .error
+            .as_ref()
+            .map(|e| format!("{}: {}", e.kind, e.message))
+            .unwrap_or_else(|| "unknown error".to_string());
+        return Err(format!("{step}: server answered failure ({why})"));
+    }
+    if executed {
+        if r.stats.cycles == 0 {
+            return Err(format!("{step}: stats report zero simulated cycles"));
+        }
+        if r.stats.executed.is_none() {
+            return Err(format!("{step}: stats lack an execution site"));
+        }
+    }
+    Ok(())
+}
+
+fn smoke(addr: &str, keep_alive: bool) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("transport: {e}");
+    let mut client = Client::connect(addr, "smoke").map_err(io)?;
+
+    let r = client.ping().map_err(io)?;
+    check_stats("ping", &r, false)?;
+
+    // Compile the demo scale kernel.
+    let n = 256u64;
+    let r = client.compile(demo::scale(n), vec![], true).map_err(io)?;
+    check_stats("compile", &r, false)?;
+    if r.stats.artifact_cache_hit {
+        return Err("compile: first compile cannot be an artifact-cache hit".to_string());
+    }
+    let artifact = r
+        .artifact
+        .ok_or_else(|| "compile: response carries no artifact id".to_string())?;
+
+    // Execute it and verify the arithmetic end to end.
+    let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let r = client
+        .execute(
+            &artifact,
+            "scale",
+            vec![],
+            vec![3.0],
+            WireMode::InfS,
+            vec![ArrayPayload {
+                array: 0,
+                data: input.clone(),
+            }],
+            vec![0],
+        )
+        .map_err(io)?;
+    check_stats("execute", &r, true)?;
+    let out = r
+        .outputs
+        .first()
+        .ok_or_else(|| "execute: no output array returned".to_string())?;
+    if out.data.len() != input.len() {
+        return Err(format!(
+            "execute: output has {} elements, want {}",
+            out.data.len(),
+            input.len()
+        ));
+    }
+    for (i, (&got, &x)) in out.data.iter().zip(&input).enumerate() {
+        if got != x * 3.0 {
+            return Err(format!("execute: element {i} is {got}, want {}", x * 3.0));
+        }
+    }
+
+    // Recompiling the identical kernel must be a content-addressed hit.
+    let r = client.compile(demo::scale(n), vec![], true).map_err(io)?;
+    check_stats("recompile", &r, false)?;
+    if !r.stats.artifact_cache_hit {
+        return Err("recompile: expected an artifact-cache hit".to_string());
+    }
+    if r.artifact.as_deref() != Some(artifact.as_str()) {
+        return Err("recompile: artifact id changed for identical input".to_string());
+    }
+
+    if !keep_alive {
+        let r = client.shutdown().map_err(io)?;
+        check_stats("shutdown", &r, false)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match smoke(&args.addr, args.keep_alive) {
+        Ok(()) => {
+            println!("infs-client: smoke ok");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("infs-client: smoke FAILED: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! `infs-served` — the resident compile-and-execute daemon.
+//!
+//! ```text
+//! infs-served [--addr HOST:PORT] [--workers N] [--queue N]
+//! ```
+//!
+//! Speaks newline-delimited JSON (see `infs_serve::protocol`). Exits 0 after
+//! a graceful shutdown (a `Shutdown` request from any client), having drained
+//! every admitted request.
+
+use infs_serve::{serve_tcp, ServeConfig, Server};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    cfg: ServeConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7199".to_string(),
+        cfg: ServeConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue" => {
+                args.cfg.queue_capacity = value("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("infs-served: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.addr.clone());
+    let server = Arc::new(Server::new(args.cfg));
+    // The smoke scripts wait for this exact line before connecting.
+    println!("infs-served listening on {addr}");
+    if let Err(e) = serve_tcp(&server, listener) {
+        eprintln!("infs-served: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = server.shutdown();
+    println!(
+        "infs-served: shut down cleanly; served={} rejected={} artifact(h/m/e)={}/{}/{} jit(h/m)={}/{}",
+        stats.served,
+        stats.rejected,
+        stats.artifacts.0,
+        stats.artifacts.1,
+        stats.artifacts.2,
+        stats.jit.0,
+        stats.jit.1,
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,47 @@
+use infs_sim::SystemConfig;
+
+/// Configuration of a resident [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads running compile/execute requests.
+    pub workers: usize,
+    /// Admission queue bound: requests beyond this are rejected with
+    /// backpressure instead of queueing without limit.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own, measured
+    /// from admission. Expired requests are cancelled between pipeline
+    /// stages and answered with a `timeout` error.
+    pub default_deadline_ms: u64,
+    /// The retry hint attached to backpressure rejections.
+    pub retry_after_ms: u64,
+    /// Entry cap of the content-addressed artifact (compiled fat binary)
+    /// cache.
+    pub artifact_capacity: usize,
+    /// Entry cap of the shared JIT memoization cache (`0` = unbounded —
+    /// only sensible for short-lived test servers).
+    pub jit_capacity: usize,
+    /// Sessions (machine + loaded binary) each worker keeps warm, keyed by
+    /// artifact × mode. Bounds per-worker memory; evicted sessions are
+    /// simply rebuilt on the next request.
+    pub sessions_per_worker: usize,
+    /// The simulated machine configuration sessions run on.
+    pub system: SystemConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .min(4),
+            queue_capacity: 64,
+            default_deadline_ms: 30_000,
+            retry_after_ms: 25,
+            artifact_capacity: 128,
+            jit_capacity: 4096,
+            sessions_per_worker: 4,
+            system: SystemConfig::default(),
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Small well-known kernels shared by the integration tests, the throughput
+//! benchmark, and the `infs-client smoke` command — so every face of the
+//! service exercises the same workloads.
+//!
+//! Array ids are assigned in declaration order, so clients can rely on them:
+//! `scale` uses array 0; `vec_add` uses arrays 0 (A), 1 (B) and 2 (C).
+
+use infs_frontend::{Idx, Kernel, KernelBuilder, ScalarExpr};
+use infs_sdfg::DataType;
+
+/// `A[i] = A[i] * p0` over `n` elements — region name `"scale"`, array 0.
+pub fn scale(n: u64) -> Kernel {
+    let mut k = KernelBuilder::new("scale", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        a,
+        vec![Idx::var(i)],
+        ScalarExpr::mul(ScalarExpr::load(a, vec![Idx::var(i)]), ScalarExpr::Param(0)),
+    );
+    k.build().expect("demo kernel is well-formed")
+}
+
+/// `C[i] = A[i] + B[i]` over `n` elements — region name `"vec_add"`,
+/// arrays 0 (A), 1 (B), 2 (C).
+pub fn vec_add(n: u64) -> Kernel {
+    let mut k = KernelBuilder::new("vec_add", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let b = k.array("B", vec![n]);
+    let c = k.array("C", vec![n]);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        c,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::load(a, vec![Idx::var(i)]),
+            ScalarExpr::load(b, vec![Idx::var(i)]),
+        ),
+    );
+    k.build().expect("demo kernel is well-formed")
+}
+
+/// 3-point stencil `B[i] = A[i-1] + A[i] + A[i+1]` over the interior of `n`
+/// elements — region name `"stencil"`, arrays 0 (A), 1 (B).
+pub fn stencil(n: u64) -> Kernel {
+    let mut k = KernelBuilder::new("stencil", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let b = k.array("B", vec![n]);
+    let i = k.parallel_loop("i", 1, n as i64 - 1);
+    k.assign(
+        b,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::add(
+                ScalarExpr::load(a, vec![Idx::var_plus(i, -1)]),
+                ScalarExpr::load(a, vec![Idx::var(i)]),
+            ),
+            ScalarExpr::load(a, vec![Idx::var_plus(i, 1)]),
+        ),
+    );
+    k.build().expect("demo kernel is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_kernels_compile() {
+        for k in [scale(64), vec_add(64), stencil(64)] {
+            infs_isa::Compiler::default().compile(k, &[]).unwrap();
+        }
+    }
+}

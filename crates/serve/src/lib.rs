@@ -1,0 +1,77 @@
+//! # infs-serve
+//!
+//! A resident, multi-tenant compile-and-execute service over the Infinity
+//! Stream stack — the deployment face the paper implies but never builds: a
+//! long-lived process that accepts kernels, compiles them into fat binaries,
+//! caches the artifacts content-addressed, and executes regions on pooled
+//! simulated machines that share one JIT memoization cache.
+//!
+//! Two faces, one [`Server`]:
+//!
+//! - **in-process**: [`Server::submit`] / [`Server::call`] — used by the
+//!   integration tests and the throughput benchmark;
+//! - **TCP**: [`net::serve_tcp`] speaks newline-delimited JSON (one
+//!   [`Request`] per line in, one [`Response`] per line out) for the
+//!   `infs-served` binary, with [`Client`] as the matching thin client.
+//!
+//! What the server owns:
+//!
+//! - a **bounded admission queue** ([`queue::AdmissionQueue`]): when full,
+//!   requests are rejected immediately with a `backpressure` error carrying a
+//!   retry-after hint instead of queueing without limit;
+//! - a **worker pool**: each worker drains the queue and keeps a small pool
+//!   of warm [`infinity_stream::Session`]s keyed by artifact × mode;
+//! - a **content-addressed artifact cache** ([`artifact::ArtifactCache`]):
+//!   compiled fat binaries keyed by kernel × symbols × geometries ×
+//!   optimizer flag, shared across tenants;
+//! - a **shared bounded JIT cache** ([`infs_runtime::JitCache`]): lowered
+//!   command streams memoize across sessions and tenants (§4.2 of the
+//!   paper, promoted to a service-wide resource);
+//! - **per-request deadlines**: expired requests are cancelled between
+//!   compiler stages ([`infs_isa::Compiler::compile_with`]) or before
+//!   execution, and answered with a `timeout` error;
+//! - **graceful shutdown**: admission closes, every admitted request still
+//!   completes, workers drain and join ([`Server::shutdown`]).
+//!
+//! Every response carries a [`ResponseStats`] block — queue wait, compile
+//! time, artifact/JIT cache hit flags, simulated cycles, and where the region
+//! executed — so the serving layer is measurable from the first request.
+//!
+//! ```
+//! use infs_serve::{demo, Request, RequestBody, CompileRequest, Server, ServeConfig};
+//!
+//! let server = Server::new(ServeConfig::default());
+//! let response = server.call(Request {
+//!     id: 1,
+//!     tenant: "doc".into(),
+//!     deadline_ms: None,
+//!     body: RequestBody::Compile(CompileRequest {
+//!         kernel: demo::scale(256),
+//!         representative_syms: vec![],
+//!         optimize: true,
+//!     }),
+//! });
+//! assert!(response.ok);
+//! let artifact = response.artifact.unwrap();
+//! assert_eq!(artifact.len(), 16); // content-addressed id, stable across runs
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+mod config;
+pub mod demo;
+pub mod net;
+pub mod protocol;
+pub mod queue;
+mod server;
+
+pub use config::ServeConfig;
+pub use net::{serve_tcp, Client};
+pub use protocol::{
+    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response,
+    ResponseStats, ScalarOut, WireError, WireMode,
+};
+pub use server::{Server, ShutdownStats, Submitted, Ticket};

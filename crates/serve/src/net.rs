@@ -1,0 +1,228 @@
+//! The TCP face of the server: newline-delimited JSON over
+//! `std::net::TcpListener`, one [`Request`] line in, one [`Response`] line
+//! out, plus the matching thin [`Client`].
+//!
+//! No async runtime and no HTTP — the protocol is a plain line stream so a
+//! session can be driven with `nc` during debugging, and the whole face fits
+//! in the standard library.
+
+use crate::protocol::{
+    ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response, ResponseStats,
+    WireError, WireMode,
+};
+use crate::server::Server;
+use infs_frontend::Kernel;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long blocked reads and the accept loop wait before re-checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Runs the accept loop until the server shuts down (via a `Shutdown` request
+/// from any connection, or [`Server::begin_shutdown`] from another thread).
+/// Every connection is served on its own thread; the loop returns only after
+/// admission has closed, so a caller can then [`Server::shutdown`] to drain.
+///
+/// # Errors
+///
+/// Returns the error if the listener cannot be made non-blocking or accept
+/// fails with anything but `WouldBlock`.
+pub fn serve_tcp(server: &Arc<Server>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    loop {
+        if server.is_shutting_down() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let server = server.clone();
+                std::thread::spawn(move || serve_connection(&server, stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serves one connection: reads request lines until EOF, client error, or
+/// server shutdown; answers every line with exactly one response line.
+fn serve_connection(server: &Arc<Server>, stream: TcpStream) {
+    // Finite read timeouts keep connection threads from outliving shutdown
+    // when a client holds an idle connection open.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let response = match serde_json::from_str::<Request>(line.trim_end()) {
+                    Ok(request) => server.call(request),
+                    Err(e) => Response::failure(
+                        0,
+                        WireError::new(WireError::BAD_REQUEST, format!("unparseable request: {e}")),
+                        ResponseStats::default(),
+                    ),
+                };
+                line.clear();
+                let Ok(encoded) = serde_json::to_string(&response) else {
+                    return;
+                };
+                if writer
+                    .write_all(encoded.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Partial bytes (if any) stay buffered in `line`; just check
+                // whether the server went away while this client idled.
+                if server.is_shutting_down() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Thin synchronous client for the newline-delimited JSON protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    /// Tenant name stamped on every request.
+    pub tenant: String,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running `infs-served`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: impl Into<String>) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            tenant: tenant.into(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request body and waits for the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on transport failure or an unparseable response.
+    pub fn request(
+        &mut self,
+        deadline_ms: Option<u64>,
+        body: RequestBody,
+    ) -> std::io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = Request {
+            id,
+            tenant: self.tenant.clone(),
+            deadline_ms,
+            body,
+        };
+        let line = serde_json::to_string(&request)
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn ping(&mut self) -> std::io::Result<Response> {
+        self.request(None, RequestBody::Ping)
+    }
+
+    /// Compiles a kernel into a cached artifact.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn compile(
+        &mut self,
+        kernel: Kernel,
+        representative_syms: Vec<i64>,
+        optimize: bool,
+    ) -> std::io::Result<Response> {
+        self.request(
+            None,
+            RequestBody::Compile(CompileRequest {
+                kernel,
+                representative_syms,
+                optimize,
+            }),
+        )
+    }
+
+    /// Executes a region of a compiled artifact.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute(
+        &mut self,
+        artifact: &str,
+        region: &str,
+        syms: Vec<i64>,
+        params: Vec<f32>,
+        mode: WireMode,
+        inputs: Vec<ArrayPayload>,
+        outputs: Vec<u32>,
+    ) -> std::io::Result<Response> {
+        self.request(
+            None,
+            RequestBody::Execute(ExecuteRequest {
+                artifact: Some(artifact.to_string()),
+                binary: None,
+                region: region.to_string(),
+                syms,
+                params,
+                mode,
+                inputs,
+                outputs,
+            }),
+        )
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn shutdown(&mut self) -> std::io::Result<Response> {
+        self.request(None, RequestBody::Shutdown)
+    }
+}

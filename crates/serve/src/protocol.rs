@@ -1,0 +1,345 @@
+//! The wire protocol: newline-delimited JSON, one [`Request`] per line in,
+//! one [`Response`] per line out.
+//!
+//! The payload format deliberately reuses the repo's existing serialized
+//! artifacts — kernels and fat binaries travel as the same serde encodings
+//! `FatBinary::to_json`/`from_json` already produce — so the wire format is
+//! the fat-binary format plus a thin envelope, and the round-trip property
+//! test on the binary encoding covers the protocol's heaviest payload.
+
+use infs_frontend::Kernel;
+use infs_sim::{ExecMode, Executed};
+use serde::{Deserialize, Serialize};
+
+/// One client request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Tenant name (observability/accounting; requests are isolated
+    /// regardless — every execute runs on freshly reset functional memory).
+    pub tenant: String,
+    /// Per-request deadline in milliseconds from admission; `None` uses the
+    /// server default.
+    pub deadline_ms: Option<u64>,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// The request kinds the server understands.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Compile a kernel into a (cached) fat-binary artifact.
+    Compile(CompileRequest),
+    /// Execute a region of a compiled artifact.
+    Execute(ExecuteRequest),
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful shutdown: admission closes, in-flight and queued
+    /// requests complete, workers exit.
+    Shutdown,
+}
+
+/// Compile a kernel (the repo's loop-nest IR, serialized with serde — the
+/// "plain C" artifact) into a fat binary. Identical requests are served from
+/// the content-addressed artifact cache without recompiling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompileRequest {
+    /// The kernel to compile.
+    pub kernel: Kernel,
+    /// Representative symbol binding used to probe tensorizability and
+    /// scheduling (typical input sizes).
+    pub representative_syms: Vec<i64>,
+    /// Run the e-graph optimizer.
+    pub optimize: bool,
+}
+
+/// Execute one region of a compiled artifact on a session machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExecuteRequest {
+    /// Artifact id (as returned by a compile response). Exactly one of
+    /// `artifact` / `binary` must be set.
+    pub artifact: Option<String>,
+    /// Inline fat binary (`FatBinary::to_json` output) for clients that
+    /// compiled elsewhere; it is registered in the artifact cache under its
+    /// content hash.
+    pub binary: Option<String>,
+    /// Region (kernel) name to enter.
+    pub region: String,
+    /// Symbol values for instantiation (the `inf_cfg` moment).
+    pub syms: Vec<i64>,
+    /// Runtime scalar parameters.
+    pub params: Vec<f32>,
+    /// Execution mode.
+    pub mode: WireMode,
+    /// Input arrays to write before running.
+    pub inputs: Vec<ArrayPayload>,
+    /// Array ids whose contents to return after running.
+    pub outputs: Vec<u32>,
+}
+
+/// One array's contents on the wire.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrayPayload {
+    /// Array id in the binary's array table.
+    pub array: u32,
+    /// Element values (row-major).
+    pub data: Vec<f32>,
+}
+
+/// Wire-friendly execution mode (mirrors [`ExecMode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireMode {
+    /// 1-thread multicore baseline.
+    Base1,
+    /// 64-thread AVX-512-class baseline.
+    Base,
+    /// Near-stream computing at the L3 banks.
+    NearL3,
+    /// In-memory only.
+    InL3,
+    /// Fused in-/near-memory (the paper's Inf-S).
+    InfS,
+    /// Inf-S with precompiled commands (no JIT charge).
+    InfSNoJit,
+}
+
+impl WireMode {
+    /// The simulator mode this selects.
+    pub fn exec_mode(self) -> ExecMode {
+        match self {
+            WireMode::Base1 => ExecMode::Base { threads: 1 },
+            WireMode::Base => ExecMode::Base { threads: 64 },
+            WireMode::NearL3 => ExecMode::NearL3,
+            WireMode::InL3 => ExecMode::InL3,
+            WireMode::InfS => ExecMode::InfS,
+            WireMode::InfSNoJit => ExecMode::InfSNoJit,
+        }
+    }
+
+    /// Stable index for session-pool keying.
+    pub(crate) fn index(self) -> u8 {
+        match self {
+            WireMode::Base1 => 0,
+            WireMode::Base => 1,
+            WireMode::NearL3 => 2,
+            WireMode::InL3 => 3,
+            WireMode::InfS => 4,
+            WireMode::InfSNoJit => 5,
+        }
+    }
+}
+
+/// One server response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// True when the request succeeded.
+    pub ok: bool,
+    /// Failure details when `ok` is false.
+    pub error: Option<WireError>,
+    /// Artifact id: the compile result, or the artifact an execute resolved.
+    pub artifact: Option<String>,
+    /// Requested output arrays (execute only).
+    pub outputs: Vec<ArrayPayload>,
+    /// Named scalar outputs of the region (execute only).
+    pub scalars: Vec<ScalarOut>,
+    /// Per-request observability; present on every response, including
+    /// errors, so the serving layer is measurable from day one.
+    pub stats: ResponseStats,
+}
+
+/// One named scalar result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalarOut {
+    /// Scalar name.
+    pub name: String,
+    /// Value.
+    pub value: f32,
+}
+
+/// A client-visible failure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable kind (see the `kind` constants on [`WireError`]).
+    pub kind: String,
+    /// Human-readable description.
+    pub message: String,
+    /// For `backpressure` rejections: when to retry.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// Admission queue full; retry after `retry_after_ms`.
+    pub const BACKPRESSURE: &'static str = "backpressure";
+    /// The request's deadline expired (in queue or between pipeline stages).
+    pub const TIMEOUT: &'static str = "timeout";
+    /// The server is shutting down and no longer admits requests.
+    pub const SHUTTING_DOWN: &'static str = "shutting-down";
+    /// Compilation failed (front end, optimizer, or backend).
+    pub const COMPILE: &'static str = "compile";
+    /// Execute referenced an artifact id the cache does not hold.
+    pub const UNKNOWN_ARTIFACT: &'static str = "unknown-artifact";
+    /// Execute named a region the artifact does not contain.
+    pub const UNKNOWN_REGION: &'static str = "unknown-region";
+    /// Malformed request (bad JSON, bad array id / length, missing artifact).
+    pub const BAD_REQUEST: &'static str = "bad-request";
+    /// Execution failed inside the simulator.
+    pub const EXECUTION: &'static str = "execution";
+
+    /// A new error of `kind`.
+    pub fn new(kind: &str, message: impl Into<String>) -> Self {
+        WireError {
+            kind: kind.to_string(),
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+}
+
+/// Per-request statistics block.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResponseStats {
+    /// Wall time spent queued before a worker picked the request up (µs).
+    pub queue_wait_us: u64,
+    /// Wall time spent being served (µs).
+    pub service_us: u64,
+    /// Wall time inside the compiler, zero on artifact-cache hits (µs).
+    pub compile_us: u64,
+    /// Whether the artifact cache already held the compiled binary.
+    pub artifact_cache_hit: bool,
+    /// For in-memory execution, whether the shared JIT memoization cache
+    /// already held the lowered commands.
+    pub jit_cache_hit: Option<bool>,
+    /// Simulated cycles of the executed region.
+    pub cycles: u64,
+    /// Where the region ran: `"core"`, `"near-memory"` or `"in-memory"`.
+    pub executed: Option<String>,
+    /// Whether the compiled region has an in-memory (tDFG) version.
+    pub tensorizable: Option<bool>,
+}
+
+/// Display label for an [`Executed`] value.
+pub fn executed_label(e: Executed) -> &'static str {
+    match e {
+        Executed::Core => "core",
+        Executed::NearMemory => "near-memory",
+        Executed::InMemory => "in-memory",
+    }
+}
+
+impl Response {
+    /// A failure response carrying `error` and whatever stats were measured.
+    pub fn failure(id: u64, error: WireError, stats: ResponseStats) -> Self {
+        Response {
+            id,
+            ok: false,
+            error: Some(error),
+            artifact: None,
+            outputs: Vec::new(),
+            scalars: Vec::new(),
+            stats,
+        }
+    }
+
+    /// A success scaffold (fields filled in by the handler).
+    pub fn success(id: u64, stats: ResponseStats) -> Self {
+        Response {
+            id,
+            ok: true,
+            error: None,
+            artifact: None,
+            outputs: Vec::new(),
+            scalars: Vec::new(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+    use infs_sdfg::DataType;
+
+    fn request() -> Request {
+        let mut k = KernelBuilder::new("scale", DataType::F32);
+        let a = k.array("A", vec![16]);
+        let i = k.parallel_loop("i", 0, 16);
+        k.assign(
+            a,
+            vec![Idx::var(i)],
+            ScalarExpr::mul(ScalarExpr::load(a, vec![Idx::var(i)]), ScalarExpr::Param(0)),
+        );
+        Request {
+            id: 7,
+            tenant: "t0".into(),
+            deadline_ms: Some(500),
+            body: RequestBody::Compile(CompileRequest {
+                kernel: k.build().unwrap(),
+                representative_syms: vec![],
+                optimize: true,
+            }),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips_as_single_line_json() {
+        let req = request();
+        let line = serde_json::to_string(&req).unwrap();
+        assert!(!line.contains('\n'), "wire frames must be single lines");
+        let back: Request = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.tenant, "t0");
+        assert_eq!(back.deadline_ms, Some(500));
+        match back.body {
+            RequestBody::Compile(c) => {
+                assert!(c.optimize);
+                assert_eq!(c.kernel.name(), "scale");
+            }
+            other => panic!("wrong body: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_roundtrips_with_error_and_stats() {
+        let mut err = WireError::new(WireError::BACKPRESSURE, "queue full");
+        err.retry_after_ms = Some(25);
+        let resp = Response::failure(3, err, ResponseStats::default());
+        let line = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&line).unwrap();
+        assert!(!back.ok);
+        let e = back.error.unwrap();
+        assert_eq!(e.kind, WireError::BACKPRESSURE);
+        assert_eq!(e.retry_after_ms, Some(25));
+    }
+
+    #[test]
+    fn wire_modes_cover_exec_modes() {
+        use infs_sim::ExecMode;
+        assert_eq!(WireMode::Base1.exec_mode(), ExecMode::Base { threads: 1 });
+        assert_eq!(WireMode::Base.exec_mode(), ExecMode::Base { threads: 64 });
+        assert_eq!(WireMode::InfS.exec_mode(), ExecMode::InfS);
+        // Indices are distinct (session-pool keying).
+        let idx: std::collections::BTreeSet<u8> = [
+            WireMode::Base1,
+            WireMode::Base,
+            WireMode::NearL3,
+            WireMode::InL3,
+            WireMode::InfS,
+            WireMode::InfSNoJit,
+        ]
+        .iter()
+        .map(|m| m.index())
+        .collect();
+        assert_eq!(idx.len(), 6);
+    }
+
+    #[test]
+    fn executed_labels() {
+        assert_eq!(executed_label(Executed::Core), "core");
+        assert_eq!(executed_label(Executed::NearMemory), "near-memory");
+        assert_eq!(executed_label(Executed::InMemory), "in-memory");
+    }
+}

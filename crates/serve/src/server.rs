@@ -1,0 +1,566 @@
+//! The resident server: admission, worker pool, dispatch, shutdown.
+//!
+//! A [`Server`] owns everything long-lived — the bounded admission queue, the
+//! content-addressed [`ArtifactCache`], the shared bounded
+//! [`JitCache`], and a pool of worker threads each keeping a small pool of
+//! warm [`Session`]s. Requests enter through [`Server::submit`] (in-process)
+//! or the TCP front end in [`crate::net`]; both produce the same
+//! [`Response`]s.
+
+use crate::artifact::{format_id, parse_id, ArtifactCache};
+use crate::config::ServeConfig;
+use crate::protocol::{
+    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response,
+    ResponseStats, ScalarOut, WireError,
+};
+use crate::queue::{AdmissionQueue, PushError};
+use infinity_stream::{Session, SessionError};
+use infs_isa::{fnv1a, Compiler, FatBinary, IsaError};
+use infs_runtime::JitCache;
+use infs_sdfg::ArrayId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Deadlines are clamped to this (one day) so `Instant` arithmetic cannot
+/// overflow on absurd client-supplied values.
+const MAX_DEADLINE_MS: u64 = 86_400_000;
+
+/// One admitted unit of work.
+struct Job {
+    request: Request,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A handle to an admitted request; [`Ticket::wait`] blocks for the response.
+pub struct Ticket {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the worker answers.
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or_else(|_| {
+            Response::failure(
+                self.id,
+                WireError::new(WireError::EXECUTION, "worker dropped the request"),
+                ResponseStats::default(),
+            )
+        })
+    }
+}
+
+/// Outcome of [`Server::submit`]: either a [`Ticket`] for an admitted
+/// request, or the immediate rejection response (backpressure with a
+/// retry-after hint, or shutting-down).
+pub enum Submitted {
+    /// Admitted; wait on the ticket.
+    Admitted(Ticket),
+    /// Rejected at admission; the response says why.
+    Rejected(Response),
+}
+
+/// Counters returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShutdownStats {
+    /// Requests handled by workers (including per-request failures).
+    pub served: u64,
+    /// Requests rejected at admission (backpressure or shutting-down).
+    pub rejected: u64,
+    /// Artifact-cache (hits, misses, evictions).
+    pub artifacts: (u64, u64, u64),
+    /// Shared JIT-cache (hits, misses).
+    pub jit: (u64, u64),
+}
+
+/// Pause/resume gate for the worker pool. Paused workers hold *after* popping
+/// a job and before serving it — so tests and benchmarks can deterministically
+/// fill the admission queue and observe backpressure.
+struct Gate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new() -> Self {
+        Gate {
+            paused: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait_open(&self) {
+        let mut paused = self.paused.lock().unwrap();
+        while *paused {
+            paused = self.cv.wait(paused).unwrap();
+        }
+    }
+
+    fn set(&self, value: bool) {
+        *self.paused.lock().unwrap() = value;
+        if !value {
+            self.cv.notify_all();
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: AdmissionQueue<Job>,
+    artifacts: ArtifactCache,
+    jit: Arc<JitCache>,
+    gate: Gate,
+    shutting_down: AtomicBool,
+    served: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        self.queue.close();
+        // A paused pool must not wedge shutdown.
+        self.gate.set(false);
+    }
+}
+
+/// The resident multi-tenant compile-and-execute service.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Starts the worker pool and returns the running server.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let jit = if cfg.jit_capacity == 0 {
+            Arc::new(JitCache::new())
+        } else {
+            Arc::new(JitCache::bounded(cfg.jit_capacity))
+        };
+        let shared = Arc::new(Shared {
+            queue: AdmissionQueue::new(cfg.queue_capacity),
+            artifacts: ArtifactCache::new(cfg.artifact_capacity),
+            jit,
+            gate: Gate::new(),
+            shutting_down: AtomicBool::new(false),
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Server {
+            shared,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The configuration the server runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Submits a request. Full queue → immediate backpressure rejection with
+    /// `retry_after_ms`; closed queue → shutting-down rejection; otherwise a
+    /// [`Ticket`].
+    pub fn submit(&self, request: Request) -> Submitted {
+        let id = request.id;
+        let now = Instant::now();
+        let deadline_ms = request
+            .deadline_ms
+            .unwrap_or(self.shared.cfg.default_deadline_ms)
+            .min(MAX_DEADLINE_MS);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request,
+            deadline: now + Duration::from_millis(deadline_ms),
+            enqueued: now,
+            reply: tx,
+        };
+        match self.shared.queue.push(job) {
+            Ok(()) => Submitted::Admitted(Ticket { id, rx }),
+            Err(PushError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                let mut err = WireError::new(
+                    WireError::BACKPRESSURE,
+                    format!(
+                        "admission queue full ({} queued)",
+                        self.shared.queue.capacity()
+                    ),
+                );
+                err.retry_after_ms = Some(self.shared.cfg.retry_after_ms);
+                Submitted::Rejected(Response::failure(id, err, ResponseStats::default()))
+            }
+            Err(PushError::Closed(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                let err = WireError::new(WireError::SHUTTING_DOWN, "server is shutting down");
+                Submitted::Rejected(Response::failure(id, err, ResponseStats::default()))
+            }
+        }
+    }
+
+    /// Submits and waits: the synchronous convenience used by the TCP front
+    /// end. Rejections come back immediately as failure responses.
+    pub fn call(&self, request: Request) -> Response {
+        match self.submit(request) {
+            Submitted::Admitted(ticket) => ticket.wait(),
+            Submitted::Rejected(response) => response,
+        }
+    }
+
+    /// Holds workers after their next pop (test/bench hook for deterministic
+    /// backpressure: pause, overfill the queue, observe rejections, resume).
+    pub fn pause(&self) {
+        self.shared.gate.set(true);
+    }
+
+    /// Releases paused workers.
+    pub fn resume(&self) {
+        self.shared.gate.set(false);
+    }
+
+    /// True once shutdown has begun (the TCP accept loop polls this).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Closes admission. Queued and in-flight requests still complete; call
+    /// [`Server::shutdown`] to wait for them. Idempotent — also triggered by
+    /// a [`RequestBody::Shutdown`] request.
+    pub fn begin_shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Graceful shutdown: closes admission, drains every admitted request,
+    /// joins the workers, and returns lifetime counters.
+    pub fn shutdown(&self) -> ShutdownStats {
+        self.shared.begin_shutdown();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        ShutdownStats {
+            served: self.shared.served.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            artifacts: self.shared.artifacts.stats(),
+            jit: self.shared.jit.stats(),
+        }
+    }
+
+    /// Currently queued (admitted, not yet picked up) requests.
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Artifact-cache (hits, misses, evictions) so far.
+    pub fn artifact_stats(&self) -> (u64, u64, u64) {
+        self.shared.artifacts.stats()
+    }
+
+    /// The JIT memoization cache every session shares.
+    pub fn jit(&self) -> Arc<JitCache> {
+        self.shared.jit.clone()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A worker's pool of warm sessions, keyed by artifact id × execution mode.
+/// Bounded; eviction drops the least-recently-used session (it is just
+/// rebuilt on the next request for that pair).
+struct SessionPool {
+    cap: usize,
+    clock: u64,
+    sessions: HashMap<(u64, u8), (Session, u64)>,
+}
+
+impl SessionPool {
+    fn new(cap: usize) -> Self {
+        SessionPool {
+            cap: cap.max(1),
+            clock: 0,
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// Removes a pooled session for exclusive use (put it back after).
+    fn take(&mut self, key: (u64, u8)) -> Option<Session> {
+        self.sessions.remove(&key).map(|(s, _)| s)
+    }
+
+    fn put(&mut self, key: (u64, u8), session: Session) {
+        self.clock += 1;
+        if self.sessions.len() >= self.cap && !self.sessions.contains_key(&key) {
+            if let Some(&victim) = self
+                .sessions
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k)
+            {
+                self.sessions.remove(&victim);
+            }
+        }
+        self.sessions.insert(key, (session, self.clock));
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    let mut pool = SessionPool::new(shared.cfg.sessions_per_worker);
+    while let Some(job) = shared.queue.pop() {
+        shared.gate.wait_open();
+        let (reply, response) = handle(shared, &mut pool, job);
+        shared.served.fetch_add(1, Ordering::Relaxed);
+        // A dead receiver (client gone) is not a server error.
+        let _ = reply.send(response);
+    }
+}
+
+/// Successful-handler payload, merged into the response scaffold.
+#[derive(Default)]
+struct Payload {
+    artifact: Option<String>,
+    outputs: Vec<ArrayPayload>,
+    scalars: Vec<ScalarOut>,
+}
+
+fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Response>, Response) {
+    let picked = Instant::now();
+    let mut stats = ResponseStats {
+        queue_wait_us: picked.duration_since(job.enqueued).as_micros() as u64,
+        ..ResponseStats::default()
+    };
+    let result = if picked >= job.deadline {
+        Err(WireError::new(
+            WireError::TIMEOUT,
+            "deadline expired while queued",
+        ))
+    } else {
+        match &job.request.body {
+            RequestBody::Ping => Ok(Payload::default()),
+            RequestBody::Shutdown => {
+                shared.begin_shutdown();
+                Ok(Payload::default())
+            }
+            RequestBody::Compile(c) => handle_compile(shared, c, job.deadline, &mut stats),
+            RequestBody::Execute(e) => handle_execute(shared, pool, e, job.deadline, &mut stats),
+        }
+    };
+    stats.service_us = picked.elapsed().as_micros() as u64;
+    let response = match result {
+        Ok(payload) => {
+            let mut r = Response::success(job.request.id, stats);
+            r.artifact = payload.artifact;
+            r.outputs = payload.outputs;
+            r.scalars = payload.scalars;
+            r
+        }
+        Err(e) => Response::failure(job.request.id, e, stats),
+    };
+    (job.reply, response)
+}
+
+fn bad_request(message: impl Into<String>) -> WireError {
+    WireError::new(WireError::BAD_REQUEST, message)
+}
+
+/// The content-addressing key of a compile request: kernel JSON × symbol
+/// binding × geometry set × optimizer flag. Stable across processes (FNV-1a
+/// over the canonical encoding), so a restarted server re-derives the same
+/// artifact ids.
+fn compile_key(compiler: &Compiler, c: &CompileRequest) -> Result<u64, WireError> {
+    let kernel = serde_json::to_string(&c.kernel)
+        .map_err(|e| bad_request(format!("unserializable kernel: {e}")))?;
+    let tag = format!(
+        "{kernel}|syms={:?}|opt={}|geoms={:?}",
+        c.representative_syms, c.optimize, compiler.geometries
+    );
+    Ok(fnv1a(tag.as_bytes()))
+}
+
+fn handle_compile(
+    shared: &Shared,
+    c: &CompileRequest,
+    deadline: Instant,
+    stats: &mut ResponseStats,
+) -> Result<Payload, WireError> {
+    let compiler = Compiler {
+        optimize: c.optimize,
+        ..Compiler::default()
+    };
+    let key = compile_key(&compiler, c)?;
+    let binary = if let Some(cached) = shared.artifacts.get(key) {
+        stats.artifact_cache_hit = true;
+        cached
+    } else {
+        let t0 = Instant::now();
+        let region = compiler
+            .compile_with(c.kernel.clone(), &c.representative_syms, &mut |_stage| {
+                Instant::now() < deadline
+            })
+            .map_err(|e| match e {
+                IsaError::Cancelled(stage) => WireError::new(
+                    WireError::TIMEOUT,
+                    format!("deadline expired before the {stage} stage"),
+                ),
+                other => WireError::new(WireError::COMPILE, other.to_string()),
+            })?;
+        stats.compile_us = t0.elapsed().as_micros() as u64;
+        let mut fb = FatBinary::new();
+        fb.push(region);
+        shared.artifacts.insert(key, Arc::new(fb))
+    };
+    stats.tensorizable = binary.regions.first().map(|r| r.tensorizable);
+    Ok(Payload {
+        artifact: Some(format_id(key)),
+        ..Payload::default()
+    })
+}
+
+/// Resolves the binary an execute request targets: a cached artifact id, or
+/// an inline `FatBinary::to_json` payload registered under its content hash.
+fn resolve_binary(shared: &Shared, e: &ExecuteRequest) -> Result<(u64, Arc<FatBinary>), WireError> {
+    match (&e.artifact, &e.binary) {
+        (Some(id_str), None) => {
+            let id = parse_id(id_str)
+                .ok_or_else(|| bad_request(format!("malformed artifact id '{id_str}'")))?;
+            let binary = shared.artifacts.get(id).ok_or_else(|| {
+                WireError::new(
+                    WireError::UNKNOWN_ARTIFACT,
+                    format!("no artifact {id_str} in the cache (compile first?)"),
+                )
+            })?;
+            Ok((id, binary))
+        }
+        (None, Some(json)) => {
+            let binary = FatBinary::from_json(json)
+                .map_err(|err| bad_request(format!("unparseable inline binary: {err}")))?;
+            let id = binary
+                .content_hash()
+                .map_err(|err| bad_request(format!("unhashable inline binary: {err}")))?;
+            Ok((id, shared.artifacts.insert(id, Arc::new(binary))))
+        }
+        _ => Err(bad_request(
+            "exactly one of `artifact` / `binary` must be set",
+        )),
+    }
+}
+
+fn handle_execute(
+    shared: &Shared,
+    pool: &mut SessionPool,
+    e: &ExecuteRequest,
+    deadline: Instant,
+    stats: &mut ResponseStats,
+) -> Result<Payload, WireError> {
+    let (artifact_id, binary) = resolve_binary(shared, e)?;
+    // Validate array ids and lengths up front: functional memory's
+    // `write_array` treats mismatches as programming errors and panics.
+    let arrays = binary
+        .regions
+        .first()
+        .ok_or_else(|| bad_request("inline binary contains no regions"))?
+        .kernel()
+        .arrays();
+    for p in &e.inputs {
+        let decl = arrays
+            .get(p.array as usize)
+            .ok_or_else(|| bad_request(format!("input array id {} out of range", p.array)))?;
+        if p.data.len() as u64 != decl.num_elements() {
+            return Err(bad_request(format!(
+                "input array {} ('{}') has {} elements, got {}",
+                p.array,
+                decl.name,
+                decl.num_elements(),
+                p.data.len()
+            )));
+        }
+    }
+    for &out in &e.outputs {
+        if arrays.get(out as usize).is_none() {
+            return Err(bad_request(format!("output array id {out} out of range")));
+        }
+    }
+    stats.tensorizable = binary.region(&e.region).map(|r| r.tensorizable);
+
+    let key = (artifact_id, e.mode.index());
+    let mut session = match pool.take(key) {
+        Some(mut s) => {
+            // Pooled machine, unrelated tenant: wipe functional state.
+            s.reset();
+            s
+        }
+        None => Session::with_jit(
+            shared.cfg.system.clone(),
+            (*binary).clone(),
+            e.mode.exec_mode(),
+            shared.jit.clone(),
+        )
+        .map_err(|err| bad_request(format!("unusable binary: {err}")))?,
+    };
+    let result = run_region(&mut session, e, deadline, stats);
+    pool.put(key, session);
+    Ok(Payload {
+        artifact: Some(format_id(artifact_id)),
+        ..result?
+    })
+}
+
+fn run_region(
+    session: &mut Session,
+    e: &ExecuteRequest,
+    deadline: Instant,
+    stats: &mut ResponseStats,
+) -> Result<Payload, WireError> {
+    if Instant::now() >= deadline {
+        return Err(WireError::new(
+            WireError::TIMEOUT,
+            "deadline expired before execution",
+        ));
+    }
+    for p in &e.inputs {
+        session.memory().write_array(ArrayId(p.array), &p.data);
+    }
+    let report = session
+        .run(&e.region, &e.syms, &e.params)
+        .map_err(|err| match err {
+            SessionError::UnknownRegion(name) => WireError::new(
+                WireError::UNKNOWN_REGION,
+                format!("no region named '{name}' in the artifact"),
+            ),
+            other => WireError::new(WireError::EXECUTION, other.to_string()),
+        })?;
+    stats.jit_cache_hit = report.jit_hit;
+    stats.cycles = report.cycles;
+    stats.executed = Some(executed_label(report.executed).to_string());
+    Ok(Payload {
+        artifact: None,
+        outputs: e
+            .outputs
+            .iter()
+            .map(|&id| ArrayPayload {
+                array: id,
+                data: session.memory_ref().array(ArrayId(id)).to_vec(),
+            })
+            .collect(),
+        scalars: report
+            .scalars
+            .into_iter()
+            .map(|(name, value)| ScalarOut { name, value })
+            .collect(),
+    })
+}

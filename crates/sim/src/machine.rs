@@ -9,6 +9,7 @@ use infs_tdfg::{Node, OutputTarget, TdfgError};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which machine configuration executes a region (the bars of Fig 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -49,6 +50,11 @@ pub struct RegionReport {
     pub cycles: u64,
     /// Where it ran.
     pub executed: Executed,
+    /// For in-memory execution, whether the JIT memoization cache already
+    /// held the lowered commands (`None` for core/near-memory runs) — the
+    /// per-invocation observability hook the serving layer reports to
+    /// clients.
+    pub jit_hit: Option<bool>,
 }
 
 /// Simulator errors.
@@ -109,7 +115,12 @@ pub struct Machine {
     mesh: Mesh,
     eparams: EnergyParams,
     mem: Memory,
-    jit: JitCache,
+    jit: Arc<JitCache>,
+    /// This machine's own JIT hit/miss counts. With a shared cache the
+    /// cache-global counters aggregate every tenant, so per-run stats must be
+    /// tracked locally.
+    jit_hits: u64,
+    jit_misses: u64,
     stats: RunStats,
     transposed: Option<ActiveTranspose>,
     touched: HashSet<u32>,
@@ -122,19 +133,60 @@ impl Machine {
     /// Creates a machine over the given array declarations (the workload's
     /// shared array table; all of its kernels use the same [`infs_sdfg::ArrayId`]s).
     pub fn new(cfg: SystemConfig, arrays: &[infs_sdfg::ArrayDecl]) -> Self {
+        Machine::with_jit(cfg, arrays, Arc::new(JitCache::new()))
+    }
+
+    /// Creates a machine that memoizes JIT-lowered command streams in a
+    /// **shared** cache: a resident server hands every session one
+    /// `Arc<JitCache>` so tenants re-executing the same region reuse each
+    /// other's lowered commands (the serving analogue of §4.2 memoization).
+    pub fn with_jit(
+        cfg: SystemConfig,
+        arrays: &[infs_sdfg::ArrayDecl],
+        jit: Arc<JitCache>,
+    ) -> Self {
         let mesh = Mesh::new(&cfg);
         Machine {
             cfg,
             mesh,
             eparams: EnergyParams::default(),
             mem: Memory::for_arrays(arrays),
-            jit: JitCache::new(),
+            jit,
+            jit_hits: 0,
+            jit_misses: 0,
             stats: RunStats::default(),
             transposed: None,
             touched: HashSet::new(),
             assume_transposed: false,
             tile_override: None,
             functional: true,
+        }
+    }
+
+    /// The JIT memoization cache this machine lowers through (shared when the
+    /// machine was built with [`Machine::with_jit`]).
+    pub fn jit_cache(&self) -> &Arc<JitCache> {
+        &self.jit
+    }
+
+    /// Resets the machine for reuse by an unrelated request: fresh functional
+    /// memory (all zeros), no transposed/resident state, zeroed run stats.
+    /// The JIT cache handle is kept — reuse of lowered commands across
+    /// requests is the point of pooling. Configuration flags
+    /// (`assume_transposed`, tile override, functional mode) also persist;
+    /// they describe the machine, not the request.
+    pub fn reset(&mut self) {
+        let decls = self.mem.decls().to_vec();
+        self.mem = Memory::for_arrays(&decls);
+        self.jit_hits = 0;
+        self.jit_misses = 0;
+        self.stats = RunStats::default();
+        self.transposed = None;
+        self.touched.clear();
+        if self.assume_transposed {
+            for i in 0..self.mem.decls().len() {
+                self.touched.insert(i as u32);
+            }
         }
     }
 
@@ -188,9 +240,8 @@ impl Machine {
 
     /// Finalizes the run: computes NoC utilization and returns the stats.
     pub fn finish(mut self) -> RunStats {
-        let (h, m) = self.jit.stats();
-        self.stats.jit_hits = h;
-        self.stats.jit_misses = m;
+        self.stats.jit_hits = self.jit_hits;
+        self.stats.jit_misses = self.jit_misses;
         self.stats.noc_utilization = self
             .mesh
             .utilization(self.stats.traffic.noc_total(), self.stats.cycles.max(1));
@@ -330,6 +381,7 @@ impl Machine {
             scalars,
             cycles: out.cycles,
             executed: Executed::Core,
+            jit_hit: None,
         })
     }
 
@@ -358,6 +410,7 @@ impl Machine {
             scalars,
             cycles: out.cycles,
             executed: Executed::NearMemory,
+            jit_hit: None,
         })
     }
 
@@ -392,6 +445,11 @@ impl Machine {
                 .get_or_lower(&region.name, &[sig as i64], layout.tile().dims(), || {
                     infs_runtime::lower(tdfg, schedule, &layout, &hw)
                 })?;
+        if hit {
+            self.jit_hits += 1;
+        } else {
+            self.jit_misses += 1;
+        }
         let jit_cycles = if nojit {
             0
         } else if hit {
@@ -430,6 +488,7 @@ impl Machine {
             scalars: out.scalars,
             cycles: total,
             executed: Executed::InMemory,
+            jit_hit: Some(hit),
         })
     }
 
