@@ -3,11 +3,15 @@
 //! ```text
 //! cargo run --release -p infs-bench --bin figures -- all          # paper scale
 //! cargo run --release -p infs-bench --bin figures -- fig11 --quick
+//! cargo run --release -p infs-bench --bin figures -- matrix --quick --trace t.json
 //! ```
 //!
-//! Results land under `results/` as Markdown and are echoed to stdout.
+//! Results land under `results/` as Markdown and are echoed to stdout. With
+//! `--trace PATH`, compiler/JIT/simulator spans for the whole run are written
+//! as a Chrome trace to PATH (open in Perfetto) plus flat counters to
+//! `PATH.metrics.json`.
 
-use infs_bench::{figures, Ctx, RunMatrix};
+use infs_bench::{figures, Ctx};
 
 const ALL: &[&str] = &[
     "eq1",
@@ -32,11 +36,10 @@ const ALL: &[&str] = &[
 fn run(name: &str, ctx: &Ctx) {
     let t0 = std::time::Instant::now();
     match name {
-        // Populates results/matrix.json and exits: the target for wall-clock
-        // scaling runs (`RAYON_NUM_THREADS=1` forces the sequential path).
-        "matrix" => {
-            RunMatrix::load_or_run(ctx);
-        }
+        // Populates results/matrix.json and emits the per-workload JIT-cache
+        // summary table: the target for wall-clock scaling runs
+        // (`RAYON_NUM_THREADS=1` forces the sequential path).
+        "matrix" => figures::matrix_summary(ctx),
         "fig2" => figures::fig2(ctx),
         "fig11" => figures::fig11(ctx),
         "fig12" => figures::fig12(ctx),
@@ -68,11 +71,27 @@ fn run(name: &str, ctx: &Ctx) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut trace_path: Option<String> = None;
+    let mut targets: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(p.clone()),
+                None => {
+                    eprintln!("--trace requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+            other => targets.push(other),
+        }
+    }
+    let _session = trace_path.as_ref().map(|_| infs_trace::exclusive());
     let ctx = Ctx::new(quick);
     if targets.is_empty() || targets.contains(&"all") {
         for name in ALL {
@@ -82,5 +101,15 @@ fn main() {
         for name in targets {
             run(name, &ctx);
         }
+    }
+    if let Some(path) = trace_path {
+        let metrics_path = format!("{path}.metrics.json");
+        if let Err(e) = infs_trace::write_chrome(path.as_ref())
+            .and_then(|()| infs_trace::write_metrics(metrics_path.as_ref()))
+        {
+            eprintln!("[figures] cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[figures] trace written to {path} (+ {metrics_path})");
     }
 }

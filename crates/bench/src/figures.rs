@@ -21,6 +21,46 @@ fn steady_cycles(b: &dyn Benchmark, mode: ExecMode, cfg: &SystemConfig) -> u64 {
     m.finish().cycles - warm
 }
 
+/// Per-workload summary of the cached run matrix: Inf-S cycles, where the
+/// region executed is implied by the config, and the per-machine JIT cache
+/// counters (`RunStats::jit_hits` / `jit_misses`) that Fig 15's analysis
+/// aggregates away.
+pub fn matrix_summary(ctx: &Ctx) {
+    let m = RunMatrix::load_or_run(ctx);
+    let mut t = Table::new(
+        "Run matrix summary: per-workload Inf-S JIT cache behaviour",
+        &[
+            "benchmark",
+            "Inf-S cycles",
+            "jit hits",
+            "jit misses",
+            "jit hit rate",
+            "noJIT cycles",
+        ],
+    );
+    for name in crate::matrix::WORKLOADS {
+        let Some(e) = m.get(name, ConfigName::InfS) else {
+            continue;
+        };
+        let (h, mi) = (e.stats.jit_hits, e.stats.jit_misses);
+        let rate = if h + mi == 0 {
+            "-".to_string()
+        } else {
+            Table::f(h as f64 / (h + mi) as f64)
+        };
+        t.row(vec![
+            name.into(),
+            e.stats.cycles.to_string(),
+            h.to_string(),
+            mi.to_string(),
+            rate,
+            m.get(name, ConfigName::InfSNoJit)
+                .map_or_else(|| "-".into(), |e| e.stats.cycles.to_string()),
+        ]);
+    }
+    ctx.emit("matrix", &t);
+}
+
 /// Fig 2: speedup of the paradigms on `vec_add` / `array_sum` across input
 /// sizes, normalized to Base-Thread-1.
 pub fn fig2(ctx: &Ctx) {

@@ -126,20 +126,33 @@ pub fn optimize_with_limits(
     params: &CostParams,
     limits: SaturationLimits,
 ) -> Result<Tdfg, TdfgError> {
+    let mut opt_span = infs_trace::span!("egraph.optimize", nodes_in = g.nodes().len());
     let mut eg = EGraph::from_tdfg(g);
     let rules = all_rules();
-    for _ in 0..limits.max_iters {
+    let mut iters = 0usize;
+    for iter in 0..limits.max_iters {
+        let _iter_span = infs_trace::span!("egraph.saturate", iter = iter);
         let mut changed = false;
+        let mut applications = 0u64;
         for rule in &rules {
             if eg.num_enodes() >= limits.max_nodes {
                 break;
             }
-            changed |= rule.apply(&mut eg) > 0;
+            let n = rule.apply(&mut eg);
+            applications += n as u64;
+            changed |= n > 0;
         }
         eg.rebuild();
+        iters = iter + 1;
+        infs_trace::counter!("egraph.rule_applications", applications);
+        infs_trace::gauge!("egraph.enodes", eg.num_enodes());
+        infs_trace::gauge!("egraph.classes", eg.class_ids().len());
         if !changed || eg.num_enodes() >= limits.max_nodes {
             break;
         }
     }
+    opt_span.arg("iters", iters);
+    opt_span.arg("enodes", eg.num_enodes());
+    let _extract_span = infs_trace::span!("egraph.extract", enodes = eg.num_enodes());
     extract(&eg, g, params)
 }

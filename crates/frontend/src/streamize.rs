@@ -30,6 +30,7 @@ impl Kernel {
     /// Returns [`FrontendError::NotStreamizable`] if an indirect index is not
     /// itself a plain affine load, plus the usual symbol/bound errors.
     pub fn streamize(&self, syms: &[i64]) -> Result<Sdfg, FrontendError> {
+        let mut span = infs_trace::span!("frontend.streamize", kernel = self.name());
         let bounds = self.loop_bounds(syms)?;
         let trips: Vec<u64> = bounds.iter().map(|&(lo, hi)| (hi - lo) as u64).collect();
         let mut g = Sdfg::new(trips);
@@ -46,6 +47,7 @@ impl Kernel {
             ctx.lower_stmt(stmt)?;
         }
         ctx.g.validate().map_err(FrontendError::from)?;
+        span.arg("streams", ctx.g.streams().len());
         Ok(ctx.g)
     }
 }

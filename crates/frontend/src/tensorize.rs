@@ -52,6 +52,7 @@ impl Kernel {
     /// [`streamize`](Kernel::streamize) instead. Symbol and bound errors are
     /// reported as in [`loop_bounds`](Kernel::loop_bounds).
     pub fn tensorize(&self, syms: &[i64]) -> Result<Tdfg, FrontendError> {
+        let _span = infs_trace::span!("frontend.tensorize", kernel = self.name());
         let bounds = self.loop_bounds(syms)?;
         let mut builder = TdfgBuilder::new(self.loops().len(), self.dtype());
         builder.set_arrays(self.arrays().to_vec());

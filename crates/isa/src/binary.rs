@@ -64,6 +64,7 @@ impl Compiler {
         representative_syms: &[i64],
         gate: &mut dyn FnMut(CompileStage) -> bool,
     ) -> Result<CompiledRegion, IsaError> {
+        let mut span = infs_trace::span!("isa.compile", kernel = kernel.name());
         let mut check = |stage: CompileStage| -> Result<(), IsaError> {
             if gate(stage) {
                 Ok(())
@@ -82,6 +83,11 @@ impl Compiler {
                 let g = self.maybe_optimize(&g)?;
                 // At least one geometry must accommodate the region.
                 check(CompileStage::Schedule)?;
+                let _sched_span = infs_trace::span!(
+                    "isa.schedule_probe",
+                    geometries = self.geometries.len(),
+                    nodes = g.nodes().len(),
+                );
                 self.geometries
                     .iter()
                     .any(|&geom| Schedule::compute(&g, geom).is_ok())
@@ -89,6 +95,7 @@ impl Compiler {
             Err(FrontendError::NotTensorizable { .. }) => false,
             Err(e) => return Err(e.into()),
         };
+        span.arg("tensorizable", tensorizable);
         let mut region = CompiledRegion {
             kernel,
             geometries: self.geometries.clone(),
@@ -174,6 +181,7 @@ impl CompiledRegion {
     /// Returns symbol/bound errors, or backend errors if no geometry can
     /// schedule this instantiation (e.g. the live set grew with the sizes).
     pub fn instantiate(&self, syms: &[i64]) -> Result<RegionInstance, IsaError> {
+        let _span = infs_trace::span!("isa.instantiate", kernel = self.kernel.name());
         let sdfg = self.kernel.streamize(syms)?;
         let (tdfg, schedules, hints, profile) = if self.tensorizable {
             let g = self.kernel.tensorize(syms)?;

@@ -84,6 +84,11 @@ impl Schedule {
     /// [`IsaError::RegisterSpill`] if more intermediates are live than there
     /// are registers (spilling is unsupported, §6).
     pub fn compute(g: &Tdfg, geometry: SramGeometry) -> Result<Schedule, IsaError> {
+        let mut span = infs_trace::span!(
+            "isa.regalloc",
+            nodes = g.nodes().len(),
+            wordlines = geometry.wordlines,
+        );
         let bits = g.dtype().bits();
         // Only arrays the region reads or writes occupy wordline bands.
         let mut used_arrays: Vec<infs_sdfg::ArrayId> = Vec::new();
@@ -154,6 +159,8 @@ impl Schedule {
             }
         }
 
+        span.arg("max_live", max_live);
+        span.arg("num_regs", num_regs);
         Ok(Schedule {
             geometry,
             order: (0..n as u32).map(NodeId).collect(),

@@ -35,12 +35,14 @@ impl TransposedLayout {
     /// * [`RuntimeError::NoLayout`] — no tile size satisfies the constraints;
     ///   the caller must fall back to near-memory execution.
     pub fn plan(tdfg: &Tdfg, hints: &LayoutHints, hw: &HwConfig) -> Result<Self, RuntimeError> {
+        let mut span = infs_trace::span!("runtime.layout_plan", nodes = tdfg.nodes().len());
         let request = Self::request(tdfg, hints, hw)?;
         let candidates = if request.array_is_line_aligned() {
             valid_tilings(&request)
         } else {
             Vec::new()
         };
+        span.arg("candidates", candidates.len());
         if candidates.is_empty() {
             // Reuse pick_tile_shape's diagnostics for the no-candidate cases
             // (line misalignment / no admissible factorization).
@@ -85,6 +87,7 @@ impl TransposedLayout {
         tile: TileShape,
         hw: &HwConfig,
     ) -> Result<Self, RuntimeError> {
+        let _span = infs_trace::span!("runtime.layout_plan", explicit_tile = tile.to_string());
         if tile.num_elements() != hw.geometry.bitlines as u64 {
             return Err(RuntimeError::NoLayout(
                 infs_geom::GeomError::NoValidTiling {

@@ -175,6 +175,7 @@ pub fn lower(
     layout: &TransposedLayout,
     hw: &HwConfig,
 ) -> Result<CommandStream, RuntimeError> {
+    let mut span = infs_trace::span!("runtime.lower", nodes = g.nodes().len());
     let mut lw = Lowerer {
         g,
         layout,
@@ -188,6 +189,10 @@ pub fn lower(
     }
     lw.stats.n_cmds = lw.cmds.len() as u64;
     let jit_cycles = hw.jit_cycles(lw.stats.n_cmds);
+    span.arg("cmds", lw.stats.n_cmds);
+    span.arg("jit_cycles", jit_cycles);
+    infs_trace::counter!("jit.commands", lw.stats.n_cmds);
+    infs_trace::counter!("jit.syncs", lw.stats.syncs);
     Ok(CommandStream {
         cmds: lw.cmds,
         jit_cycles,
@@ -211,6 +216,7 @@ impl Lowerer<'_> {
 
     /// Per-bank (tiles, elems) of a rectangle.
     fn bank_loads(&self, rect: &HyperRect) -> Vec<BankLoad> {
+        infs_trace::counter!("runtime.bank_maps", 1u64);
         let mut per_bank: HashMap<u32, BankLoad> = HashMap::new();
         for t in self.layout.grid().tiles_overlapping(rect) {
             let elems = self.layout.tile_overlap_elems(t, rect);
@@ -248,6 +254,7 @@ impl Lowerer<'_> {
                     .filter(|&&x| self.g.domain(x).is_none())
                     .count() as u64;
                 let latency = bit_serial_latency(op, self.g.dtype());
+                let _span = infs_trace::span!("runtime.decompose", node = id.0);
                 // One command per tile-aligned piece: boundary tiles need their
                 // own bitline masks, which is the stencil3d JIT blow-up of §8.
                 for sub in decompose(&domain, &self.tile_dims()) {
@@ -307,6 +314,7 @@ impl Lowerer<'_> {
         dim: usize,
         dist: i64,
     ) -> Result<(), RuntimeError> {
+        let _span = infs_trace::span!("runtime.shift_lower", node = node.0, dim = dim, dist = dist);
         let t = self.layout.tile().dim(dim) as i64;
         let d_inter = dist.abs() / t;
         let d_intra = dist.abs() % t;
@@ -449,6 +457,7 @@ impl Lowerer<'_> {
         dest: &HyperRect,
         dim: usize,
     ) -> Result<(), RuntimeError> {
+        let _span = infs_trace::span!("runtime.broadcast_lower", node = node.0, dim = dim);
         let grid = self.layout.grid().clone();
         let src_coord = src.start(dim);
         let mut per_bank: HashMap<u32, BankLoad> = HashMap::new();

@@ -161,10 +161,15 @@ impl JitCache {
                 entry.last_hit = self.tick();
                 let found = entry.stream.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                infs_trace::counter!("jit.memo_hits", 1u64);
                 return Ok((found, true));
             }
         }
-        let cs = Arc::new(lower()?);
+        infs_trace::counter!("jit.memo_misses", 1u64);
+        let cs = {
+            let _span = infs_trace::span!("runtime.jit_lower", region = region);
+            Arc::new(lower()?)
+        };
         let stored = {
             let mut map = shard.lock();
             // A racing thread may have inserted while we lowered; only a

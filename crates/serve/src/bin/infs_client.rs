@@ -1,52 +1,64 @@
 //! `infs-client` — thin client for `infs-served`.
 //!
 //! ```text
-//! infs-client smoke [--addr HOST:PORT] [--keep-alive]
+//! infs-client smoke   [--addr HOST:PORT] [--keep-alive]
+//! infs-client metrics [--addr HOST:PORT] [--shutdown]
 //! ```
 //!
 //! `smoke` runs the end-to-end acceptance sequence the CI server-smoke step
 //! drives: ping, compile, execute (verifying outputs numerically), recompile
 //! (asserting an artifact-cache hit), then graceful shutdown. Any deviation —
-//! wrong outputs, missing stats, cache miss where a hit is required — exits
-//! non-zero.
+//! wrong outputs, missing stats, cache miss where a hit is required, or a
+//! stats block whose phase times exceed its total — exits non-zero.
+//!
+//! `metrics` queries the server's observability counters and pretty-prints
+//! cache hit rates, queue occupancy, and admission totals. With `--shutdown`
+//! it then asks the server to exit, so CI can run `smoke --keep-alive`
+//! followed by `metrics --shutdown`.
 
-use infs_serve::{demo, ArrayPayload, Client, Response, WireMode};
+use infs_serve::{demo, ArrayPayload, Client, MetricsReport, Response, WireMode};
 use std::process::ExitCode;
+
+enum Command {
+    Smoke { keep_alive: bool },
+    Metrics { shutdown: bool },
+}
 
 struct Args {
     addr: String,
-    keep_alive: bool,
+    command: Command,
 }
+
+const USAGE: &str =
+    "usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]\n       infs-client metrics [--addr HOST:PORT] [--shutdown]";
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
-    match it.next().as_deref() {
-        Some("smoke") => {}
-        Some("--help") | Some("-h") | None => {
-            return Err("usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]".to_string())
-        }
+    let mut command = match it.next().as_deref() {
+        Some("smoke") => Command::Smoke { keep_alive: false },
+        Some("metrics") => Command::Metrics { shutdown: false },
+        Some("--help") | Some("-h") | None => return Err(USAGE.to_string()),
         Some(other) => return Err(format!("unknown command '{other}' (try --help)")),
-    }
-    let mut args = Args {
-        addr: "127.0.0.1:7199".to_string(),
-        keep_alive: false,
     };
+    let mut addr = "127.0.0.1:7199".to_string();
     while let Some(flag) = it.next() {
-        match flag.as_str() {
-            "--addr" => {
-                args.addr = it
+        match (flag.as_str(), &mut command) {
+            ("--addr", _) => {
+                addr = it
                     .next()
                     .ok_or_else(|| "--addr requires a value".to_string())?
             }
-            "--keep-alive" => args.keep_alive = true,
-            other => return Err(format!("unknown flag '{other}'")),
+            ("--keep-alive", Command::Smoke { keep_alive }) => *keep_alive = true,
+            ("--shutdown", Command::Metrics { shutdown }) => *shutdown = true,
+            (other, _) => return Err(format!("unknown flag '{other}'")),
         }
     }
-    Ok(args)
+    Ok(Args { addr, command })
 }
 
 /// A well-formed stats block: present on every response, with service time
-/// measured and, for executions, cycles and an execution site reported.
+/// measured, phase times that fit inside the reported total, and, for
+/// executions, cycles and an execution site reported.
 fn check_stats(step: &str, r: &Response, executed: bool) -> Result<(), String> {
     if !r.ok {
         let why = r
@@ -56,11 +68,24 @@ fn check_stats(step: &str, r: &Response, executed: bool) -> Result<(), String> {
             .unwrap_or_else(|| "unknown error".to_string());
         return Err(format!("{step}: server answered failure ({why})"));
     }
+    let s = &r.stats;
+    if s.queue_wait_us + s.compile_us + s.execute_us > s.total_us {
+        return Err(format!(
+            "{step}: stats inconsistent: queue_wait {} + compile {} + execute {} > total {}",
+            s.queue_wait_us, s.compile_us, s.execute_us, s.total_us
+        ));
+    }
+    if s.artifact_cache_hit && s.compile_us != 0 {
+        return Err(format!(
+            "{step}: artifact-cache hit reports {}us of compile time",
+            s.compile_us
+        ));
+    }
     if executed {
-        if r.stats.cycles == 0 {
+        if s.cycles == 0 {
             return Err(format!("{step}: stats report zero simulated cycles"));
         }
-        if r.stats.executed.is_none() {
+        if s.executed.is_none() {
             return Err(format!("{step}: stats lack an execution site"));
         }
     }
@@ -136,6 +161,46 @@ fn smoke(addr: &str, keep_alive: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders a hit/miss pair as `hits/total (rate%)`, or `-` when the cache has
+/// never been consulted.
+fn rate(hits: u64, misses: u64) -> String {
+    match MetricsReport::hit_rate(hits, misses) {
+        Some(r) => format!("{hits}/{} ({:.1}%)", hits + misses, r * 100.0),
+        None => "-".to_string(),
+    }
+}
+
+fn metrics(addr: &str, shutdown: bool) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("transport: {e}");
+    let mut client = Client::connect(addr, "metrics").map_err(io)?;
+    let r = client.metrics().map_err(io)?;
+    check_stats("metrics", &r, false)?;
+    let m = r
+        .metrics
+        .ok_or_else(|| "metrics: response carries no metrics report".to_string())?;
+    println!("infs-served @ {addr} (up {} ms)", m.uptime_ms);
+    println!("  requests   served {} / rejected {}", m.served, m.rejected);
+    println!(
+        "  queue      depth {} of {} ({} workers)",
+        m.queue_depth, m.queue_capacity, m.workers
+    );
+    println!(
+        "  artifacts  hits {} (evicted {})",
+        rate(m.artifact_hits, m.artifact_misses),
+        m.artifact_evictions
+    );
+    println!(
+        "  jit cache  hits {} (evicted {})",
+        rate(m.jit_hits, m.jit_misses),
+        m.jit_evictions
+    );
+    if shutdown {
+        let r = client.shutdown().map_err(io)?;
+        check_stats("shutdown", &r, false)?;
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -144,13 +209,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match smoke(&args.addr, args.keep_alive) {
+    let (name, result) = match args.command {
+        Command::Smoke { keep_alive } => ("smoke", smoke(&args.addr, keep_alive)),
+        Command::Metrics { shutdown } => ("metrics", metrics(&args.addr, shutdown)),
+    };
+    match result {
         Ok(()) => {
-            println!("infs-client: smoke ok");
+            if name == "smoke" {
+                println!("infs-client: smoke ok");
+            }
             ExitCode::SUCCESS
         }
         Err(msg) => {
-            eprintln!("infs-client: smoke FAILED: {msg}");
+            eprintln!("infs-client: {name} FAILED: {msg}");
             ExitCode::FAILURE
         }
     }

@@ -1,12 +1,14 @@
 //! `infs-served` — the resident compile-and-execute daemon.
 //!
 //! ```text
-//! infs-served [--addr HOST:PORT] [--workers N] [--queue N]
+//! infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `infs_serve::protocol`). Exits 0 after
 //! a graceful shutdown (a `Shutdown` request from any client), having drained
-//! every admitted request.
+//! every admitted request. With `--trace PATH`, tracing is enabled for the
+//! daemon's lifetime and a Chrome trace (plus `PATH.metrics.json`) is written
+//! at shutdown.
 
 use infs_serve::{serve_tcp, ServeConfig, Server};
 use std::net::TcpListener;
@@ -15,12 +17,14 @@ use std::sync::Arc;
 
 struct Args {
     addr: String,
+    trace: Option<String>,
     cfg: ServeConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7199".to_string(),
+        trace: None,
         cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -28,6 +32,7 @@ fn parse_args() -> Result<Args, String> {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match flag.as_str() {
             "--addr" => args.addr = value("--addr")?,
+            "--trace" => args.trace = Some(value("--trace")?),
             "--workers" => {
                 args.cfg.workers = value("--workers")?
                     .parse()
@@ -38,11 +43,10 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
             }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N]".to_string(),
-                )
-            }
+            "--help" | "-h" => return Err(
+                "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH]"
+                    .to_string(),
+            ),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
@@ -68,6 +72,12 @@ fn main() -> ExitCode {
         .local_addr()
         .map(|a| a.to_string())
         .unwrap_or_else(|_| args.addr.clone());
+    // Enable tracing before the worker pool spawns so worker threads can
+    // register their names with the collector.
+    if args.trace.is_some() {
+        infs_trace::clear();
+        infs_trace::enable();
+    }
     let server = Arc::new(Server::new(args.cfg));
     // The smoke scripts wait for this exact line before connecting.
     println!("infs-served listening on {addr}");
@@ -86,5 +96,16 @@ fn main() -> ExitCode {
         stats.jit.0,
         stats.jit.1,
     );
+    if let Some(path) = args.trace {
+        infs_trace::disable();
+        let metrics_path = format!("{path}.metrics.json");
+        if let Err(e) = infs_trace::write_chrome(path.as_ref())
+            .and_then(|()| infs_trace::write_metrics(metrics_path.as_ref()))
+        {
+            eprintln!("infs-served: cannot write trace {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("infs-served: trace written to {path} (+ {metrics_path})");
+    }
     ExitCode::SUCCESS
 }

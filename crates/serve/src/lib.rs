@@ -71,7 +71,7 @@ mod server;
 pub use config::ServeConfig;
 pub use net::{serve_tcp, Client};
 pub use protocol::{
-    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response,
-    ResponseStats, ScalarOut, WireError, WireMode,
+    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, MetricsReport, Request,
+    RequestBody, Response, ResponseStats, ScalarOut, WireError, WireMode,
 };
 pub use server::{Server, ShutdownStats, Submitted, Ticket};

@@ -217,6 +217,16 @@ impl Client {
         )
     }
 
+    /// Fetches server-wide observability counters (cache hit rates, queue
+    /// depth, worker count).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn metrics(&mut self) -> std::io::Result<Response> {
+        self.request(None, RequestBody::Metrics)
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors

@@ -35,6 +35,9 @@ pub enum RequestBody {
     Execute(ExecuteRequest),
     /// Liveness probe.
     Ping,
+    /// Dump server-wide observability counters (cache hit rates, queue
+    /// depth, worker count) as a [`MetricsReport`].
+    Metrics,
     /// Begin graceful shutdown: admission closes, in-flight and queued
     /// requests complete, workers exit.
     Shutdown,
@@ -148,6 +151,45 @@ pub struct Response {
     /// Per-request observability; present on every response, including
     /// errors, so the serving layer is measurable from day one.
     pub stats: ResponseStats,
+    /// Server-wide counters (present on `Metrics` responses only).
+    pub metrics: Option<MetricsReport>,
+}
+
+/// Server-wide observability counters, returned by the `Metrics` verb.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Requests admitted and served since start.
+    pub served: u64,
+    /// Requests rejected at admission (backpressure / shutdown).
+    pub rejected: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Artifact-cache hits since start.
+    pub artifact_hits: u64,
+    /// Artifact-cache misses (compiles) since start.
+    pub artifact_misses: u64,
+    /// Artifact-cache evictions since start.
+    pub artifact_evictions: u64,
+    /// JIT memoization cache hits since start (all sessions share one cache).
+    pub jit_hits: u64,
+    /// JIT memoization cache misses since start.
+    pub jit_misses: u64,
+    /// JIT cache evictions since start.
+    pub jit_evictions: u64,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+impl MetricsReport {
+    /// Hit fraction of a hit/miss pair (`None` when there were no lookups).
+    pub fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
+        let total = hits + misses;
+        (total > 0).then(|| hits as f64 / total as f64)
+    }
 }
 
 /// One named scalar result.
@@ -207,6 +249,13 @@ pub struct ResponseStats {
     pub service_us: u64,
     /// Wall time inside the compiler, zero on artifact-cache hits (µs).
     pub compile_us: u64,
+    /// Wall time inside the simulator executing the region (µs); zero for
+    /// non-execute requests.
+    pub execute_us: u64,
+    /// End-to-end wall time from admission to response (µs):
+    /// `queue_wait_us + service_us`, so `queue_wait_us + compile_us +
+    /// execute_us <= total_us` always holds.
+    pub total_us: u64,
     /// Whether the artifact cache already held the compiled binary.
     pub artifact_cache_hit: bool,
     /// For in-memory execution, whether the shared JIT memoization cache
@@ -240,6 +289,7 @@ impl Response {
             outputs: Vec::new(),
             scalars: Vec::new(),
             stats,
+            metrics: None,
         }
     }
 
@@ -253,6 +303,7 @@ impl Response {
             outputs: Vec::new(),
             scalars: Vec::new(),
             stats,
+            metrics: None,
         }
     }
 }

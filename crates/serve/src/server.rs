@@ -10,8 +10,8 @@
 use crate::artifact::{format_id, parse_id, ArtifactCache};
 use crate::config::ServeConfig;
 use crate::protocol::{
-    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response,
-    ResponseStats, ScalarOut, WireError,
+    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, MetricsReport, Request,
+    RequestBody, Response, ResponseStats, ScalarOut, WireError,
 };
 use crate::queue::{AdmissionQueue, PushError};
 use infinity_stream::{Session, SessionError};
@@ -62,8 +62,9 @@ impl Ticket {
 pub enum Submitted {
     /// Admitted; wait on the ticket.
     Admitted(Ticket),
-    /// Rejected at admission; the response says why.
-    Rejected(Response),
+    /// Rejected at admission; the boxed response says why (boxed so the
+    /// enum stays small next to a bare ticket).
+    Rejected(Box<Response>),
 }
 
 /// Counters returned by [`Server::shutdown`].
@@ -119,6 +120,29 @@ struct Shared {
     shutting_down: AtomicBool,
     served: AtomicU64,
     rejected: AtomicU64,
+    started: Instant,
+}
+
+impl Shared {
+    /// Server-wide counters for the `Metrics` verb.
+    fn metrics(&self) -> MetricsReport {
+        let (artifact_hits, artifact_misses, artifact_evictions) = self.artifacts.stats();
+        let (jit_hits, jit_misses) = self.jit.stats();
+        MetricsReport {
+            served: self.served.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            artifact_hits,
+            artifact_misses,
+            artifact_evictions,
+            jit_hits,
+            jit_misses,
+            jit_evictions: self.jit.evictions(),
+            workers: self.cfg.workers.max(1),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
 }
 
 impl Shared {
@@ -152,12 +176,13 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            started: Instant::now(),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
-            .map(|_| {
+            .map(|i| {
                 let shared = shared.clone();
-                std::thread::spawn(move || worker_loop(&shared))
+                std::thread::spawn(move || worker_loop(&shared, i))
             })
             .collect();
         Server {
@@ -200,12 +225,20 @@ impl Server {
                     ),
                 );
                 err.retry_after_ms = Some(self.shared.cfg.retry_after_ms);
-                Submitted::Rejected(Response::failure(id, err, ResponseStats::default()))
+                Submitted::Rejected(Box::new(Response::failure(
+                    id,
+                    err,
+                    ResponseStats::default(),
+                )))
             }
             Err(PushError::Closed(_)) => {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
                 let err = WireError::new(WireError::SHUTTING_DOWN, "server is shutting down");
-                Submitted::Rejected(Response::failure(id, err, ResponseStats::default()))
+                Submitted::Rejected(Box::new(Response::failure(
+                    id,
+                    err,
+                    ResponseStats::default(),
+                )))
             }
         }
     }
@@ -215,7 +248,7 @@ impl Server {
     pub fn call(&self, request: Request) -> Response {
         match self.submit(request) {
             Submitted::Admitted(ticket) => ticket.wait(),
-            Submitted::Rejected(response) => response,
+            Submitted::Rejected(response) => *response,
         }
     }
 
@@ -319,7 +352,8 @@ impl SessionPool {
     }
 }
 
-fn worker_loop(shared: &Arc<Shared>) {
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    infs_trace::name_thread(&format!("worker {index}"));
     let mut pool = SessionPool::new(shared.cfg.sessions_per_worker);
     while let Some(job) = shared.queue.pop() {
         shared.gate.wait_open();
@@ -336,6 +370,18 @@ struct Payload {
     artifact: Option<String>,
     outputs: Vec<ArrayPayload>,
     scalars: Vec<ScalarOut>,
+    metrics: Option<MetricsReport>,
+}
+
+/// Trace label for a request body.
+fn request_kind(body: &RequestBody) -> &'static str {
+    match body {
+        RequestBody::Compile(_) => "compile",
+        RequestBody::Execute(_) => "execute",
+        RequestBody::Ping => "ping",
+        RequestBody::Metrics => "metrics",
+        RequestBody::Shutdown => "shutdown",
+    }
 }
 
 fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Response>, Response) {
@@ -344,6 +390,24 @@ fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Re
         queue_wait_us: picked.duration_since(job.enqueued).as_micros() as u64,
         ..ResponseStats::default()
     };
+    // Per-request root span: the queue wait is recorded retroactively as a
+    // sibling interval ending where the service span begins.
+    let mut span = infs_trace::span!(
+        "serve.request",
+        id = job.request.id,
+        tenant = job.request.tenant.as_str(),
+        kind = request_kind(&job.request.body),
+    );
+    if infs_trace::enabled() {
+        let wait_ns = (stats.queue_wait_us).saturating_mul(1000);
+        let now_ns = infs_trace::now_ns();
+        infs_trace::record_span_at(
+            "serve.queue_wait",
+            now_ns.saturating_sub(wait_ns),
+            wait_ns,
+            vec![("id", infs_trace::ArgValue::UInt(job.request.id))],
+        );
+    }
     let result = if picked >= job.deadline {
         Err(WireError::new(
             WireError::TIMEOUT,
@@ -352,6 +416,10 @@ fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Re
     } else {
         match &job.request.body {
             RequestBody::Ping => Ok(Payload::default()),
+            RequestBody::Metrics => Ok(Payload {
+                metrics: Some(shared.metrics()),
+                ..Payload::default()
+            }),
             RequestBody::Shutdown => {
                 shared.begin_shutdown();
                 Ok(Payload::default())
@@ -361,12 +429,16 @@ fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Re
         }
     };
     stats.service_us = picked.elapsed().as_micros() as u64;
+    stats.total_us = stats.queue_wait_us + stats.service_us;
+    span.arg("ok", result.is_ok());
+    span.arg("total_us", stats.total_us);
     let response = match result {
         Ok(payload) => {
             let mut r = Response::success(job.request.id, stats);
             r.artifact = payload.artifact;
             r.outputs = payload.outputs;
             r.scalars = payload.scalars;
+            r.metrics = payload.metrics;
             r
         }
         Err(e) => Response::failure(job.request.id, e, stats),
@@ -408,6 +480,7 @@ fn handle_compile(
         cached
     } else {
         let t0 = Instant::now();
+        let _span = infs_trace::span!("serve.compile", optimize = c.optimize);
         let region = compiler
             .compile_with(c.kernel.clone(), &c.representative_syms, &mut |_stage| {
                 Instant::now() < deadline
@@ -535,6 +608,8 @@ fn run_region(
     for p in &e.inputs {
         session.memory().write_array(ArrayId(p.array), &p.data);
     }
+    let t0 = Instant::now();
+    let mut span = infs_trace::span!("serve.execute", region = e.region.as_str());
     let report = session
         .run(&e.region, &e.syms, &e.params)
         .map_err(|err| match err {
@@ -544,6 +619,10 @@ fn run_region(
             ),
             other => WireError::new(WireError::EXECUTION, other.to_string()),
         })?;
+    span.arg("cycles", report.cycles);
+    span.arg("jit_hit", report.jit_hit.unwrap_or(false));
+    drop(span);
+    stats.execute_us = t0.elapsed().as_micros() as u64;
     stats.jit_cache_hit = report.jit_hit;
     stats.cycles = report.cycles;
     stats.executed = Some(executed_label(report.executed).to_string());
@@ -562,5 +641,6 @@ fn run_region(
             .into_iter()
             .map(|(name, value)| ScalarOut { name, value })
             .collect(),
+        metrics: None,
     })
 }

@@ -226,7 +226,7 @@ fn queue_overflow_is_rejected_with_retry_after() {
     for i in 0..total {
         match server.submit(ping(i)) {
             Submitted::Admitted(t) => tickets.push(t),
-            Submitted::Rejected(r) => rejections.push(r),
+            Submitted::Rejected(r) => rejections.push(*r),
         }
     }
     assert!(

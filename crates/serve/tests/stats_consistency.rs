@@ -1,0 +1,119 @@
+//! Response-stats accounting invariants: for every response the phase times
+//! fit inside the reported total (`queue_wait_us + compile_us + execute_us <=
+//! total_us`), artifact-cache hits report zero compile time, and the
+//! `Metrics` verb reports counters consistent with the traffic just served.
+
+use infs_serve::{
+    demo, ArrayPayload, ExecuteRequest, Request, RequestBody, Response, ServeConfig, Server,
+    WireMode,
+};
+
+fn call(server: &Server, id: u64, body: RequestBody) -> Response {
+    let r = server.call(Request {
+        id,
+        tenant: "stats-test".into(),
+        deadline_ms: None,
+        body,
+    });
+    let s = &r.stats;
+    assert!(
+        s.queue_wait_us + s.compile_us + s.execute_us <= s.total_us,
+        "request {id}: queue_wait {} + compile {} + execute {} > total {}",
+        s.queue_wait_us,
+        s.compile_us,
+        s.execute_us,
+        s.total_us
+    );
+    assert_eq!(
+        s.total_us,
+        s.queue_wait_us + s.service_us,
+        "request {id}: total must be queue wait plus service time"
+    );
+    if s.artifact_cache_hit {
+        assert_eq!(
+            s.compile_us, 0,
+            "request {id}: artifact-cache hit reports compile time"
+        );
+    }
+    r
+}
+
+#[test]
+fn phase_times_fit_inside_total_and_metrics_add_up() {
+    let server = Server::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let n = 128u64;
+
+    let r = call(&server, 1, RequestBody::Ping);
+    assert!(r.ok);
+
+    // Cold compile: real compile time, no cache hit.
+    let r = call(
+        &server,
+        2,
+        RequestBody::Compile(infs_serve::CompileRequest {
+            kernel: demo::scale(n),
+            representative_syms: vec![],
+            optimize: true,
+        }),
+    );
+    assert!(r.ok, "compile failed: {:?}", r.error);
+    assert!(!r.stats.artifact_cache_hit);
+    let artifact = r.artifact.unwrap();
+
+    // Execute: nonzero execute time bounded by the total.
+    let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let r = call(
+        &server,
+        3,
+        RequestBody::Execute(ExecuteRequest {
+            artifact: Some(artifact.clone()),
+            binary: None,
+            region: "scale".into(),
+            syms: vec![],
+            params: vec![2.0],
+            mode: WireMode::InfS,
+            inputs: vec![ArrayPayload {
+                array: 0,
+                data: input,
+            }],
+            outputs: vec![0],
+        }),
+    );
+    assert!(r.ok, "execute failed: {:?}", r.error);
+    assert!(r.stats.cycles > 0);
+
+    // Warm recompile: the `call` helper asserts compile_us == 0 on a hit.
+    let r = call(
+        &server,
+        4,
+        RequestBody::Compile(infs_serve::CompileRequest {
+            kernel: demo::scale(n),
+            representative_syms: vec![],
+            optimize: true,
+        }),
+    );
+    assert!(r.ok);
+    assert!(r.stats.artifact_cache_hit);
+
+    // The metrics verb reflects the traffic above.
+    let r = call(&server, 5, RequestBody::Metrics);
+    assert!(r.ok);
+    let m = r.metrics.expect("metrics response carries a report");
+    assert!(m.served >= 4, "served {} requests before metrics", m.served);
+    assert_eq!(m.rejected, 0);
+    // Both the execute's artifact resolution and the warm recompile hit.
+    assert_eq!(m.artifact_hits, 2);
+    assert!(m.artifact_misses >= 1);
+    assert_eq!(m.workers, 2);
+    assert_eq!(m.queue_depth, 0, "queue is idle between calls");
+    assert!(m.queue_capacity > 0);
+
+    // Non-metrics responses must not carry a report.
+    let r = call(&server, 6, RequestBody::Ping);
+    assert!(r.ok && r.metrics.is_none());
+
+    server.shutdown();
+}

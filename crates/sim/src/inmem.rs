@@ -28,11 +28,26 @@ pub struct InMemOutcome {
 /// at L3 banks… except inter-tile shifts"); remote inter-tile payloads
 /// accumulate until the next sync, whose cost includes draining them through
 /// the mesh.
+#[cfg_attr(not(test), allow(dead_code))] // production callers thread a base cycle
 pub fn execute(
     cs: &CommandStream,
     cfg: &SystemConfig,
     mesh: &Mesh,
     e: &EnergyParams,
+) -> InMemOutcome {
+    execute_at(cs, cfg, mesh, e, 0)
+}
+
+/// [`execute`] with a base machine cycle for the observability timeline: when
+/// tracing is enabled, every per-bank command occupancy and every NoC drain is
+/// emitted as a simulated-time span starting at `base_cycle + bank-local
+/// time`, so consecutive regions line up on one global machine timeline.
+pub fn execute_at(
+    cs: &CommandStream,
+    cfg: &SystemConfig,
+    mesh: &Mesh,
+    e: &EnergyParams,
+    base_cycle: u64,
 ) -> InMemOutcome {
     let nb = cfg.n_banks as usize;
     let mut bank_time = vec![0u64; nb];
@@ -40,6 +55,21 @@ pub fn execute(
     let elem_bytes = 4u64;
     let bank_bw = cfg.bank_bytes_per_cycle as f64;
     let array_bw = cfg.htree_bytes_per_cycle_per_array as f64;
+    let tracing = infs_trace::enabled();
+    // One bank-occupancy span per (command, bank); `start` is the bank-local
+    // time *before* this command's contribution.
+    let trace_bank = |bank: u32, start: u64, dur: u64, label: &'static str| {
+        if tracing && dur > 0 {
+            infs_trace::sim_span(
+                &format!("bank {bank:02}"),
+                label,
+                base_cycle + start,
+                dur,
+                vec![],
+            );
+            infs_trace::counter_add("sim.bank_busy_cycles", dur);
+        }
+    };
 
     // Remote bytes in flight since the last barrier: (byte_hops, max_flow).
     let mut pending_hops = 0.0f64;
@@ -55,9 +85,19 @@ pub fn execute(
         } else {
             0
         };
-        let t = bank_time.iter().copied().max().unwrap_or(0) + drain + cfg.sync_latency;
+        let before = bank_time.iter().copied().max().unwrap_or(0);
+        let t = before + drain + cfg.sync_latency;
         for b in bank_time.iter_mut() {
             *b = t;
+        }
+        if tracing && drain + cfg.sync_latency > 0 {
+            infs_trace::sim_span(
+                "noc",
+                "barrier",
+                base_cycle + before,
+                drain + cfg.sync_latency,
+                vec![("drain", infs_trace::ArgValue::UInt(drain))],
+            );
         }
         out.mv_cycles += drain;
         // Sync protocol: packet-count reports to TC_core and the clearing
@@ -81,6 +121,7 @@ pub fn execute(
                 let mut worst = 0u64;
                 for b in banks {
                     let t = latency + imm_cycles;
+                    trace_bank(b.bank, bank_time[b.bank as usize], t, "compute");
                     bank_time[b.bank as usize] += t;
                     worst = worst.max(t);
                     out.in_mem_ops += b.elems;
@@ -98,6 +139,7 @@ pub fn execute(
                     let per_array = b.elems as f64 / b.tiles.max(1) as f64;
                     let t = ((per_array * elem_bytes as f64) / array_bw).ceil() as u64;
                     let t = t.max(32); // at least one bit-serial pass
+                    trace_bank(b.bank, bank_time[b.bank as usize], t, "intra-shift");
                     bank_time[b.bank as usize] += t;
                     worst = worst.max(t);
                     out.traffic.intra_tile += (b.elems * elem_bytes) as f64;
@@ -110,6 +152,7 @@ pub fn execute(
                 for b in banks {
                     let bytes = (b.elems * elem_bytes) as f64;
                     let t = (bytes / bank_bw).ceil() as u64;
+                    trace_bank(b.bank, bank_time[b.bank as usize], t, "inter-shift");
                     bank_time[b.bank as usize] += t;
                     worst = worst.max(t);
                     out.energy.l3 += bytes * e.htree_byte;
@@ -142,6 +185,7 @@ pub fn execute(
                 for b in banks {
                     let bytes = (b.elems * elem_bytes) as f64;
                     let t = (bytes / bank_bw).ceil() as u64 + src_read;
+                    trace_bank(b.bank, bank_time[b.bank as usize], t, "broadcast");
                     bank_time[b.bank as usize] += t;
                     worst = worst.max(t);
                     out.traffic.inter_tile_local += bytes;
@@ -171,6 +215,16 @@ pub fn execute(
                     + cfg.sel3_init_latency;
                 let bh = (*partials * elem_bytes) as f64 * mesh.avg_hops();
                 let noc_t = mesh.phase_cycles(bh, 0.0);
+                if tracing {
+                    let start = bank_time.iter().copied().max().unwrap_or(0);
+                    infs_trace::sim_span(
+                        "near-mem",
+                        "final-reduce",
+                        base_cycle + start,
+                        t + noc_t,
+                        vec![("partials", infs_trace::ArgValue::UInt(*partials))],
+                    );
+                }
                 for b in bank_time.iter_mut() {
                     *b += t + noc_t;
                 }

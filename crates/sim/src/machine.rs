@@ -30,6 +30,27 @@ pub enum ExecMode {
     InfSNoJit,
 }
 
+/// Trace label for an execution mode.
+fn mode_label(mode: ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Base { threads: 1 } => "base-1t",
+        ExecMode::Base { .. } => "base",
+        ExecMode::NearL3 => "near-l3",
+        ExecMode::InL3 => "in-l3",
+        ExecMode::InfS => "inf-s",
+        ExecMode::InfSNoJit => "inf-s-nojit",
+    }
+}
+
+/// Trace label for where a region ran.
+fn executed_trace_label(e: Executed) -> &'static str {
+    match e {
+        Executed::Core => "core",
+        Executed::NearMemory => "near-memory",
+        Executed::InMemory => "in-memory",
+    }
+}
+
 /// Where a region actually ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Executed {
@@ -278,7 +299,12 @@ impl Machine {
         params: &[f32],
         mode: ExecMode,
     ) -> Result<RegionReport, SimError> {
-        match mode {
+        let mut span = infs_trace::span!(
+            "sim.region",
+            region = region.name.as_str(),
+            mode = mode_label(mode),
+        );
+        let report = match mode {
             ExecMode::Base { threads } => self.run_core(region, params, threads),
             ExecMode::NearL3 => self.run_near(region, params, false),
             ExecMode::InL3 => {
@@ -296,7 +322,10 @@ impl Machine {
                     self.run_near(region, params, true)
                 }
             }
-        }
+        }?;
+        span.arg("cycles", report.cycles);
+        span.arg("executed", executed_trace_label(report.executed));
+        Ok(report)
     }
 
     fn can_run_in_memory(&self, region: &RegionInstance) -> bool {
@@ -372,6 +401,15 @@ impl Machine {
         let out = core_time(&profile, threads, &self.cfg, &self.mesh, &self.eparams);
         let scalars = self.exec_sdfg(region, params)?;
         self.mark_touched(&region.sdfg);
+        if infs_trace::enabled() {
+            infs_trace::sim_span(
+                "machine",
+                region.name.clone(),
+                self.stats.cycles,
+                out.cycles,
+                vec![("executed", infs_trace::ArgValue::Str("core".into()))],
+            );
+        }
         self.stats.cycles += out.cycles;
         self.stats.breakdown.core += out.cycles;
         self.stats.traffic += out.traffic;
@@ -395,6 +433,15 @@ impl Machine {
         let out = nearmem_time(&region.sdfg, &self.cfg, &self.mesh, &self.eparams, resident);
         let scalars = self.exec_sdfg(region, params)?;
         self.mark_touched(&region.sdfg);
+        if infs_trace::enabled() {
+            infs_trace::sim_span(
+                "machine",
+                region.name.clone(),
+                self.stats.cycles,
+                out.cycles,
+                vec![("executed", infs_trace::ArgValue::Str("near-memory".into()))],
+            );
+        }
         self.stats.cycles += out.cycles;
         // Under the fused configuration, near-memory work interleaved with
         // transposed in-memory state is the "Mix" category of Fig 14.
@@ -458,8 +505,10 @@ impl Machine {
             cs.jit_cycles
         };
 
-        // 3. Execute the command stream.
-        let exec = inmem::execute(&cs, &self.cfg, &self.mesh, &self.eparams);
+        // 3. Execute the command stream. The command phase starts on the
+        // global machine timeline after offload + prepare + JIT.
+        let exec_base = self.stats.cycles + self.cfg.offload_latency + prepare_cycles + jit_cycles;
+        let exec = inmem::execute_at(&cs, &self.cfg, &self.mesh, &self.eparams, exec_base);
 
         // 4. Functional execution via the reference interpreter.
         let out = if self.functional {
@@ -469,6 +518,40 @@ impl Machine {
         };
 
         let total = self.cfg.offload_latency + prepare_cycles + jit_cycles + exec.cycles;
+        if infs_trace::enabled() {
+            let start = self.stats.cycles;
+            infs_trace::sim_span(
+                "machine",
+                region.name.clone(),
+                start,
+                total,
+                vec![
+                    ("executed", infs_trace::ArgValue::Str("in-memory".into())),
+                    ("jit_hit", infs_trace::ArgValue::Bool(hit)),
+                ],
+            );
+            infs_trace::sim_span(
+                "machine",
+                "offload",
+                start,
+                self.cfg.offload_latency,
+                vec![],
+            );
+            infs_trace::sim_span(
+                "machine",
+                "prepare",
+                start + self.cfg.offload_latency,
+                prepare_cycles,
+                vec![],
+            );
+            infs_trace::sim_span(
+                "machine",
+                "jit",
+                start + self.cfg.offload_latency + prepare_cycles,
+                jit_cycles,
+                vec![],
+            );
+        }
         self.stats.cycles += total;
         self.stats.breakdown.dram += prepare_cycles;
         self.stats.breakdown.jit += jit_cycles;

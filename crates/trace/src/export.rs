@@ -1,0 +1,377 @@
+//! Exporters: Chrome trace-event JSON and flat metrics JSON.
+//!
+//! Both are rendered by hand rather than through serde so that field order
+//! is fixed by construction (`name, cat, ph, ts, dur, pid, tid, args`) and
+//! string escaping is auditable — the exporter tests byte-compare output.
+
+use crate::{ArgValue, Event, HOST_PID, SIM_PID};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Everything the collector held at [`crate::snapshot`] time.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Complete spans, sorted by `(pid, tid, ts, dur desc, name)`.
+    pub events: Vec<Event>,
+    /// Monotonic counters, merged across stripes.
+    pub counters: BTreeMap<String, u64>,
+    /// Latest-value gauges, merged across stripes.
+    pub gauges: BTreeMap<String, f64>,
+    /// Explicit track labels keyed by `(pid, tid)`.
+    pub tracks: BTreeMap<(u32, u64), String>,
+    /// Events discarded because a stripe hit its cap.
+    pub dropped: u64,
+}
+
+/// Escape `s` for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an [`ArgValue`] as a JSON value.
+fn arg_json(v: &ArgValue) -> String {
+    match v {
+        ArgValue::Bool(b) => b.to_string(),
+        ArgValue::Int(i) => i.to_string(),
+        ArgValue::UInt(u) => u.to_string(),
+        ArgValue::Float(f) if f.is_finite() => {
+            // Keep a decimal point so the value reads back as a float.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{f:.1}")
+            } else {
+                format!("{f}")
+            }
+        }
+        ArgValue::Float(_) => "null".to_string(),
+        ArgValue::Str(s) => format!("\"{}\"", escape_json(s)),
+    }
+}
+
+/// The span's Chrome category: the dotted-name prefix (`"egraph.saturate"`
+/// → `"egraph"`).
+fn category(name: &str) -> &str {
+    name.split('.').next().unwrap_or("misc")
+}
+
+/// Host timestamps are nanoseconds; Chrome wants microseconds. Print as a
+/// fixed-point decimal so output is deterministic (no float formatting).
+fn host_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+impl TraceSnapshot {
+    /// Chrome trace-event JSON (the `{"traceEvents": [...]}` object form).
+    /// Open in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`.
+    ///
+    /// Host spans ([`HOST_PID`]) use wall-clock microseconds; simulator
+    /// spans ([`SIM_PID`]) map one simulated cycle to one "microsecond" on a
+    /// separate process track, so the simulated timeline zooms
+    /// independently of compile-time spans.
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let mut push = |out: &mut String, line: String| {
+            if !std::mem::take(&mut first) {
+                out.push_str(",\n");
+            }
+            out.push_str(&line);
+        };
+
+        // Metadata: process names, then explicit track names, sorted.
+        let has_host = self.events.iter().any(|e| e.pid == HOST_PID);
+        let has_sim = self.events.iter().any(|e| e.pid == SIM_PID);
+        if has_host {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{HOST_PID},\"tid\":0,\
+                     \"args\":{{\"name\":\"host (wall clock)\"}}}}"
+                ),
+            );
+        }
+        if has_sim {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{SIM_PID},\"tid\":0,\
+                     \"args\":{{\"name\":\"simulated machine (cycles)\"}}}}"
+                ),
+            );
+        }
+        for ((pid, tid), label) in &self.tracks {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{}\"}}}}",
+                    escape_json(label)
+                ),
+            );
+        }
+
+        for ev in &self.events {
+            let (ts, dur) = if ev.pid == SIM_PID {
+                (ev.ts.to_string(), ev.dur.to_string())
+            } else {
+                (host_us(ev.ts), host_us(ev.dur))
+            };
+            let mut line = format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+                 \"pid\":{},\"tid\":{}",
+                escape_json(&ev.name),
+                escape_json(category(&ev.name)),
+                ev.pid,
+                ev.tid
+            );
+            if ev.args.is_empty() {
+                line.push('}');
+            } else {
+                line.push_str(",\"args\":{");
+                for (i, (k, v)) in ev.args.iter().enumerate() {
+                    if i > 0 {
+                        line.push(',');
+                    }
+                    let _ = write!(line, "\"{}\":{}", escape_json(k), arg_json(v));
+                }
+                line.push_str("}}");
+            }
+            push(&mut out, line);
+        }
+        let _ = write!(
+            out,
+            "\n],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped_events\":{}}}}}\n",
+            self.dropped
+        );
+        out
+    }
+
+    /// Flat metrics JSON: sorted counters and gauges plus the dropped-event
+    /// count.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {v}", escape_json(k));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {}",
+                escape_json(k),
+                arg_json(&ArgValue::Float(*v))
+            );
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(out, "}},\n  \"dropped_events\": {}\n}}\n", self.dropped);
+        out
+    }
+
+    /// Number of spans whose dotted name starts with `prefix` (`"egraph"`
+    /// matches `"egraph.saturate"` but not `"egraphx"`).
+    pub fn spans_with_prefix(&self, prefix: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                e.name == prefix
+                    || (e.name.starts_with(prefix)
+                        && e.name.as_bytes().get(prefix.len()) == Some(&b'.'))
+            })
+            .count()
+    }
+
+    /// Verify that per-track spans nest properly: on every `(pid, tid)`
+    /// track, any two spans are either disjoint or one fully contains the
+    /// other. Returns the offending pair on violation. (RAII drop order
+    /// guarantees this for host spans; the check is the exporter's
+    /// well-formedness test.)
+    ///
+    /// # Errors
+    ///
+    /// The boxed `(containing, overlapping)` pair that violates nesting.
+    pub fn check_nesting(&self) -> Result<(), Box<(Event, Event)>> {
+        let mut by_track: BTreeMap<(u32, u64), Vec<&Event>> = BTreeMap::new();
+        for ev in &self.events {
+            by_track.entry((ev.pid, ev.tid)).or_default().push(ev);
+        }
+        for track in by_track.values() {
+            // Events arrive sorted by (ts, dur desc): a containing span
+            // precedes its children. Sweep with an interval stack.
+            let mut stack: Vec<&Event> = Vec::new();
+            for ev in track {
+                while let Some(top) = stack.last() {
+                    if ev.ts >= top.ts + top.dur {
+                        stack.pop();
+                    } else if ev.ts + ev.dur <= top.ts + top.dur {
+                        break; // contained
+                    } else {
+                        return Err(Box::new(((*top).clone(), (*ev).clone())));
+                    }
+                }
+                stack.push(ev);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, pid: u32, tid: u64, ts: u64, dur: u64) -> Event {
+        Event {
+            name: name.to_string(),
+            pid,
+            tid,
+            ts,
+            dur,
+            args: Vec::new(),
+        }
+    }
+
+    fn snap(events: Vec<Event>) -> TraceSnapshot {
+        TraceSnapshot {
+            events,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            tracks: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_control_chars() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("naïve→"), "naïve→");
+    }
+
+    #[test]
+    fn span_names_are_escaped_in_chrome_output() {
+        let s = snap(vec![ev("bad\"name\\with\ncontrols", HOST_PID, 1, 0, 5)]);
+        let json = s.chrome_json();
+        assert!(json.contains("bad\\\"name\\\\with\\ncontrols"));
+        // Raw specials must not appear inside the emitted string literal.
+        assert!(!json.contains("bad\"name"));
+    }
+
+    #[test]
+    fn chrome_field_order_is_deterministic() {
+        let mut e = ev("isa.compile", HOST_PID, 3, 1500, 2500);
+        e.args.push(("kernel", ArgValue::Str("mm".into())));
+        e.args.push(("geoms", ArgValue::UInt(4)));
+        let json = snap(vec![e]).chrome_json();
+        assert!(json.contains(
+            "{\"name\":\"isa.compile\",\"cat\":\"isa\",\"ph\":\"X\",\"ts\":1.500,\
+             \"dur\":2.500,\"pid\":1,\"tid\":3,\"args\":{\"kernel\":\"mm\",\"geoms\":4}}"
+        ));
+        // Byte-identical on repeated export of the same snapshot.
+        let mut e2 = ev("isa.compile", HOST_PID, 3, 1500, 2500);
+        e2.args.push(("kernel", ArgValue::Str("mm".into())));
+        e2.args.push(("geoms", ArgValue::UInt(4)));
+        assert_eq!(json, snap(vec![e2]).chrome_json());
+    }
+
+    #[test]
+    fn sim_events_render_cycles_verbatim_on_their_own_process() {
+        let mut s = snap(vec![ev("compute", SIM_PID, 7, 120, 32)]);
+        s.tracks.insert((SIM_PID, 7), "bank 07".to_string());
+        let json = s.chrome_json();
+        assert!(json.contains("\"ts\":120,\"dur\":32,\"pid\":2,\"tid\":7"));
+        assert!(json.contains("simulated machine (cycles)"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("bank 07"));
+    }
+
+    #[test]
+    fn nesting_check_accepts_contained_and_rejects_overlap() {
+        // parent [0,100), child [10,40), sibling [50,90): balanced.
+        let ok = snap(vec![
+            ev("a.parent", HOST_PID, 1, 0, 100),
+            ev("a.child", HOST_PID, 1, 10, 30),
+            ev("a.sibling", HOST_PID, 1, 50, 40),
+        ]);
+        assert!(ok.check_nesting().is_ok());
+        // Straddling pair on one track: rejected.
+        let bad = snap(vec![
+            ev("a.first", HOST_PID, 1, 0, 50),
+            ev("a.straddle", HOST_PID, 1, 30, 40),
+        ]);
+        let (p, c) = *bad.check_nesting().unwrap_err();
+        assert_eq!(p.name, "a.first");
+        assert_eq!(c.name, "a.straddle");
+        // Same interval on different tracks: fine.
+        let cross = snap(vec![
+            ev("a.first", HOST_PID, 1, 0, 50),
+            ev("a.straddle", HOST_PID, 2, 30, 40),
+        ]);
+        assert!(cross.check_nesting().is_ok());
+    }
+
+    #[test]
+    fn metrics_json_is_sorted_and_escaped() {
+        let mut s = snap(vec![]);
+        s.counters.insert("z.last".into(), 2);
+        s.counters.insert("a.first".into(), 1);
+        s.gauges.insert("g\"q".into(), 2.5);
+        s.dropped = 3;
+        let json = s.metrics_json();
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "counters sorted by name");
+        assert!(json.contains("\"g\\\"q\": 2.5"));
+        assert!(json.contains("\"dropped_events\": 3"));
+    }
+
+    #[test]
+    fn prefix_counter_respects_dot_boundaries() {
+        let s = snap(vec![
+            ev("egraph.saturate", HOST_PID, 1, 0, 1),
+            ev("egraph.extract", HOST_PID, 1, 2, 1),
+            ev("egraphx.other", HOST_PID, 1, 4, 1),
+            ev("egraph", HOST_PID, 1, 6, 1),
+        ]);
+        assert_eq!(s.spans_with_prefix("egraph"), 3);
+        assert_eq!(s.spans_with_prefix("egraph.saturate"), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_shell() {
+        let json = snap(vec![]).chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+        let m = snap(vec![]).metrics_json();
+        assert!(m.contains("\"counters\": {}"));
+        assert!(m.contains("\"gauges\": {}"));
+    }
+}
