@@ -31,6 +31,7 @@ const ALL: &[&str] = &[
     "tiling",
     "ablate",
     "ablate_dtype",
+    "chaos",
 ];
 
 fn run(name: &str, ctx: &Ctx) {
@@ -57,6 +58,8 @@ fn run(name: &str, ctx: &Ctx) {
         "table3" => figures::table3(ctx),
         "ablate" => figures::ablate(ctx),
         "ablate_dtype" => figures::ablate_dtype(ctx),
+        // The DESIGN.md §10 degradation-ladder report (EXPERIMENTS.md "Chaos").
+        "chaos" => figures::chaos(ctx),
         other => {
             eprintln!("unknown figure '{other}'; known: all {ALL:?}");
             std::process::exit(2);

@@ -883,3 +883,109 @@ pub fn table3(ctx: &Ctx) {
     }
     ctx.emit("table3", &t);
 }
+
+/// Chaos report (`results/chaos.md`): the `DESIGN.md` §10 degradation ladder,
+/// measured. An increasing number of L3 banks is killed under a fixed
+/// `vec_add`; each run records where Inf-S actually placed the region
+/// (in-memory while the bank quorum holds, the near-memory stream engines
+/// once it breaks, the host cores when no bank is left), the cycle cost of
+/// each rung, the degradation counters, and whether the outputs stayed
+/// bit-identical to the scalar reference — degradation changes *where* a
+/// region runs, never *what* it computes. A final row replays the
+/// [`infs_faults::FaultConfig::chaos`] schedule twice to demonstrate that
+/// identical seeds render identical fault schedules (the property the
+/// serve-layer chaos tests and `infs-served --chaos` rely on).
+pub fn chaos(ctx: &Ctx) {
+    use infs_faults::{BankHealth, FaultConfig, FaultPlan};
+
+    let n_banks = ctx.cfg.n_banks;
+    let elems: u64 = if ctx.quick { 1 << 17 } else { 4 << 20 };
+    let bench = VecAdd::with_elems(elems);
+    let arrays = bench.arrays();
+
+    // Golden outputs from the scalar reference.
+    let mut golden = infs_sdfg::Memory::for_arrays(&arrays);
+    bench.init(&mut golden);
+    bench.reference(&mut golden);
+
+    let mut t = Table::new(
+        format!("Chaos: dead-bank degradation ladder (vec_add, {elems} elements, {n_banks} banks)"),
+        &[
+            "dead banks",
+            "healthy",
+            "executed",
+            "cycles",
+            "deg to near",
+            "deg to host",
+            "outputs",
+        ],
+    );
+    for dead in [0u32, 8, 16, 32, 40, 56, 64] {
+        let dead = dead.min(n_banks);
+        let mut health = BankHealth::all_healthy(n_banks);
+        for b in 0..dead {
+            health.mark_dead(b);
+        }
+        let healthy = health.healthy_count();
+        let mut m = Machine::new(ctx.cfg.clone(), &arrays);
+        m.set_bank_health(health);
+        bench.init(m.memory());
+        bench
+            .run(&mut m, ExecMode::InfS)
+            .expect("vec_add survives degradation");
+        let executed = {
+            let s = m.stats();
+            if s.ops_in_memory > 0 {
+                "in-memory"
+            } else if s.ops_near_memory > 0 {
+                "near-memory"
+            } else {
+                "host"
+            }
+        };
+        let bitwise = bench
+            .output_arrays()
+            .iter()
+            .all(|&id| m.memory_ref().array(id) == golden.array(id));
+        assert!(bitwise, "degraded run diverged from the scalar reference");
+        let (deg_near, deg_host) = {
+            let f = m.fault_counters();
+            (f.degraded_to_near, f.degraded_to_host)
+        };
+        let cycles = m.finish().cycles;
+        t.row(vec![
+            dead.to_string(),
+            healthy.to_string(),
+            executed.to_string(),
+            cycles.to_string(),
+            deg_near.to_string(),
+            deg_host.to_string(),
+            "bit-identical".to_string(),
+        ]);
+    }
+
+    // Schedule replay: the whole fault model is a pure function of the seed.
+    let wordlines = ctx.cfg.geometry.wordlines;
+    let render =
+        |seed: u64| FaultPlan::new(FaultConfig::chaos(seed)).schedule(256, n_banks, wordlines);
+    let (first, replay) = (render(0xC0FFEE), render(0xC0FFEE));
+    assert_eq!(
+        first, replay,
+        "identical seeds must render identical schedules"
+    );
+    assert_ne!(
+        first,
+        render(0xD1FF),
+        "distinct seeds must render distinct schedules"
+    );
+    t.row(vec![
+        "chaos(0xC0FFEE) x2".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{} scheduled faults, replay-identical", first.len()),
+    ]);
+    ctx.emit("chaos", &t);
+}

@@ -10,6 +10,10 @@
 //! Runners share a cached *run matrix* (`results/matrix.json`): every
 //! (workload, configuration) pair is simulated once and Fig 11/12/13/14/18 and
 //! the JIT/tiling analyses all derive from it.
+//!
+//! `DESIGN.md` §5 (experiment index) maps each runner to its table or
+//! figure; the `chaos` runner measures the `DESIGN.md` §10 degradation
+//! ladder (`results/chaos.md`).
 
 #![forbid(unsafe_code)]
 

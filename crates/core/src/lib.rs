@@ -50,6 +50,9 @@
 //! assert!(report.cycles > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! `DESIGN.md` §3 (workspace layout) maps the crates this facade stitches
+//! together.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

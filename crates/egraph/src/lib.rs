@@ -64,6 +64,9 @@
 //!     .count();
 //! assert_eq!(muls, 1);
 //! ```
+//!
+//! `DESIGN.md` §6 records the key optimizer decisions and their measured
+//! ablations (`results/ablate_egraph.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,127 @@
+//! Per-bank health mask carried by the simulated machine.
+
+/// Health mask over the L3 compute-SRAM banks: bit `b` set means bank `b`
+/// is healthy. The simulator quarantines a bank (clears its bit) when the
+/// modeled ECC scrub detects an injected wordline flip; the runtime's
+/// decide/placement step then re-plans around the survivors (see
+/// `DESIGN.md` §10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankHealth {
+    bits: Vec<u64>,
+    n: u32,
+}
+
+impl BankHealth {
+    /// A mask with all `n` banks healthy.
+    pub fn all_healthy(n: u32) -> Self {
+        let words = (n as usize).div_ceil(64);
+        let mut bits = vec![!0u64; words];
+        // Clear the padding bits in the last word so equality and counts
+        // only look at real banks.
+        let rem = n as usize % 64;
+        if rem != 0 {
+            if let Some(last) = bits.last_mut() {
+                *last = (1u64 << rem) - 1;
+            }
+        }
+        if n == 0 {
+            bits.clear();
+        }
+        Self { bits, n }
+    }
+
+    /// Number of banks tracked by this mask.
+    pub fn n_banks(&self) -> u32 {
+        self.n
+    }
+
+    /// Is bank `b` healthy? Out-of-range banks report unhealthy.
+    pub fn is_healthy(&self, b: u32) -> bool {
+        if b >= self.n {
+            return false;
+        }
+        self.bits[b as usize / 64] >> (b % 64) & 1 == 1
+    }
+
+    /// Quarantine bank `b`. Returns `true` if this call changed the mask
+    /// (the bank was healthy before).
+    pub fn mark_dead(&mut self, b: u32) -> bool {
+        if !self.is_healthy(b) {
+            return false;
+        }
+        self.bits[b as usize / 64] &= !(1u64 << (b % 64));
+        true
+    }
+
+    /// How many banks are currently healthy.
+    pub fn healthy_count(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Are any banks healthy at all?
+    pub fn any_healthy(&self) -> bool {
+        self.bits.iter().any(|&w| w != 0)
+    }
+
+    /// Is every bank healthy?
+    pub fn fully_healthy(&self) -> bool {
+        self.healthy_count() == self.n
+    }
+
+    /// Indices of healthy banks, ascending.
+    pub fn healthy_banks(&self) -> Vec<u32> {
+        (0..self.n).filter(|&b| self.is_healthy(b)).collect()
+    }
+
+    /// Indices of dead banks, ascending.
+    pub fn dead_banks(&self) -> Vec<u32> {
+        (0..self.n).filter(|&b| !self.is_healthy(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_healthy_counts() {
+        for n in [0u32, 1, 63, 64, 65, 128, 200] {
+            let h = BankHealth::all_healthy(n);
+            assert_eq!(h.healthy_count(), n);
+            assert!(h.fully_healthy());
+            assert_eq!(h.any_healthy(), n > 0);
+            assert_eq!(h.healthy_banks().len(), n as usize);
+            assert!(h.dead_banks().is_empty());
+        }
+    }
+
+    #[test]
+    fn mark_dead_is_idempotent() {
+        let mut h = BankHealth::all_healthy(64);
+        assert!(h.mark_dead(5));
+        assert!(!h.mark_dead(5));
+        assert!(!h.is_healthy(5));
+        assert_eq!(h.healthy_count(), 63);
+        assert!(!h.fully_healthy());
+        assert_eq!(h.dead_banks(), vec![5]);
+    }
+
+    #[test]
+    fn out_of_range_is_unhealthy() {
+        let mut h = BankHealth::all_healthy(8);
+        assert!(!h.is_healthy(8));
+        assert!(!h.mark_dead(8));
+        assert_eq!(h.healthy_count(), 8);
+    }
+
+    #[test]
+    fn kill_everything() {
+        let mut h = BankHealth::all_healthy(66);
+        for b in 0..66 {
+            h.mark_dead(b);
+        }
+        assert_eq!(h.healthy_count(), 0);
+        assert!(!h.any_healthy());
+        assert_eq!(h.dead_banks().len(), 66);
+    }
+}

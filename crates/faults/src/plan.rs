@@ -1,0 +1,347 @@
+//! Seeded fault schedules: what breaks, and when.
+
+use serde::{Deserialize, Serialize};
+
+use crate::health::BankHealth;
+use crate::rng::{mix64, Xorshift64};
+
+// Domain tags keep the per-fault-kind schedules statistically independent
+// even though they share one seed.
+const DOM_DEAD_BANKS: u64 = 1;
+const DOM_SRAM_FLIP: u64 = 2;
+const DOM_NOC: u64 = 3;
+const DOM_ARTIFACT: u64 = 4;
+const DOM_WORKER: u64 = 5;
+
+/// Rates and seed for a [`FaultPlan`]. All `*_period` fields mean "roughly
+/// one fault per `period` events, pseudo-randomly placed"; `0` disables that
+/// fault class entirely.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for every schedule; identical seeds reproduce identical faults.
+    pub seed: u64,
+    /// Number of banks marked dead from the start (hard manufacturing
+    /// faults), chosen pseudo-randomly from the machine's bank range.
+    pub dead_banks: u32,
+    /// One SRAM wordline bit flip per ~`period` regions executed.
+    pub sram_flip_period: u64,
+    /// One dropped NoC shift message per ~`period` offloaded regions.
+    pub noc_drop_period: u64,
+    /// One delayed NoC shift message per ~`period` offloaded regions.
+    pub noc_delay_period: u64,
+    /// Maximum extra cycles an injected NoC delay can add.
+    pub noc_delay_max_cycles: u64,
+    /// One corrupted `ArtifactCache` entry per ~`period` fresh inserts.
+    pub artifact_corrupt_period: u64,
+    /// One injected worker panic per ~`period` served requests.
+    pub worker_panic_period: u64,
+}
+
+impl FaultConfig {
+    /// Everything off: no faults regardless of seed.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            dead_banks: 0,
+            sram_flip_period: 0,
+            noc_drop_period: 0,
+            noc_delay_period: 0,
+            noc_delay_max_cycles: 0,
+            artifact_corrupt_period: 0,
+            worker_panic_period: 0,
+        }
+    }
+
+    /// The preset the chaos harness uses: every fault class enabled at
+    /// rates that fire several times over a few hundred requests.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            seed,
+            dead_banks: 8,
+            sram_flip_period: 53,
+            noc_drop_period: 29,
+            noc_delay_period: 11,
+            noc_delay_max_cycles: 2_000,
+            artifact_corrupt_period: 13,
+            worker_panic_period: 97,
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A detected SRAM wordline bit flip, locating the upset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramFlip {
+    /// Bank whose compute SRAM took the upset.
+    pub bank: u32,
+    /// Wordline index within the bank's SRAM geometry.
+    pub wordline: u32,
+    /// Bit position along the wordline.
+    pub bit: u32,
+}
+
+/// Outcome of the NoC fault query for one offloaded region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NocFault {
+    /// No fault: the shift messages all arrive on time.
+    None,
+    /// A shift message is delayed by the given number of cycles.
+    Delay(u64),
+    /// A shift message is dropped and must be retransmitted.
+    Drop,
+}
+
+/// One rendered entry of a fault schedule, for logs and determinism checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduledFault {
+    /// Bank dead from the start.
+    DeadBank(u32),
+    /// SRAM flip at region sequence `seq`.
+    Sram {
+        /// Region sequence number at which the flip is detected.
+        seq: u64,
+        /// Location of the upset.
+        flip: SramFlip,
+    },
+    /// NoC fault at offload sequence `seq`.
+    Noc {
+        /// Offload sequence number the fault applies to.
+        seq: u64,
+        /// Delay or drop.
+        fault: NocFault,
+    },
+    /// Artifact corruption at insert sequence `seq`.
+    Artifact {
+        /// Fresh-insert sequence number that gets corrupted.
+        seq: u64,
+    },
+    /// Worker panic at request sequence `seq`.
+    WorkerPanic {
+        /// Request sequence number that panics.
+        seq: u64,
+    },
+}
+
+/// A deterministic fault schedule derived from a [`FaultConfig`].
+///
+/// Every query is a pure function of the seed and the caller-supplied
+/// sequence number ([`mix64`] under the hood), so answers do not depend on
+/// which thread asks first. Sequence numbers are allocated by the layer that
+/// owns the event stream (the simulator counts regions, the server counts
+/// requests and inserts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Build a plan from a config.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The config this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Initial bank-health mask for a machine with `n_banks` banks:
+    /// `dead_banks` distinct banks are dead from the start.
+    pub fn initial_health(&self, n_banks: u32) -> BankHealth {
+        let mut health = BankHealth::all_healthy(n_banks);
+        if self.cfg.dead_banks == 0 || n_banks == 0 {
+            return health;
+        }
+        let mut rng = Xorshift64::new(mix64(self.cfg.seed, DOM_DEAD_BANKS, 0));
+        let target = self.cfg.dead_banks.min(n_banks);
+        let mut killed = 0;
+        while killed < target {
+            let b = rng.next_below(n_banks as u64) as u32;
+            if health.mark_dead(b) {
+                killed += 1;
+            }
+        }
+        health
+    }
+
+    fn fires(&self, domain: u64, period: u64, seq: u64) -> bool {
+        period != 0 && mix64(self.cfg.seed, domain, seq).is_multiple_of(period)
+    }
+
+    /// Does region number `seq` suffer a detected SRAM wordline flip, and
+    /// where? `n_banks`/`wordlines` bound the location draw.
+    pub fn sram_flip(&self, seq: u64, n_banks: u32, wordlines: u32) -> Option<SramFlip> {
+        if !self.fires(DOM_SRAM_FLIP, self.cfg.sram_flip_period, seq) || n_banks == 0 {
+            return None;
+        }
+        let h = mix64(self.cfg.seed, DOM_SRAM_FLIP, seq.wrapping_add(0x5151_5151));
+        Some(SramFlip {
+            bank: (h % n_banks as u64) as u32,
+            wordline: ((h >> 16) % wordlines.max(1) as u64) as u32,
+            bit: ((h >> 40) % 64) as u32,
+        })
+    }
+
+    /// NoC fault (if any) for offloaded region number `seq`. Drop takes
+    /// precedence over delay when both schedules fire.
+    pub fn noc_fault(&self, seq: u64) -> NocFault {
+        if self.fires(DOM_NOC, self.cfg.noc_drop_period, seq) {
+            return NocFault::Drop;
+        }
+        if self.fires(
+            DOM_NOC,
+            self.cfg.noc_delay_period,
+            seq.wrapping_add(0x0d0d_0d0d),
+        ) {
+            let h = mix64(self.cfg.seed, DOM_NOC, seq.wrapping_add(0xde1a_de1a));
+            let max = self.cfg.noc_delay_max_cycles;
+            return NocFault::Delay(if max == 0 { 0 } else { 1 + h % max });
+        }
+        NocFault::None
+    }
+
+    /// Should the `seq`-th fresh artifact-cache insert be corrupted?
+    pub fn corrupt_artifact(&self, seq: u64) -> bool {
+        self.fires(DOM_ARTIFACT, self.cfg.artifact_corrupt_period, seq)
+    }
+
+    /// Should the worker handling request number `seq` panic?
+    pub fn worker_panic(&self, seq: u64) -> bool {
+        self.fires(DOM_WORKER, self.cfg.worker_panic_period, seq)
+    }
+
+    /// Render the first `len` sequence slots of every schedule into a flat
+    /// list. Used by determinism tests and the chaos report: two plans with
+    /// the same config must render byte-identical schedules.
+    pub fn schedule(&self, len: u64, n_banks: u32, wordlines: u32) -> Vec<ScheduledFault> {
+        let mut out: Vec<ScheduledFault> = self
+            .initial_health(n_banks)
+            .dead_banks()
+            .into_iter()
+            .map(ScheduledFault::DeadBank)
+            .collect();
+        for seq in 0..len {
+            if let Some(flip) = self.sram_flip(seq, n_banks, wordlines) {
+                out.push(ScheduledFault::Sram { seq, flip });
+            }
+            match self.noc_fault(seq) {
+                NocFault::None => {}
+                fault => out.push(ScheduledFault::Noc { seq, fault }),
+            }
+            if self.corrupt_artifact(seq) {
+                out.push(ScheduledFault::Artifact { seq });
+            }
+            if self.worker_panic(seq) {
+                out.push(ScheduledFault::WorkerPanic { seq });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_config_never_fires() {
+        let plan = FaultPlan::new(FaultConfig::none());
+        assert!(plan.initial_health(64).fully_healthy());
+        for seq in 0..500 {
+            assert_eq!(plan.sram_flip(seq, 64, 256), None);
+            assert_eq!(plan.noc_fault(seq), NocFault::None);
+            assert!(!plan.corrupt_artifact(seq));
+            assert!(!plan.worker_panic(seq));
+        }
+        assert!(plan.schedule(500, 64, 256).is_empty());
+    }
+
+    #[test]
+    fn initial_health_kills_exactly_dead_banks() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            dead_banks: 8,
+            ..FaultConfig::none()
+        });
+        let h = plan.initial_health(64);
+        assert_eq!(h.healthy_count(), 56);
+        assert_eq!(h.dead_banks().len(), 8);
+    }
+
+    #[test]
+    fn dead_banks_clamped_to_n_banks() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 3,
+            dead_banks: 100,
+            ..FaultConfig::none()
+        });
+        let h = plan.initial_health(16);
+        assert_eq!(h.healthy_count(), 0);
+    }
+
+    #[test]
+    fn chaos_preset_fires_every_class() {
+        let plan = FaultPlan::new(FaultConfig::chaos(0xC0FFEE));
+        let sched = plan.schedule(400, 64, 256);
+        let has = |f: fn(&ScheduledFault) -> bool| sched.iter().any(f);
+        assert!(has(|s| matches!(s, ScheduledFault::DeadBank(_))));
+        assert!(has(|s| matches!(s, ScheduledFault::Sram { .. })));
+        assert!(has(|s| matches!(
+            s,
+            ScheduledFault::Noc {
+                fault: NocFault::Drop,
+                ..
+            }
+        )));
+        assert!(has(|s| matches!(
+            s,
+            ScheduledFault::Noc {
+                fault: NocFault::Delay(_),
+                ..
+            }
+        )));
+        assert!(has(|s| matches!(s, ScheduledFault::Artifact { .. })));
+        assert!(has(|s| matches!(s, ScheduledFault::WorkerPanic { .. })));
+    }
+
+    #[test]
+    fn sram_flip_locations_are_in_range() {
+        let plan = FaultPlan::new(FaultConfig::chaos(9));
+        let mut saw = 0;
+        for seq in 0..2_000 {
+            if let Some(f) = plan.sram_flip(seq, 64, 256) {
+                assert!(f.bank < 64);
+                assert!(f.wordline < 256);
+                assert!(f.bit < 64);
+                saw += 1;
+            }
+        }
+        assert!(saw > 0);
+    }
+
+    #[test]
+    fn delays_respect_max_cycles() {
+        let plan = FaultPlan::new(FaultConfig::chaos(21));
+        for seq in 0..2_000 {
+            if let NocFault::Delay(d) = plan.noc_fault(seq) {
+                assert!((1..=2_000).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn queries_are_order_independent() {
+        // Ask in two different orders; answers must match slot by slot.
+        let plan = FaultPlan::new(FaultConfig::chaos(77));
+        let forward: Vec<NocFault> = (0..100).map(|s| plan.noc_fault(s)).collect();
+        let backward: Vec<NocFault> = (0..100).rev().map(|s| plan.noc_fault(s)).collect();
+        for (i, f) in forward.iter().enumerate() {
+            assert_eq!(*f, backward[99 - i]);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Bounded exponential backoff with deterministic jitter.
+
+use crate::rng::mix64;
+
+// Separate domain from the fault-plan tags so a shared seed doesn't
+// correlate backoff jitter with fault placement.
+const DOM_BACKOFF: u64 = 0x0042_4143_4b4f_4646; // "BACKOFF"
+
+/// Client retry policy: bounded attempts, exponential backoff, deterministic
+/// jitter, and the server's `retry_after_ms` hint honored as a floor.
+///
+/// Jitter is derived from [`mix64`] over `(seed, attempt)` rather than a
+/// wall-clock entropy source, so a recorded client run replays exactly —
+/// the same property the fault plans have (see `DESIGN.md` §10).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `max_attempts == 1` means
+    /// no retries). Zero is treated as one.
+    pub max_attempts: u32,
+    /// Base delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single backoff delay, in milliseconds.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_ms: 10,
+            cap_ms: 1_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0 = first retry), jittered
+    /// into `[d/2, d]` for `d = min(cap, base << attempt)` and floored by
+    /// the server's `retry_after_ms` hint when present.
+    pub fn backoff_ms(&self, attempt: u32, hint: Option<u64>) -> u64 {
+        let d = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.cap_ms.max(self.base_ms));
+        let jittered = d / 2 + mix64(self.seed, DOM_BACKOFF, attempt as u64) % (d / 2 + 1);
+        jittered.max(hint.unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::default();
+        for a in 0..6 {
+            assert_eq!(p.backoff_ms(a, None), p.backoff_ms(a, None));
+        }
+        let q = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        // Different seeds should disagree on at least one attempt.
+        assert!((0..6).any(|a| p.backoff_ms(a, None) != q.backoff_ms(a, None)));
+    }
+
+    #[test]
+    fn backoff_stays_in_window() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_ms: 10,
+            cap_ms: 500,
+            seed: 1,
+        };
+        for a in 0..10 {
+            let d = 10u64.saturating_mul(1 << a).min(500);
+            let b = p.backoff_ms(a, None);
+            assert!(
+                b >= d / 2 && b <= d,
+                "attempt {a}: {b} outside [{}, {d}]",
+                d / 2
+            );
+        }
+    }
+
+    #[test]
+    fn hint_is_a_floor() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff_ms(0, Some(10_000)) >= 10_000);
+        // A tiny hint never lowers the computed backoff.
+        assert_eq!(p.backoff_ms(3, Some(1)), p.backoff_ms(3, None).max(1));
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff_ms(u32::MAX, None) <= 1_000);
+    }
+}

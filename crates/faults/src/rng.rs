@@ -1,0 +1,112 @@
+//! Seeded pseudo-random primitives used by fault plans and retry jitter.
+//!
+//! Two flavors:
+//!
+//! * [`Xorshift64`] — a tiny sequential PRNG (xorshift64\*) for places that
+//!   draw a *stream* of values under one owner (e.g. picking the initially
+//!   dead banks inside [`crate::FaultPlan::initial_health`]).
+//! * [`mix64`] — a stateless splitmix64-style finalizer over
+//!   `(seed, domain, index)`. Fault-plan queries use this so the answer for
+//!   sequence number `i` is independent of the order in which worker threads
+//!   ask — a requirement for deterministic schedules under real concurrency.
+
+/// A minimal xorshift64\* PRNG. Deterministic, `no_std`-friendly, and cheap.
+///
+/// Not cryptographic; used only for reproducible fault schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    /// Create a generator from `seed`. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has a zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
+        }
+    }
+
+    /// Next 64-bit value (xorshift64\* output scrambling).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `0..bound` (`bound == 0` returns 0).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Stateless splitmix64-style hash of `(seed, domain, index)`.
+///
+/// Every [`crate::FaultPlan`] query is a pure function of this value, so the
+/// schedule is independent of thread interleaving: whichever worker asks
+/// about sequence number `i` gets the same answer.
+pub fn mix64(seed: u64, domain: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(domain.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Xorshift64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xorshift64::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xorshift64::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = Xorshift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = Xorshift64::new(7);
+        for _ in 0..100 {
+            assert!(r.next_below(13) < 13);
+        }
+        assert_eq!(r.next_below(0), 0);
+    }
+
+    #[test]
+    fn mix64_is_a_pure_function() {
+        assert_eq!(mix64(1, 2, 3), mix64(1, 2, 3));
+        assert_ne!(mix64(1, 2, 3), mix64(2, 2, 3));
+        assert_ne!(mix64(1, 2, 3), mix64(1, 3, 3));
+        assert_ne!(mix64(1, 2, 3), mix64(1, 2, 4));
+    }
+}

@@ -1,0 +1,65 @@
+//! Identical seeds must reproduce identical fault schedules — the property
+//! the whole chaos harness rests on.
+
+use infs_faults::{FaultConfig, FaultPlan, RetryPolicy};
+
+#[test]
+fn same_seed_same_schedule() {
+    let a = FaultPlan::new(FaultConfig::chaos(0xDEAD_BEEF));
+    let b = FaultPlan::new(FaultConfig::chaos(0xDEAD_BEEF));
+    assert_eq!(a.schedule(1_000, 64, 256), b.schedule(1_000, 64, 256));
+    assert_eq!(a.initial_health(64), b.initial_health(64));
+}
+
+#[test]
+fn different_seeds_different_schedules() {
+    let a = FaultPlan::new(FaultConfig::chaos(1));
+    let b = FaultPlan::new(FaultConfig::chaos(2));
+    assert_ne!(a.schedule(1_000, 64, 256), b.schedule(1_000, 64, 256));
+}
+
+#[test]
+fn schedule_matches_pointwise_queries() {
+    // The rendered schedule is exactly what the point queries report.
+    let plan = FaultPlan::new(FaultConfig::chaos(42));
+    let sched = plan.schedule(300, 64, 256);
+    for f in &sched {
+        match f {
+            infs_faults::ScheduledFault::DeadBank(b) => {
+                assert!(!plan.initial_health(64).is_healthy(*b));
+            }
+            infs_faults::ScheduledFault::Sram { seq, flip } => {
+                assert_eq!(plan.sram_flip(*seq, 64, 256), Some(*flip));
+            }
+            infs_faults::ScheduledFault::Noc { seq, fault } => {
+                assert_eq!(plan.noc_fault(*seq), *fault);
+            }
+            infs_faults::ScheduledFault::Artifact { seq } => {
+                assert!(plan.corrupt_artifact(*seq));
+            }
+            infs_faults::ScheduledFault::WorkerPanic { seq } => {
+                assert!(plan.worker_panic(*seq));
+            }
+        }
+    }
+}
+
+#[test]
+fn config_round_trips_through_json() {
+    let cfg = FaultConfig::chaos(7);
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: FaultConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn retry_schedule_is_reproducible() {
+    let p = RetryPolicy::default();
+    let a: Vec<u64> = (0..p.max_attempts).map(|i| p.backoff_ms(i, None)).collect();
+    let b: Vec<u64> = (0..p.max_attempts).map(|i| p.backoff_ms(i, None)).collect();
+    assert_eq!(a, b);
+    // Backoff grows (weakly) with attempt until the cap.
+    for w in a.windows(2) {
+        assert!(w[1] >= w[0] / 2, "backoff should not collapse: {a:?}");
+    }
+}

@@ -54,6 +54,9 @@
 //! infs_tdfg::interp::execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
 //! assert!(mem.array(c).iter().all(|&x| x == 3.0));
 //! ```
+//!
+//! `DESIGN.md` §2 explains the substitution this crate embodies (the
+//! paper's LLVM/"plain C" front end → this loop-nest IR).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

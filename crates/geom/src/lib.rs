@@ -30,6 +30,8 @@
 //! assert_eq!(parts[0], HyperRect::new(vec![(0, 4), (0, 2)]).unwrap());
 //! assert_eq!(parts[1], HyperRect::new(vec![(0, 4), (2, 3)]).unwrap());
 //! ```
+//!
+//! `DESIGN.md` §4 (system inventory) locates this crate in the stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -19,6 +19,8 @@
 //! concrete tDFG/sDFG pair for each region entry (how `inf_cfg` passes fresh
 //! runtime parameters each time). Structure is stable across instantiations;
 //! only domain extents change.
+//!
+//! `DESIGN.md` §4 (system inventory) locates this crate in the stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -26,6 +26,10 @@
 //! timing, NoC-traffic and energy accounting. Functional results always come
 //! from the tDFG reference interpreter — command execution is therefore a pure
 //! timing model, checked end-to-end against the interpreter by construction.
+//!
+//! `DESIGN.md` §4 (system inventory) locates this crate in the stack;
+//! `DESIGN.md` §10 covers the health-aware side — [`decide_healthy`]'s
+//! degradation ladder and the [`JitCache`] load-path checksums.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,7 @@
 mod config;
 mod decide;
 mod error;
+mod health;
 mod layout;
 mod lower;
 mod memo;
@@ -40,6 +45,7 @@ mod memo;
 pub use config::HwConfig;
 pub use decide::{decide, Paradigm};
 pub use error::RuntimeError;
+pub use health::{decide_healthy, in_memory_quorum, place_on_healthy, Tier};
 pub use layout::TransposedLayout;
 pub use lower::{lower, BankLoad, CommandStream, InfCommand, LoweredStats, RemoteTransfer};
 pub use memo::JitCache;

@@ -11,11 +11,26 @@ use std::sync::Arc;
 /// a different layout) produces a different key.
 type MemoKey = (String, Vec<i64>, Vec<u64>);
 
-/// One cached stream plus the logical time of its last hit (for eviction).
+/// One cached stream plus the logical time of its last hit (for eviction)
+/// and an integrity checksum verified on every hit (see `DESIGN.md` §10).
 #[derive(Debug)]
 struct Entry {
     stream: Arc<CommandStream>,
     last_hit: u64,
+    checksum: u64,
+}
+
+/// Constant-time integrity digest over a cached stream's scalar summary —
+/// a software stand-in for the per-line ECC a hardware command cache would
+/// carry. O(1) on purpose: hashing every command on every hit would erase
+/// the memoization win the cache exists for (`memo_shards` bench).
+fn integrity_digest(stream: &CommandStream) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [stream.jit_cycles, stream.cmds.len() as u64] {
+        h ^= word;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// One lock stripe of the cache.
@@ -50,6 +65,7 @@ pub struct JitCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 /// Default shard count; enough stripes that a handful of worker threads
@@ -103,6 +119,7 @@ impl JitCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
         }
     }
 
@@ -158,11 +175,18 @@ impl JitCache {
         {
             let mut map = shard.lock();
             if let Some(entry) = map.get_mut(&key) {
-                entry.last_hit = self.tick();
-                let found = entry.stream.clone();
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                infs_trace::counter!("jit.memo_hits", 1u64);
-                return Ok((found, true));
+                if entry.checksum == integrity_digest(&entry.stream) {
+                    entry.last_hit = self.tick();
+                    let found = entry.stream.clone();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    infs_trace::counter!("jit.memo_hits", 1u64);
+                    return Ok((found, true));
+                }
+                // Checksum mismatch: a corrupted entry is a miss — drop it
+                // and re-lower rather than replay poisoned commands.
+                map.remove(&key);
+                self.corruptions.fetch_add(1, Ordering::Relaxed);
+                infs_trace::counter!("jit.corruptions", 1u64);
             }
         }
         infs_trace::counter!("jit.memo_misses", 1u64);
@@ -187,6 +211,7 @@ impl JitCache {
             let stamp = self.tick();
             map.entry(key)
                 .or_insert_with(|| Entry {
+                    checksum: integrity_digest(&cs),
                     stream: cs.clone(),
                     last_hit: stamp,
                 })
@@ -215,6 +240,26 @@ impl JitCache {
     /// Entries evicted by the capacity bound so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries whose integrity checksum failed on lookup (each was dropped
+    /// and re-lowered).
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection: invalidate the stored checksum of every cached
+    /// entry, so the next lookup of each key detects corruption, discards
+    /// the entry and re-lowers. Returns how many entries were poisoned.
+    pub fn corrupt_all(&self) -> usize {
+        let mut n = 0;
+        for shard in self.shards.iter() {
+            for entry in shard.lock().values_mut() {
+                entry.checksum ^= 1 << 63;
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Total cached streams across all shards.
@@ -405,6 +450,39 @@ mod tests {
             cache.evictions() > 0,
             "80 keys churning 16 slots must evict"
         );
+    }
+
+    /// Corrupted entries are detected on lookup, dropped, counted, and
+    /// transparently re-lowered — the cache self-heals.
+    #[test]
+    fn corruption_is_detected_and_healed() {
+        let cache = JitCache::new();
+        cache
+            .get_or_lower::<()>("r", &[1], &[16], || Ok(dummy(7)))
+            .unwrap();
+        cache
+            .get_or_lower::<()>("s", &[2], &[16], || Ok(dummy(9)))
+            .unwrap();
+        assert_eq!(cache.corrupt_all(), 2);
+        // Next lookups detect the mismatch, re-lower, and still succeed.
+        let (a, hit) = cache
+            .get_or_lower::<()>("r", &[1], &[16], || Ok(dummy(7)))
+            .unwrap();
+        assert!(!hit, "corrupted entry must read as a miss");
+        assert_eq!(a.jit_cycles, 7);
+        assert_eq!(cache.corruptions(), 1);
+        let (_, hit) = cache
+            .get_or_lower::<()>("s", &[2], &[16], || Ok(dummy(9)))
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(cache.corruptions(), 2);
+        // The healed entries verify clean again.
+        let (_, hit) = cache
+            .get_or_lower::<()>("r", &[1], &[16], || panic!("must hit"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cache.corruptions(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     /// Sharded cache behaves identically to a single-map (1-shard) cache on

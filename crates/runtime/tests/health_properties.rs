@@ -1,0 +1,116 @@
+//! Property tests for the degradation ladder (`DESIGN.md` §10): placement
+//! never lands on a dead bank, and the in-memory → near-memory → host
+//! fallback is monotone — degrading health never *upgrades* the tier.
+
+use infs_faults::BankHealth;
+use infs_runtime::{decide, decide_healthy, place_on_healthy, HwConfig, Paradigm, Tier};
+use infs_tdfg::OpProfile;
+use proptest::prelude::*;
+
+fn profile(elems: u64, ops: u64, lat: u64) -> OpProfile {
+    OpProfile {
+        max_domain_elems: elems,
+        ops_per_elem: ops,
+        total_elem_ops: elems.saturating_mul(ops),
+        total_bit_serial_latency: lat,
+        node_count: 8,
+        moved_elems: 0,
+        per_op: Vec::new(),
+    }
+}
+
+/// Build a health mask over `n` banks from a kill bitmask.
+fn mask(n: u32, kill: u64) -> BankHealth {
+    let mut h = BankHealth::all_healthy(n);
+    for b in 0..n.min(64) {
+        if kill >> b & 1 == 1 {
+            h.mark_dead(b);
+        }
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Placement over a random health mask never lands on a dead bank, and
+    /// fails (None) exactly when every bank is dead.
+    #[test]
+    fn prop_placement_avoids_dead_banks(
+        kill in 0u64..u64::MAX,
+        n_items in 1usize..100,
+    ) {
+        let health = mask(64, kill);
+        match place_on_healthy(n_items, &health) {
+            None => prop_assert!(!health.any_healthy()),
+            Some(places) => {
+                prop_assert_eq!(places.len(), n_items);
+                for b in places {
+                    prop_assert!(health.is_healthy(b), "placed on dead bank {b}");
+                }
+            }
+        }
+    }
+
+    /// Killing one more healthy bank never moves a region *up* the ladder.
+    #[test]
+    fn prop_ladder_is_monotone(
+        kill in 0u64..u64::MAX,
+        extra in 0u32..64,
+        elems_log in 10u32..26,
+        ops in 1u64..8,
+        lat in 0u64..5_000_000,
+        jit in 0u64..100_000,
+    ) {
+        let hw = HwConfig::default();
+        let p = profile(1u64 << elems_log, ops, lat);
+        let before = mask(64, kill);
+        let mut after = before.clone();
+        after.mark_dead(extra);
+        let t_before = decide_healthy(&p, &hw, jit, &before);
+        let t_after = decide_healthy(&p, &hw, jit, &after);
+        prop_assert!(
+            t_after <= t_before,
+            "killing bank {extra} upgraded {:?} -> {:?}", t_before, t_after
+        );
+    }
+
+    /// With every bank healthy the ladder agrees with the plain Eq 2
+    /// decision; with no healthy banks it is always Host.
+    #[test]
+    fn prop_ladder_endpoints(
+        elems_log in 10u32..26,
+        ops in 1u64..8,
+        lat in 0u64..5_000_000,
+        jit in 0u64..100_000,
+    ) {
+        let hw = HwConfig::default();
+        let p = profile(1u64 << elems_log, ops, lat);
+        let full = BankHealth::all_healthy(64);
+        let expect = match decide(&p, &hw, jit) {
+            Paradigm::InMemory => Tier::InMemory,
+            Paradigm::NearMemory => Tier::NearMemory,
+        };
+        prop_assert_eq!(decide_healthy(&p, &hw, jit, &full), expect);
+        let dead = mask(64, u64::MAX);
+        prop_assert_eq!(decide_healthy(&p, &hw, jit, &dead), Tier::Host);
+    }
+
+    /// A dead-bank mask can only *shrink* the set of regions that qualify
+    /// for in-memory: anything in-memory under partial health is also
+    /// in-memory under full health.
+    #[test]
+    fn prop_degraded_in_memory_implies_healthy_in_memory(
+        kill in 0u64..u64::MAX,
+        elems_log in 10u32..26,
+        lat in 0u64..5_000_000,
+    ) {
+        let hw = HwConfig::default();
+        let p = profile(1u64 << elems_log, 3, lat);
+        let health = mask(64, kill);
+        if decide_healthy(&p, &hw, 500, &health) == Tier::InMemory {
+            let full = BankHealth::all_healthy(64);
+            prop_assert_eq!(decide_healthy(&p, &hw, 500, &full), Tier::InMemory);
+        }
+    }
+}

@@ -41,6 +41,8 @@
 //! let out = infs_sdfg::interp::execute(&g, &mut mem, &[]).unwrap();
 //! assert_eq!(out.scalar("dot"), Some(20.0));
 //! ```
+//!
+//! `DESIGN.md` §4 (system inventory) locates this crate in the stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

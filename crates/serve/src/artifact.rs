@@ -12,6 +12,11 @@ use std::sync::Arc;
 struct Entry {
     binary: Arc<FatBinary>,
     last_hit: u64,
+    /// FNV-1a content hash recorded at insert time and re-verified on every
+    /// load — a corrupted entry must read as a miss, never as a binary
+    /// (`DESIGN.md` §10). `None` when the binary was unhashable at insert
+    /// (such an entry never verifies and is dropped on first load).
+    checksum: Option<u64>,
 }
 
 /// A bounded cache of compiled artifacts. Eviction drops the
@@ -25,6 +30,7 @@ pub struct ArtifactCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -37,6 +43,7 @@ impl ArtifactCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
         }
     }
 
@@ -56,13 +63,29 @@ impl ArtifactCache {
     }
 
     /// Looks up an artifact by id, counting a hit or miss.
+    ///
+    /// The load path re-hashes the cached binary and compares it against
+    /// the checksum recorded at insert time. A mismatch means the cached
+    /// bytes rotted (or a fault plan corrupted them): the entry is evicted
+    /// and the lookup reads as a **miss**, so the caller recompiles instead
+    /// of serving a poisoned binary.
     pub fn get(&self, id: u64) -> Option<Arc<FatBinary>> {
         let mut entries = self.entries.lock();
         match entries.get_mut(&id) {
             Some(e) => {
-                e.last_hit = self.clock.fetch_add(1, Ordering::Relaxed);
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(e.binary.clone())
+                let verified = e.checksum.is_some() && e.binary.content_hash().ok() == e.checksum;
+                if verified {
+                    e.last_hit = self.clock.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(e.binary.clone())
+                } else {
+                    entries.remove(&id);
+                    self.corruptions.fetch_add(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    infs_trace::counter!("serve.artifact_corruptions", 1u64);
+                    None
+                }
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -98,11 +121,32 @@ impl ArtifactCache {
         entries.insert(
             id,
             Entry {
+                checksum: binary.content_hash().ok(),
                 binary: binary.clone(),
                 last_hit: stamp,
             },
         );
         binary
+    }
+
+    /// Fault injection: flip a bit of the stored checksum for `id`, so the
+    /// next load detects corruption and treats it as a miss. Returns whether
+    /// the id was cached.
+    pub fn corrupt(&self, id: u64) -> bool {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(&id) {
+            Some(e) => {
+                e.checksum = e.checksum.map(|c| c ^ 1 << 63).or(Some(0));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Entries whose checksum failed verification on load (each was evicted
+    /// and the lookup counted as a miss).
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions.load(Ordering::Relaxed)
     }
 
     /// Lifetime (hits, misses, evictions).
@@ -159,6 +203,32 @@ mod tests {
         let second = cache.insert(7, bin());
         assert!(Arc::ptr_eq(&first, &second), "first insert wins");
         assert_eq!(cache.len(), 1);
+    }
+
+    /// The bugfix this cache needed: a corrupted entry must read as a miss
+    /// (and get evicted), never as a usable binary.
+    #[test]
+    fn corrupted_entry_reads_as_a_miss_and_is_evicted() {
+        let cache = ArtifactCache::new(4);
+        cache.insert(1, bin());
+        cache.insert(2, bin());
+        assert!(cache.get(1).is_some());
+        assert!(cache.corrupt(1));
+        assert!(!cache.corrupt(99), "unknown id is not corruptible");
+
+        // The corrupted entry verifies dirty: miss + eviction, not a hit.
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.corruptions(), 1);
+        assert!(!cache.contains(1), "corrupted entry must be evicted");
+        let (hits, misses, evictions) = cache.stats();
+        assert_eq!((hits, misses, evictions), (1, 1, 1));
+
+        // The untouched entry still verifies clean.
+        assert!(cache.get(2).is_some());
+        // Re-inserting the corrupted id heals it.
+        cache.insert(1, bin());
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.corruptions(), 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! infs-client smoke   [--addr HOST:PORT] [--keep-alive]
 //! infs-client metrics [--addr HOST:PORT] [--shutdown]
+//! infs-client health  [--addr HOST:PORT]
 //! ```
 //!
 //! `smoke` runs the end-to-end acceptance sequence the CI server-smoke step
@@ -15,6 +16,11 @@
 //! cache hit rates, queue occupancy, and admission totals. With `--shutdown`
 //! it then asks the server to exit, so CI can run `smoke --keep-alive`
 //! followed by `metrics --shutdown`.
+//!
+//! `health` is the operations probe (see the README runbook): it prints the
+//! degradation status (`ok` / `degraded` / `draining`), bank health, and the
+//! worker-fault and cache-corruption counters, and exits non-zero only on
+//! transport failure — a degraded server is still a served answer.
 
 use infs_serve::{demo, ArrayPayload, Client, MetricsReport, Response, WireMode};
 use std::process::ExitCode;
@@ -22,6 +28,7 @@ use std::process::ExitCode;
 enum Command {
     Smoke { keep_alive: bool },
     Metrics { shutdown: bool },
+    Health,
 }
 
 struct Args {
@@ -30,13 +37,14 @@ struct Args {
 }
 
 const USAGE: &str =
-    "usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]\n       infs-client metrics [--addr HOST:PORT] [--shutdown]";
+    "usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]\n       infs-client metrics [--addr HOST:PORT] [--shutdown]\n       infs-client health [--addr HOST:PORT]";
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let mut command = match it.next().as_deref() {
         Some("smoke") => Command::Smoke { keep_alive: false },
         Some("metrics") => Command::Metrics { shutdown: false },
+        Some("health") => Command::Health,
         Some("--help") | Some("-h") | None => return Err(USAGE.to_string()),
         Some(other) => return Err(format!("unknown command '{other}' (try --help)")),
     };
@@ -170,6 +178,30 @@ fn rate(hits: u64, misses: u64) -> String {
     }
 }
 
+fn health(addr: &str) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("transport: {e}");
+    let mut client = Client::connect(addr, "health").map_err(io)?;
+    let r = client.health().map_err(io)?;
+    check_stats("health", &r, false)?;
+    let h = r
+        .health
+        .ok_or_else(|| "health: response carries no health report".to_string())?;
+    println!("infs-served @ {addr}: {} (up {} ms)", h.status, h.uptime_ms);
+    println!(
+        "  banks      {} of {} healthy",
+        h.healthy_banks, h.total_banks
+    );
+    println!(
+        "  faults     worker {} / artifact {} / jit {}",
+        h.worker_faults, h.artifact_corruptions, h.jit_corruptions
+    );
+    println!(
+        "  queue      depth {} of {} ({} workers)",
+        h.queue_depth, h.queue_capacity, h.workers
+    );
+    Ok(())
+}
+
 fn metrics(addr: &str, shutdown: bool) -> Result<(), String> {
     let io = |e: std::io::Error| format!("transport: {e}");
     let mut client = Client::connect(addr, "metrics").map_err(io)?;
@@ -212,6 +244,7 @@ fn main() -> ExitCode {
     let (name, result) = match args.command {
         Command::Smoke { keep_alive } => ("smoke", smoke(&args.addr, keep_alive)),
         Command::Metrics { shutdown } => ("metrics", metrics(&args.addr, shutdown)),
+        Command::Health => ("health", health(&args.addr)),
     };
     match result {
         Ok(()) => {

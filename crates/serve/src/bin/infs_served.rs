@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH]
+//!             [--chaos SEED]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `infs_serve::protocol`). Exits 0 after
 //! a graceful shutdown (a `Shutdown` request from any client), having drained
 //! every admitted request. With `--trace PATH`, tracing is enabled for the
 //! daemon's lifetime and a Chrome trace (plus `PATH.metrics.json`) is written
-//! at shutdown.
+//! at shutdown. With `--chaos SEED`, the deterministic fault plan
+//! [`infs_faults::FaultConfig::chaos`] is injected: worker panics, artifact
+//! corruption, dead banks, SRAM flips, and NoC faults — see the README
+//! operations runbook.
 
+use infs_faults::FaultConfig;
 use infs_serve::{serve_tcp, ServeConfig, Server};
 use std::net::TcpListener;
 use std::process::ExitCode;
@@ -43,8 +48,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--queue: {e}"))?
             }
+            "--chaos" => {
+                let seed: u64 = value("--chaos")?
+                    .parse()
+                    .map_err(|e| format!("--chaos: {e}"))?;
+                args.cfg.faults = Some(FaultConfig::chaos(seed));
+            }
             "--help" | "-h" => return Err(
-                "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH]"
+                "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH] [--chaos SEED]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
@@ -78,9 +89,13 @@ fn main() -> ExitCode {
         infs_trace::clear();
         infs_trace::enable();
     }
+    let chaos_seed = args.cfg.faults.as_ref().map(|f| f.seed);
     let server = Arc::new(Server::new(args.cfg));
     // The smoke scripts wait for this exact line before connecting.
     println!("infs-served listening on {addr}");
+    if let Some(seed) = chaos_seed {
+        println!("infs-served: CHAOS MODE (seed {seed}) — injecting deterministic faults");
+    }
     if let Err(e) = serve_tcp(&server, listener) {
         eprintln!("infs-served: accept loop failed: {e}");
         return ExitCode::FAILURE;

@@ -1,3 +1,4 @@
+use infs_faults::FaultConfig;
 use infs_sim::SystemConfig;
 
 /// Configuration of a resident [`crate::Server`].
@@ -26,6 +27,10 @@ pub struct ServeConfig {
     pub sessions_per_worker: usize,
     /// The simulated machine configuration sessions run on.
     pub system: SystemConfig,
+    /// Optional deterministic fault plan (chaos mode). When set, worker
+    /// panics, artifact corruption, and machine-level faults are injected
+    /// per the seeded schedule — see `DESIGN.md` §10.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ServeConfig {
@@ -42,6 +47,7 @@ impl Default for ServeConfig {
             jit_capacity: 4096,
             sessions_per_worker: 4,
             system: SystemConfig::default(),
+            faults: None,
         }
     }
 }

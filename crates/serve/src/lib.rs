@@ -31,11 +31,22 @@
 //!   compiler stages ([`infs_isa::Compiler::compile_with`]) or before
 //!   execution, and answered with a `timeout` error;
 //! - **graceful shutdown**: admission closes, every admitted request still
-//!   completes, workers drain and join ([`Server::shutdown`]).
+//!   completes, workers drain and join ([`Server::shutdown`]);
+//! - **fault tolerance** (`DESIGN.md` §10): a worker panic is caught, the
+//!   worker's session pool rebuilt, and the request answered with a typed,
+//!   retryable `worker-fault` error ([`ServeError::WorkerFault`]); both
+//!   caches verify checksums on load, so corruption degrades to a miss; a
+//!   `Health` verb reports `ok`/`degraded`/`draining` plus bank and fault
+//!   counters; and [`ServeConfig::faults`] (the `--chaos SEED` flag) arms a
+//!   deterministic [`infs_faults::FaultPlan`] for chaos drills — see the
+//!   README operations runbook and `tests/chaos_smoke.rs`.
 //!
 //! Every response carries a [`ResponseStats`] block — queue wait, compile
 //! time, artifact/JIT cache hit flags, simulated cycles, and where the region
 //! executed — so the serving layer is measurable from the first request.
+//!
+//! The queue/worker/cache architecture is `DESIGN.md` §8; the fault model
+//! and degradation ladder are `DESIGN.md` §10.
 //!
 //! ```
 //! use infs_serve::{demo, Request, RequestBody, CompileRequest, Server, ServeConfig};
@@ -63,15 +74,17 @@
 pub mod artifact;
 mod config;
 pub mod demo;
+mod error;
 pub mod net;
 pub mod protocol;
 pub mod queue;
 mod server;
 
 pub use config::ServeConfig;
+pub use error::ServeError;
 pub use net::{serve_tcp, Client};
 pub use protocol::{
-    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, MetricsReport, Request,
-    RequestBody, Response, ResponseStats, ScalarOut, WireError, WireMode,
+    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,
+    Request, RequestBody, Response, ResponseStats, ScalarOut, WireError, WireMode,
 };
 pub use server::{Server, ShutdownStats, Submitted, Ticket};

@@ -11,6 +11,7 @@ use crate::protocol::{
     WireError, WireMode,
 };
 use crate::server::Server;
+use infs_faults::RetryPolicy;
 use infs_frontend::Kernel;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -156,6 +157,37 @@ impl Client {
             .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {e}")))
     }
 
+    /// Like [`Client::request`], but retries *transient* rejections —
+    /// `backpressure` and `worker-fault` — under the given [`RetryPolicy`],
+    /// sleeping `RetryPolicy::backoff_ms` (deterministically jittered, and
+    /// never less than the server's `retry_after_ms` hint) between attempts.
+    /// Any other outcome, success or failure, is returned as-is; transient
+    /// failures are returned once attempts are exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn request_with_retry(
+        &mut self,
+        deadline_ms: Option<u64>,
+        body: RequestBody,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<Response> {
+        let mut attempt = 0;
+        loop {
+            let response = self.request(deadline_ms, body.clone())?;
+            let retryable = response.error.as_ref().is_some_and(|e| {
+                e.kind == WireError::BACKPRESSURE || e.kind == WireError::WORKER_FAULT
+            });
+            if !retryable || attempt + 1 >= policy.max_attempts.max(1) {
+                return Ok(response);
+            }
+            let hint = response.error.as_ref().and_then(|e| e.retry_after_ms);
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(attempt, hint)));
+            attempt += 1;
+        }
+    }
+
     /// Liveness probe.
     ///
     /// # Errors
@@ -163,6 +195,15 @@ impl Client {
     /// Transport failures, as [`Client::request`].
     pub fn ping(&mut self) -> std::io::Result<Response> {
         self.request(None, RequestBody::Ping)
+    }
+
+    /// Health probe: degradation status and fault counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn health(&mut self) -> std::io::Result<Response> {
+        self.request(None, RequestBody::Health)
     }
 
     /// Compiles a kernel into a cached artifact.

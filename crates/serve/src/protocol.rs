@@ -41,6 +41,10 @@ pub enum RequestBody {
     /// Begin graceful shutdown: admission closes, in-flight and queued
     /// requests complete, workers exit.
     Shutdown,
+    /// Report service health: bank health, worker-fault and cache-corruption
+    /// counters, queue pressure — as a [`HealthReport`]. The operations
+    /// probe (see the README runbook).
+    Health,
 }
 
 /// Compile a kernel (the repo's loop-nest IR, serialized with serde — the
@@ -153,6 +157,43 @@ pub struct Response {
     pub stats: ResponseStats,
     /// Server-wide counters (present on `Metrics` responses only).
     pub metrics: Option<MetricsReport>,
+    /// Service health (present on `Health` responses only).
+    pub health: Option<HealthReport>,
+}
+
+/// Service health, returned by the `Health` verb (`DESIGN.md` §10).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// `"ok"` (fully healthy), `"degraded"` (dead banks, worker faults or
+    /// cache corruption observed), or `"draining"` (shutting down).
+    pub status: String,
+    /// Healthy L3 banks on the configured machine.
+    pub healthy_banks: u32,
+    /// Total L3 banks on the configured machine.
+    pub total_banks: u32,
+    /// Worker panics isolated by `catch_unwind` since start.
+    pub worker_faults: u64,
+    /// Artifact-cache entries whose checksum failed verification.
+    pub artifact_corruptions: u64,
+    /// JIT-cache entries whose integrity digest failed verification.
+    pub jit_corruptions: u64,
+    /// Requests currently queued.
+    pub queue_depth: usize,
+    /// Admission queue capacity.
+    pub queue_capacity: usize,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+}
+
+impl HealthReport {
+    /// Status string for a fully healthy service.
+    pub const OK: &'static str = "ok";
+    /// Status string when faults have been observed but the service runs.
+    pub const DEGRADED: &'static str = "degraded";
+    /// Status string once shutdown has begun.
+    pub const DRAINING: &'static str = "draining";
 }
 
 /// Server-wide observability counters, returned by the `Metrics` verb.
@@ -229,6 +270,9 @@ impl WireError {
     pub const BAD_REQUEST: &'static str = "bad-request";
     /// Execution failed inside the simulator.
     pub const EXECUTION: &'static str = "execution";
+    /// The worker thread handling the request panicked; the panic was
+    /// isolated and the pool survived. Safe to retry.
+    pub const WORKER_FAULT: &'static str = "worker-fault";
 
     /// A new error of `kind`.
     pub fn new(kind: &str, message: impl Into<String>) -> Self {
@@ -290,6 +334,7 @@ impl Response {
             scalars: Vec::new(),
             stats,
             metrics: None,
+            health: None,
         }
     }
 
@@ -304,6 +349,7 @@ impl Response {
             scalars: Vec::new(),
             stats,
             metrics: None,
+            health: None,
         }
     }
 }

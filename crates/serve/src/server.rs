@@ -9,16 +9,19 @@
 
 use crate::artifact::{format_id, parse_id, ArtifactCache};
 use crate::config::ServeConfig;
+use crate::error::ServeError;
 use crate::protocol::{
-    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, MetricsReport, Request,
-    RequestBody, Response, ResponseStats, ScalarOut, WireError,
+    executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,
+    Request, RequestBody, Response, ResponseStats, ScalarOut, WireError,
 };
 use crate::queue::{AdmissionQueue, PushError};
 use infinity_stream::{Session, SessionError};
+use infs_faults::FaultPlan;
 use infs_isa::{fnv1a, Compiler, FatBinary, IsaError};
 use infs_runtime::JitCache;
 use infs_sdfg::ArrayId;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -121,6 +124,14 @@ struct Shared {
     served: AtomicU64,
     rejected: AtomicU64,
     started: Instant,
+    /// The seeded chaos plan, when the server runs in chaos mode.
+    faults: Option<Arc<FaultPlan>>,
+    /// Worker panics caught and turned into [`ServeError::WorkerFault`].
+    worker_faults: AtomicU64,
+    /// Per-server sequence for the worker-panic fault schedule.
+    fault_seq: AtomicU64,
+    /// Per-server sequence for the artifact-corruption fault schedule.
+    artifact_seq: AtomicU64,
 }
 
 impl Shared {
@@ -141,6 +152,66 @@ impl Shared {
             jit_evictions: self.jit.evictions(),
             workers: self.cfg.workers.max(1),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// The `Health` verb: degradation status plus the fault counters that
+    /// explain it (`DESIGN.md` §10). Bank figures reflect the configured
+    /// fault plan's initial outage; per-session quarantines accrue inside
+    /// each worker's machines.
+    fn health(&self) -> HealthReport {
+        let total_banks = self.cfg.system.n_banks;
+        let healthy_banks = match &self.faults {
+            Some(plan) => plan.initial_health(total_banks).healthy_count(),
+            None => total_banks,
+        };
+        let worker_faults = self.worker_faults.load(Ordering::Relaxed);
+        let artifact_corruptions = self.artifacts.corruptions();
+        let jit_corruptions = self.jit.corruptions();
+        let status = if self.shutting_down.load(Ordering::SeqCst) {
+            HealthReport::DRAINING
+        } else if healthy_banks < total_banks
+            || worker_faults > 0
+            || artifact_corruptions > 0
+            || jit_corruptions > 0
+        {
+            HealthReport::DEGRADED
+        } else {
+            HealthReport::OK
+        };
+        HealthReport {
+            status: status.to_string(),
+            healthy_banks,
+            total_banks,
+            worker_faults,
+            artifact_corruptions,
+            jit_corruptions,
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            workers: self.cfg.workers.max(1),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        }
+    }
+
+    /// Panics iff the chaos plan schedules a worker fault for the next
+    /// sequence number. Called only from compile/execute handling, inside the
+    /// worker's `catch_unwind` — the panic is caught, counted, and answered
+    /// as a retryable [`WireError::WORKER_FAULT`].
+    fn maybe_panic(&self, request_id: u64) {
+        if let Some(plan) = &self.faults {
+            if plan.worker_panic(self.fault_seq.fetch_add(1, Ordering::Relaxed)) {
+                panic!("injected worker fault (chaos): request {request_id}");
+            }
+        }
+    }
+
+    /// Corrupts the freshly inserted artifact when the chaos plan says so;
+    /// the next load detects the bad checksum and recompiles.
+    fn maybe_corrupt_artifact(&self, key: u64) {
+        if let Some(plan) = &self.faults {
+            if plan.corrupt_artifact(self.artifact_seq.fetch_add(1, Ordering::Relaxed)) {
+                self.artifacts.corrupt(key);
+            }
         }
     }
 }
@@ -168,6 +239,7 @@ impl Server {
         } else {
             Arc::new(JitCache::bounded(cfg.jit_capacity))
         };
+        let faults = cfg.faults.clone().map(|fc| Arc::new(FaultPlan::new(fc)));
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(cfg.queue_capacity),
             artifacts: ArtifactCache::new(cfg.artifact_capacity),
@@ -177,6 +249,10 @@ impl Server {
             served: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             started: Instant::now(),
+            faults,
+            worker_faults: AtomicU64::new(0),
+            fault_seq: AtomicU64::new(0),
+            artifact_seq: AtomicU64::new(0),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -305,6 +381,21 @@ impl Server {
     pub fn jit(&self) -> Arc<JitCache> {
         self.shared.jit.clone()
     }
+
+    /// The in-process form of the `Health` verb.
+    pub fn health(&self) -> HealthReport {
+        self.shared.health()
+    }
+
+    /// Worker panics caught (each answered as a retryable `worker-fault`).
+    pub fn worker_faults(&self) -> u64 {
+        self.shared.worker_faults.load(Ordering::Relaxed)
+    }
+
+    /// The server's chaos plan, when one is configured.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.shared.faults.clone()
+    }
 }
 
 impl Drop for Server {
@@ -357,10 +448,44 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
     let mut pool = SessionPool::new(shared.cfg.sessions_per_worker);
     while let Some(job) = shared.queue.pop() {
         shared.gate.wait_open();
-        let (reply, response) = handle(shared, &mut pool, job);
+        // Destructure first so the reply channel survives a panicking
+        // handler — the client must get a typed error, not a hang.
+        let Job {
+            request,
+            deadline,
+            enqueued,
+            reply,
+        } = job;
+        let id = request.id;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle(shared, &mut pool, request, deadline, enqueued)
+        }));
+        let response = outcome.unwrap_or_else(|payload| {
+            // The panic may have left pooled sessions half-mutated; discard
+            // them all and rebuild from scratch. The worker itself survives.
+            pool = SessionPool::new(shared.cfg.sessions_per_worker);
+            shared.worker_faults.fetch_add(1, Ordering::Relaxed);
+            infs_trace::counter!("serve.worker_faults", 1u64);
+            let fault = ServeError::WorkerFault {
+                request_id: id,
+                message: panic_message(payload.as_ref()),
+            };
+            Response::failure(id, fault.to_wire(), ResponseStats::default())
+        });
         shared.served.fetch_add(1, Ordering::Relaxed);
         // A dead receiver (client gone) is not a server error.
         let _ = reply.send(response);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -371,6 +496,7 @@ struct Payload {
     outputs: Vec<ArrayPayload>,
     scalars: Vec<ScalarOut>,
     metrics: Option<MetricsReport>,
+    health: Option<HealthReport>,
 }
 
 /// Trace label for a request body.
@@ -380,23 +506,30 @@ fn request_kind(body: &RequestBody) -> &'static str {
         RequestBody::Execute(_) => "execute",
         RequestBody::Ping => "ping",
         RequestBody::Metrics => "metrics",
+        RequestBody::Health => "health",
         RequestBody::Shutdown => "shutdown",
     }
 }
 
-fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Response>, Response) {
+fn handle(
+    shared: &Shared,
+    pool: &mut SessionPool,
+    request: Request,
+    deadline: Instant,
+    enqueued: Instant,
+) -> Response {
     let picked = Instant::now();
     let mut stats = ResponseStats {
-        queue_wait_us: picked.duration_since(job.enqueued).as_micros() as u64,
+        queue_wait_us: picked.duration_since(enqueued).as_micros() as u64,
         ..ResponseStats::default()
     };
     // Per-request root span: the queue wait is recorded retroactively as a
     // sibling interval ending where the service span begins.
     let mut span = infs_trace::span!(
         "serve.request",
-        id = job.request.id,
-        tenant = job.request.tenant.as_str(),
-        kind = request_kind(&job.request.body),
+        id = request.id,
+        tenant = request.tenant.as_str(),
+        kind = request_kind(&request.body),
     );
     if infs_trace::enabled() {
         let wait_ns = (stats.queue_wait_us).saturating_mul(1000);
@@ -405,45 +538,55 @@ fn handle(shared: &Shared, pool: &mut SessionPool, job: Job) -> (mpsc::Sender<Re
             "serve.queue_wait",
             now_ns.saturating_sub(wait_ns),
             wait_ns,
-            vec![("id", infs_trace::ArgValue::UInt(job.request.id))],
+            vec![("id", infs_trace::ArgValue::UInt(request.id))],
         );
     }
-    let result = if picked >= job.deadline {
+    let result = if picked >= deadline {
         Err(WireError::new(
             WireError::TIMEOUT,
             "deadline expired while queued",
         ))
     } else {
-        match &job.request.body {
+        match &request.body {
             RequestBody::Ping => Ok(Payload::default()),
             RequestBody::Metrics => Ok(Payload {
                 metrics: Some(shared.metrics()),
+                ..Payload::default()
+            }),
+            RequestBody::Health => Ok(Payload {
+                health: Some(shared.health()),
                 ..Payload::default()
             }),
             RequestBody::Shutdown => {
                 shared.begin_shutdown();
                 Ok(Payload::default())
             }
-            RequestBody::Compile(c) => handle_compile(shared, c, job.deadline, &mut stats),
-            RequestBody::Execute(e) => handle_execute(shared, pool, e, job.deadline, &mut stats),
+            RequestBody::Compile(c) => {
+                shared.maybe_panic(request.id);
+                handle_compile(shared, c, deadline, &mut stats)
+            }
+            RequestBody::Execute(e) => {
+                shared.maybe_panic(request.id);
+                handle_execute(shared, pool, e, deadline, &mut stats)
+            }
         }
     };
     stats.service_us = picked.elapsed().as_micros() as u64;
     stats.total_us = stats.queue_wait_us + stats.service_us;
     span.arg("ok", result.is_ok());
     span.arg("total_us", stats.total_us);
-    let response = match result {
+    match result {
         Ok(payload) => {
-            let mut r = Response::success(job.request.id, stats);
+            let mut r = Response::success(request.id, stats);
             r.artifact = payload.artifact;
             r.outputs = payload.outputs;
             r.scalars = payload.scalars;
             r.metrics = payload.metrics;
+            r.health = payload.health;
             r
         }
-        Err(e) => Response::failure(job.request.id, e, stats),
-    };
-    (job.reply, response)
+        Err(e) => Response::failure(request.id, e, stats),
+    }
 }
 
 fn bad_request(message: impl Into<String>) -> WireError {
@@ -495,7 +638,9 @@ fn handle_compile(
         stats.compile_us = t0.elapsed().as_micros() as u64;
         let mut fb = FatBinary::new();
         fb.push(region);
-        shared.artifacts.insert(key, Arc::new(fb))
+        let inserted = shared.artifacts.insert(key, Arc::new(fb));
+        shared.maybe_corrupt_artifact(key);
+        inserted
     };
     stats.tensorizable = binary.regions.first().map(|r| r.tensorizable);
     Ok(Payload {
@@ -577,13 +722,21 @@ fn handle_execute(
             s.reset();
             s
         }
-        None => Session::with_jit(
-            shared.cfg.system.clone(),
-            (*binary).clone(),
-            e.mode.exec_mode(),
-            shared.jit.clone(),
-        )
-        .map_err(|err| bad_request(format!("unusable binary: {err}")))?,
+        None => {
+            let mut s = Session::with_jit(
+                shared.cfg.system.clone(),
+                (*binary).clone(),
+                e.mode.exec_mode(),
+                shared.jit.clone(),
+            )
+            .map_err(|err| bad_request(format!("unusable binary: {err}")))?;
+            // Chaos mode: fresh machines inherit the server's fault plan, so
+            // SRAM flips, dead banks, and NoC faults reach simulated runs.
+            if let Some(plan) = &shared.faults {
+                s.machine().set_fault_plan(plan.clone());
+            }
+            s
+        }
     };
     let result = run_region(&mut session, e, deadline, stats);
     pool.put(key, session);
@@ -642,5 +795,6 @@ fn run_region(
             .map(|(name, value)| ScalarOut { name, value })
             .collect(),
         metrics: None,
+        health: None,
     })
 }

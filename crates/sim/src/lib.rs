@@ -26,7 +26,9 @@
 //! configuration produces bit-identical outputs by construction and the timing
 //! layer cannot corrupt results. All claims of the evaluation are *relative*
 //! (speedups, traffic ratios, energy ratios), which this level of modeling
-//! preserves; see DESIGN.md for the substitution argument.
+//! preserves; see `DESIGN.md` §2 for the substitution argument. The
+//! machine's bank-health mask, fault-plan hooks, and degradation counters
+//! ([`FaultCounters`]) implement the `DESIGN.md` §10 fault model.
 //!
 //! [`InfCommand`]: infs_runtime::InfCommand
 
@@ -46,7 +48,7 @@ pub use config::SystemConfig;
 pub use core_model::{core_time, CoreProfile};
 pub use energy::{area_report, AreaReport, EnergyBreakdown, EnergyParams};
 pub use inmem::InMemOutcome;
-pub use machine::{ExecMode, Executed, Machine, RegionReport, SimError};
+pub use machine::{ExecMode, Executed, FaultCounters, Machine, RegionReport, SimError};
 pub use nearmem::NearMemOutcome;
 pub use noc::Mesh;
 pub use stats::{CycleBreakdown, RunStats, TrafficBreakdown};

@@ -1,9 +1,10 @@
 use crate::core_model::{core_time, CoreProfile};
 use crate::nearmem::nearmem_time;
 use crate::{inmem, EnergyParams, Mesh, RunStats, SystemConfig};
+use infs_faults::{BankHealth, FaultPlan, NocFault};
 use infs_geom::TileShape;
 use infs_isa::RegionInstance;
-use infs_runtime::{decide, JitCache, Paradigm, RuntimeError, TransposedLayout};
+use infs_runtime::{decide_healthy, JitCache, RuntimeError, Tier, TransposedLayout};
 use infs_sdfg::{Memory, SdfgError};
 use infs_tdfg::{Node, OutputTarget, TdfgError};
 use std::collections::{HashMap, HashSet};
@@ -124,6 +125,28 @@ struct ActiveTranspose {
     arrays: HashSet<u32>,
 }
 
+/// Per-machine fault and degradation counters (`DESIGN.md` §10). These are
+/// *hardware* state like the health mask: they survive [`Machine::reset`]
+/// so a pooled server session keeps its history across requests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// SRAM wordline flips the modeled ECC scrub detected.
+    pub sram_flips_detected: u64,
+    /// Banks quarantined (health bit cleared) as a result.
+    pub banks_quarantined: u64,
+    /// Regions that Eq 2 would have run in-memory but degraded to the
+    /// near-memory stream engines because of unhealthy banks.
+    pub degraded_to_near: u64,
+    /// Regions pushed all the way back to the host cores.
+    pub degraded_to_host: u64,
+    /// NoC shift messages dropped (and retransmitted).
+    pub noc_drops: u64,
+    /// NoC shift messages delayed.
+    pub noc_delays: u64,
+    /// Total extra cycles charged for NoC drops and delays.
+    pub noc_penalty_cycles: u64,
+}
+
 /// The simulated machine: functional memory plus the timing state of one
 /// configuration, fed a sequence of region invocations by a workload driver.
 ///
@@ -148,6 +171,15 @@ pub struct Machine {
     assume_transposed: bool,
     tile_override: Option<TileShape>,
     functional: bool,
+    /// Which L3 banks are healthy. Starts all-healthy; a fault plan or
+    /// explicit mask degrades it, and — like real silicon — it never heals
+    /// on [`Machine::reset`].
+    health: BankHealth,
+    /// Deterministic fault schedule, if chaos is enabled.
+    faults: Option<Arc<FaultPlan>>,
+    /// Regions executed so far — the sequence number fault queries key on.
+    region_seq: u64,
+    fault_counts: FaultCounters,
 }
 
 impl Machine {
@@ -167,6 +199,7 @@ impl Machine {
         jit: Arc<JitCache>,
     ) -> Self {
         let mesh = Mesh::new(&cfg);
+        let health = BankHealth::all_healthy(cfg.n_banks);
         Machine {
             cfg,
             mesh,
@@ -181,7 +214,34 @@ impl Machine {
             assume_transposed: false,
             tile_override: None,
             functional: true,
+            health,
+            faults: None,
+            region_seq: 0,
+            fault_counts: FaultCounters::default(),
         }
+    }
+
+    /// Installs a deterministic fault plan: the plan's initial health mask
+    /// (manufacturing-dead banks) takes effect immediately, and subsequent
+    /// regions consult the plan for SRAM flips and NoC faults.
+    pub fn set_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.health = plan.initial_health(self.cfg.n_banks);
+        self.faults = Some(plan);
+    }
+
+    /// Overrides the bank-health mask directly (no scheduled faults).
+    pub fn set_bank_health(&mut self, health: BankHealth) {
+        self.health = health;
+    }
+
+    /// Current bank-health mask.
+    pub fn bank_health(&self) -> &BankHealth {
+        &self.health
+    }
+
+    /// Fault and degradation counters accumulated by this machine.
+    pub fn fault_counters(&self) -> &FaultCounters {
+        &self.fault_counts
     }
 
     /// The JIT memoization cache this machine lowers through (shared when the
@@ -195,7 +255,9 @@ impl Machine {
     /// The JIT cache handle is kept — reuse of lowered commands across
     /// requests is the point of pooling. Configuration flags
     /// (`assume_transposed`, tile override, functional mode) also persist;
-    /// they describe the machine, not the request.
+    /// they describe the machine, not the request. So do the bank-health
+    /// mask, fault plan and fault counters: quarantined silicon does not
+    /// heal because a new tenant shows up.
     pub fn reset(&mut self) {
         let decls = self.mem.decls().to_vec();
         self.mem = Memory::for_arrays(&decls);
@@ -304,11 +366,25 @@ impl Machine {
             region = region.name.as_str(),
             mode = mode_label(mode),
         );
-        let report = match mode {
+        let seq = self.region_seq;
+        self.region_seq += 1;
+        self.apply_scheduled_faults(seq);
+        let mut report = match mode {
             ExecMode::Base { threads } => self.run_core(region, params, threads),
-            ExecMode::NearL3 => self.run_near(region, params, false),
+            ExecMode::NearL3 => {
+                if self.health.any_healthy() {
+                    self.run_near(region, params, false)
+                } else {
+                    // The stream engines live at the banks: with none left,
+                    // even near-memory offload degrades to the cores.
+                    self.count_degradation(Tier::Host);
+                    self.run_core(region, params, self.cfg.cores)
+                }
+            }
             ExecMode::InL3 => {
-                if self.can_run_in_memory(region) {
+                if infs_runtime::in_memory_quorum(&self.health)
+                    && self.can_run_in_memory(region, &self.health)
+                {
                     self.run_in_memory(region, params, false)
                 } else {
                     self.run_core(region, params, self.cfg.cores)
@@ -316,50 +392,152 @@ impl Machine {
             }
             ExecMode::InfS | ExecMode::InfSNoJit => {
                 let nojit = mode == ExecMode::InfSNoJit;
-                if self.can_run_in_memory(region) && self.eq2_prefers_in_memory(region, nojit) {
-                    self.run_in_memory(region, params, nojit)
-                } else {
-                    self.run_near(region, params, true)
+                let tier = self.tier_with_health(region, nojit, &self.health);
+                if !self.health.fully_healthy() {
+                    let baseline = self.tier_with_health(
+                        region,
+                        nojit,
+                        &BankHealth::all_healthy(self.cfg.n_banks),
+                    );
+                    if tier < baseline {
+                        self.count_degradation(tier);
+                    }
+                }
+                match tier {
+                    Tier::InMemory => self.run_in_memory(region, params, nojit),
+                    Tier::NearMemory => self.run_near(region, params, true),
+                    Tier::Host => self.run_core(region, params, self.cfg.cores),
                 }
             }
         }?;
+        self.charge_noc_fault(seq, &mut report);
         span.arg("cycles", report.cycles);
         span.arg("executed", executed_trace_label(report.executed));
         Ok(report)
     }
 
-    fn can_run_in_memory(&self, region: &RegionInstance) -> bool {
+    /// Consumes the fault plan's schedule for region number `seq`: an SRAM
+    /// wordline flip caught by the ECC scrub quarantines the affected bank.
+    fn apply_scheduled_faults(&mut self, seq: u64) {
+        let Some(plan) = &self.faults else { return };
+        if let Some(flip) = plan.sram_flip(seq, self.cfg.n_banks, self.cfg.geometry.wordlines) {
+            self.fault_counts.sram_flips_detected += 1;
+            infs_trace::counter!("faults.sram_flips_detected", 1u64);
+            if self.health.mark_dead(flip.bank) {
+                self.fault_counts.banks_quarantined += 1;
+                infs_trace::counter!("faults.banks_quarantined", 1u64);
+            }
+        }
+    }
+
+    /// Charges the timing penalty for a scheduled NoC fault on an offloaded
+    /// region: a delayed shift message stalls its sync barrier, a dropped
+    /// one costs a timeout plus retransmission. Core runs use the regular
+    /// coherent path and are unaffected. Functional results never change —
+    /// the message is re-sent, not lost.
+    fn charge_noc_fault(&mut self, seq: u64, report: &mut RegionReport) {
+        if report.executed == Executed::Core {
+            return;
+        }
+        let Some(plan) = &self.faults else { return };
+        let penalty = match plan.noc_fault(seq) {
+            NocFault::None => return,
+            NocFault::Delay(d) => {
+                self.fault_counts.noc_delays += 1;
+                infs_trace::counter!("faults.noc_delays", 1u64);
+                d
+            }
+            NocFault::Drop => {
+                self.fault_counts.noc_drops += 1;
+                infs_trace::counter!("faults.noc_drops", 1u64);
+                // Detection timeout (two sync rounds) plus the retransmit
+                // round trip through the mesh.
+                self.cfg.sync_latency * 2 + self.cfg.dram_latency
+            }
+        };
+        self.fault_counts.noc_penalty_cycles += penalty;
+        self.stats.cycles += penalty;
+        report.cycles += penalty;
+        match report.executed {
+            Executed::NearMemory => self.stats.breakdown.near_mem += penalty,
+            _ => self.stats.breakdown.mv += penalty,
+        }
+    }
+
+    /// Counts a ladder step down, attributing it to the tier landed on.
+    fn count_degradation(&mut self, tier: Tier) {
+        match tier {
+            Tier::NearMemory => {
+                self.fault_counts.degraded_to_near += 1;
+                infs_trace::counter!("faults.degraded_to_near", 1u64);
+            }
+            Tier::Host => {
+                self.fault_counts.degraded_to_host += 1;
+                infs_trace::counter!("faults.degraded_to_host", 1u64);
+            }
+            Tier::InMemory => {}
+        }
+    }
+
+    /// The Inf-S placement for a region under a given health mask: the Eq 2
+    /// decision extended with the degradation ladder (`DESIGN.md` §10).
+    fn tier_with_health(&self, region: &RegionInstance, nojit: bool, health: &BankHealth) -> Tier {
+        if !health.any_healthy() {
+            return Tier::Host;
+        }
+        if !infs_runtime::in_memory_quorum(health) || !self.can_run_in_memory(region, health) {
+            return Tier::NearMemory;
+        }
+        let hw = self.cfg.hw();
+        let expected_jit = if nojit {
+            0
+        } else if self.jit_would_hit(region, health) {
+            self.cfg.jit.hit
+        } else {
+            // Conservative pre-lowering estimate: a handful of commands per node.
+            hw.jit_cycles(region.profile.node_count * 4)
+        };
+        decide_healthy(&region.profile, &hw, expected_jit, health)
+    }
+
+    /// The hardware view the layout planner and JIT see: the machine
+    /// contracted to its *logical* healthy banks. Logical bank `i` stands
+    /// for the `i`-th healthy physical bank
+    /// (`infs_runtime::place_on_healthy` is the logical→physical map), so
+    /// lowered commands never target quarantined silicon. At full health
+    /// this is exactly `cfg.hw()`.
+    fn hw_healthy(&self) -> infs_runtime::HwConfig {
+        self.hw_for(&self.health)
+    }
+
+    /// [`Machine::hw_healthy`] under an arbitrary mask — lets the degradation
+    /// accounting evaluate the full-health baseline without being tainted by
+    /// the machine's actual (possibly degraded) health.
+    fn hw_for(&self, health: &BankHealth) -> infs_runtime::HwConfig {
+        let mut hw = self.cfg.hw();
+        hw.n_banks = health.healthy_count().max(1);
+        hw
+    }
+
+    fn can_run_in_memory(&self, region: &RegionInstance, health: &BankHealth) -> bool {
         if region.tdfg.is_none() || region.schedule_for(self.cfg.geometry).is_none() {
             return false;
         }
         let tdfg = region.tdfg.as_ref().expect("checked above");
-        let hw = self.cfg.hw();
+        let hw = self.hw_for(health);
         match &self.tile_override {
             Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw).is_ok(),
             None => TransposedLayout::plan(tdfg, &region.hints, &hw).is_ok(),
         }
     }
 
-    fn eq2_prefers_in_memory(&self, region: &RegionInstance, nojit: bool) -> bool {
-        let hw = self.cfg.hw();
-        let expected_jit = if nojit {
-            0
-        } else if self.jit_would_hit(region) {
-            self.cfg.jit.hit
-        } else {
-            // Conservative pre-lowering estimate: a handful of commands per node.
-            hw.jit_cycles(region.profile.node_count * 4)
-        };
-        decide(&region.profile, &hw, expected_jit) == Paradigm::InMemory
-    }
-
     /// Whether the memoization cache already holds this region's commands
     /// (consulted by the decision model; the paper's hardware command cache).
-    fn jit_would_hit(&self, region: &RegionInstance) -> bool {
+    fn jit_would_hit(&self, region: &RegionInstance, health: &BankHealth) -> bool {
         let Some(tdfg) = region.tdfg.as_ref() else {
             return false;
         };
-        let hw = self.cfg.hw();
+        let hw = self.hw_for(health);
         let layout = match &self.tile_override {
             Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw),
             None => TransposedLayout::plan(tdfg, &region.hints, &hw),
@@ -474,7 +652,7 @@ impl Machine {
         let schedule = region
             .schedule_for(self.cfg.geometry)
             .expect("caller checked the schedule");
-        let hw = self.cfg.hw();
+        let hw = self.hw_healthy();
         let layout = match &self.tile_override {
             Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw)?,
             None => TransposedLayout::plan(tdfg, &region.hints, &hw)?,

@@ -1,0 +1,213 @@
+//! The degradation ladder end to end (`DESIGN.md` §10): dead banks push
+//! Inf-S regions off the bitlines to near-memory and finally to the host,
+//! NoC faults cost cycles without corrupting results, and every degraded
+//! run stays bit-identical to the healthy host reference.
+
+use infs_faults::{FaultConfig, FaultPlan};
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_isa::{Compiler, RegionInstance};
+use infs_sdfg::{ArrayId, DataType};
+use infs_sim::{ExecMode, Executed, Machine, SystemConfig};
+use std::sync::Arc;
+
+/// vec_add over n elements — large enough that healthy Inf-S goes in-memory.
+fn vec_add_region(n: u64) -> RegionInstance {
+    let mut k = KernelBuilder::new("vec_add", DataType::F32);
+    let a = k.array("A", vec![n]);
+    let b = k.array("B", vec![n]);
+    let c = k.array("C", vec![n]);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        c,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::load(a, vec![Idx::var(i)]),
+            ScalarExpr::load(b, vec![Idx::var(i)]),
+        ),
+    );
+    let kernel = k.build().unwrap();
+    Compiler::default()
+        .compile(kernel, &[])
+        .unwrap()
+        .instantiate(&[])
+        .unwrap()
+}
+
+fn machine_for(region: &RegionInstance) -> Machine {
+    let mut m = Machine::new(SystemConfig::default(), region.sdfg.arrays());
+    m.set_assume_transposed(true);
+    m
+}
+
+fn load_inputs(m: &mut Machine, n: u64) {
+    let av: Vec<f32> = (0..n).map(|x| x as f32).collect();
+    let bv: Vec<f32> = (0..n).map(|x| (3 * x) as f32).collect();
+    m.memory().write_array(ArrayId(0), &av);
+    m.memory().write_array(ArrayId(1), &bv);
+}
+
+fn kill_banks(m: &mut Machine, count: u32) {
+    let mut h = m.bank_health().clone();
+    for b in 0..count {
+        h.mark_dead(b);
+    }
+    m.set_bank_health(h);
+}
+
+const N: u64 = 1 << 17;
+
+/// Host reference output for the shared inputs.
+fn host_reference() -> Vec<f32> {
+    let region = vec_add_region(N);
+    let mut m = machine_for(&region);
+    load_inputs(&mut m, N);
+    let r = m
+        .run_region(&region, &[], ExecMode::Base { threads: 64 })
+        .unwrap();
+    assert_eq!(r.executed, Executed::Core);
+    m.memory_ref().array(ArrayId(2)).to_vec()
+}
+
+#[test]
+fn infs_degrades_to_near_memory_then_host_bit_identically() {
+    let reference = host_reference();
+    let region = vec_add_region(N);
+
+    // Healthy: Eq 2 sends this region in-memory.
+    let mut healthy = machine_for(&region);
+    load_inputs(&mut healthy, N);
+    let r = healthy.run_region(&region, &[], ExecMode::InfS).unwrap();
+    assert_eq!(r.executed, Executed::InMemory);
+    assert_eq!(healthy.memory_ref().array(ArrayId(2)), &reference[..]);
+    assert_eq!(healthy.fault_counters().degraded_to_near, 0);
+
+    // Below the in-memory quorum: degrade to the stream engines.
+    let mut degraded = machine_for(&region);
+    kill_banks(&mut degraded, 33); // 31 of 64 healthy < quorum
+    load_inputs(&mut degraded, N);
+    let r = degraded.run_region(&region, &[], ExecMode::InfS).unwrap();
+    assert_eq!(r.executed, Executed::NearMemory);
+    assert_eq!(degraded.memory_ref().array(ArrayId(2)), &reference[..]);
+    assert_eq!(degraded.fault_counters().degraded_to_near, 1);
+    assert_eq!(degraded.fault_counters().degraded_to_host, 0);
+
+    // No banks at all: even near-memory is gone — host, still bit-correct.
+    let mut dead = machine_for(&region);
+    kill_banks(&mut dead, 64);
+    load_inputs(&mut dead, N);
+    let r = dead.run_region(&region, &[], ExecMode::InfS).unwrap();
+    assert_eq!(r.executed, Executed::Core);
+    assert_eq!(dead.memory_ref().array(ArrayId(2)), &reference[..]);
+    assert_eq!(dead.fault_counters().degraded_to_host, 1);
+}
+
+#[test]
+fn in_l3_loses_quorum_and_falls_back_to_cores() {
+    let region = vec_add_region(N);
+    let mut m = machine_for(&region);
+    load_inputs(&mut m, N);
+    let r = m.run_region(&region, &[], ExecMode::InL3).unwrap();
+    assert_eq!(r.executed, Executed::InMemory);
+
+    let mut m = machine_for(&region);
+    kill_banks(&mut m, 40);
+    load_inputs(&mut m, N);
+    let r = m.run_region(&region, &[], ExecMode::InL3).unwrap();
+    assert_eq!(r.executed, Executed::Core);
+}
+
+#[test]
+fn near_l3_with_no_banks_degrades_to_host() {
+    let reference = host_reference();
+    let region = vec_add_region(N);
+    let mut m = machine_for(&region);
+    kill_banks(&mut m, 64);
+    load_inputs(&mut m, N);
+    let r = m.run_region(&region, &[], ExecMode::NearL3).unwrap();
+    assert_eq!(r.executed, Executed::Core);
+    assert_eq!(m.fault_counters().degraded_to_host, 1);
+    assert_eq!(m.memory_ref().array(ArrayId(2)), &reference[..]);
+}
+
+#[test]
+fn noc_faults_cost_cycles_but_not_correctness() {
+    let reference = host_reference();
+    let region = vec_add_region(N);
+
+    let clean_cycles = {
+        let mut m = machine_for(&region);
+        load_inputs(&mut m, N);
+        let mut total = 0;
+        for _ in 0..12 {
+            total += m.run_region(&region, &[], ExecMode::InfS).unwrap().cycles;
+        }
+        assert_eq!(m.fault_counters().noc_penalty_cycles, 0);
+        total
+    };
+
+    // Same seed twice: identical penalties; faults only ever add cycles.
+    let mut totals = Vec::new();
+    for _ in 0..2 {
+        let plan = Arc::new(FaultPlan::new(FaultConfig {
+            seed: 99,
+            noc_drop_period: 5,
+            noc_delay_period: 3,
+            noc_delay_max_cycles: 1_000,
+            ..FaultConfig::none()
+        }));
+        let mut m = machine_for(&region);
+        m.set_fault_plan(plan);
+        load_inputs(&mut m, N);
+        let mut total = 0;
+        for _ in 0..12 {
+            total += m.run_region(&region, &[], ExecMode::InfS).unwrap().cycles;
+        }
+        let fc = m.fault_counters().clone();
+        assert!(fc.noc_drops > 0, "drop schedule must fire: {fc:?}");
+        assert!(fc.noc_delays > 0, "delay schedule must fire: {fc:?}");
+        assert_eq!(total, clean_cycles + fc.noc_penalty_cycles);
+        assert_eq!(m.memory_ref().array(ArrayId(2)), &reference[..]);
+        totals.push((total, fc));
+    }
+    assert_eq!(totals[0], totals[1], "same seed, same penalties");
+}
+
+#[test]
+fn sram_flips_quarantine_banks_and_health_survives_reset() {
+    let region = vec_add_region(N);
+    let plan = Arc::new(FaultPlan::new(FaultConfig {
+        seed: 7,
+        sram_flip_period: 4,
+        ..FaultConfig::none()
+    }));
+    let mut m = machine_for(&region);
+    m.set_fault_plan(plan);
+    load_inputs(&mut m, N);
+    for _ in 0..32 {
+        m.run_region(&region, &[], ExecMode::InfS).unwrap();
+    }
+    let fc = m.fault_counters().clone();
+    assert!(fc.sram_flips_detected > 0);
+    assert!(fc.banks_quarantined > 0);
+    let dead_before = m.bank_health().dead_banks();
+    assert_eq!(dead_before.len() as u64, fc.banks_quarantined);
+
+    // Reset wipes request state but not quarantined silicon.
+    m.reset();
+    assert_eq!(m.bank_health().dead_banks(), dead_before);
+    assert_eq!(m.fault_counters(), &fc);
+}
+
+#[test]
+fn initial_health_comes_from_the_plan() {
+    let region = vec_add_region(N);
+    let plan = Arc::new(FaultPlan::new(FaultConfig {
+        seed: 5,
+        dead_banks: 6,
+        ..FaultConfig::none()
+    }));
+    let mut m = machine_for(&region);
+    m.set_fault_plan(plan.clone());
+    assert_eq!(m.bank_health(), &plan.initial_health(64));
+    assert_eq!(m.bank_health().healthy_count(), 58);
+}

@@ -55,6 +55,8 @@
 //! infs_tdfg::interp::execute(&g, &mut mem, &[], &Default::default()).unwrap();
 //! assert_eq!(mem.array(arr_b)[1..7], [6., 9., 12., 15., 18., 21.]);
 //! ```
+//!
+//! `DESIGN.md` §4 (system inventory) locates this crate in the stack.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -36,6 +36,9 @@
 //! assert_eq!(snap.events.len(), 1);
 //! assert_eq!(snap.counters["egraph.rule_applications"], 17);
 //! ```
+//!
+//! `DESIGN.md` §9 covers the collector, the two time domains, and the
+//! exporters in detail.
 
 mod export;
 

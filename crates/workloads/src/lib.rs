@@ -15,6 +15,9 @@
 //!
 //! Benchmarks scale: [`Scale::Paper`] uses the Table 3 input sizes (timing
 //! runs), [`Scale::Test`] shrinks them so functional verification stays fast.
+//!
+//! `DESIGN.md` §5 (experiment index) maps workloads to the tables and
+//! figures they regenerate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
