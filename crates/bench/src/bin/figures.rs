@@ -32,6 +32,7 @@ const ALL: &[&str] = &[
     "ablate",
     "ablate_dtype",
     "chaos",
+    "check",
 ];
 
 fn run(name: &str, ctx: &Ctx) {
@@ -60,6 +61,9 @@ fn run(name: &str, ctx: &Ctx) {
         "ablate_dtype" => figures::ablate_dtype(ctx),
         // The DESIGN.md §10 degradation-ladder report (EXPERIMENTS.md "Chaos").
         "chaos" => figures::chaos(ctx),
+        // The DESIGN.md §11 verification coverage report (EXPERIMENTS.md
+        // "Check").
+        "check" => figures::check(ctx),
         other => {
             eprintln!("unknown figure '{other}'; known: all {ALL:?}");
             std::process::exit(2);

@@ -989,3 +989,78 @@ pub fn chaos(ctx: &Ctx) {
     ]);
     ctx.emit("chaos", &t);
 }
+
+/// `results/check.md` — coverage report of the differential verification
+/// sweep (DESIGN.md §11, EXPERIMENTS.md "Check").
+///
+/// Two halves of the `infs-check` contract, both of which must hold for the
+/// table to render at all (failures abort the run):
+///
+/// * **acceptance** — every workload in the suite executes with the structural
+///   validator installed as a region auditor, under both the in-memory and
+///   near-memory modes (the validator may only reject artifacts the builder
+///   could not have produced);
+/// * **differential fuzzing** — a fixed-seed campaign of generated kernels,
+///   each run through the interpreter oracle plus four machine
+///   configurations, must agree bit-for-bit.
+///
+/// Acceptance always runs at [`Scale::Test`]: functional interpretation at
+/// paper scale takes hours and proves nothing extra about the validator.
+pub fn check(ctx: &Ctx) {
+    let mut t = Table::new(
+        "Check: differential verification coverage",
+        &["stage", "runs", "in-memory", "divergences", "status"],
+    );
+
+    // Validator acceptance over the workload suite.
+    for mode in [ExecMode::InfS, ExecMode::NearL3] {
+        let mut accepted = 0usize;
+        let mut in_mem = 0u64;
+        for b in infs_workloads::full_suite(Scale::Test) {
+            let arrays = b.arrays();
+            let mut m = Machine::new(ctx.cfg.clone(), &arrays);
+            m.set_region_auditor(Some(infs_check::auditor()));
+            m.set_functional(true);
+            m.set_resident_all();
+            b.init(m.memory());
+            b.run(&mut m, mode)
+                .unwrap_or_else(|e| panic!("validator rejected {} under {mode:?}: {e}", b.name()));
+            in_mem += u64::from(m.stats().ops_in_memory > 0);
+            accepted += 1;
+        }
+        t.row(vec![
+            format!("workload acceptance ({mode:?})"),
+            accepted.to_string(),
+            in_mem.to_string(),
+            "-".to_string(),
+            "all accepted".to_string(),
+        ]);
+    }
+
+    // Fixed-seed differential fuzzing campaign.
+    let kernels = if ctx.quick { 200 } else { 1000 };
+    let report = infs_check::fuzz_many(0xC0FFEE, kernels);
+    for f in &report.failures {
+        eprintln!(
+            "seed {:#018x} diverged in {}: {}",
+            f.seed, f.divergence.config, f.divergence.what
+        );
+    }
+    assert!(
+        report.passed(),
+        "{} of {} fuzz kernels diverged",
+        report.failures.len(),
+        report.run
+    );
+    t.row(vec![
+        format!(
+            "differential fuzz ({} kernels, {} tDFG nodes)",
+            report.run, report.total_nodes
+        ),
+        report.machine_runs.to_string(),
+        report.in_memory_runs.to_string(),
+        report.failures.len().to_string(),
+        "bit-identical".to_string(),
+    ]);
+    ctx.emit("check", &t);
+}

@@ -1,0 +1,43 @@
+//! Prints the node-kind mix of generated fuzz kernels (coverage probe).
+use infs_tdfg::Node;
+fn main() {
+    let mut counts = std::collections::BTreeMap::new();
+    let mut optimized = std::collections::BTreeMap::new();
+    for i in 0..300u64 {
+        let seed = 1000 + i;
+        let spec = infs_check::generate(seed);
+        let Ok(kernel) = spec.to_kernel() else {
+            continue;
+        };
+        let Ok(g) = kernel.tensorize(&[]) else {
+            continue;
+        };
+        for n in g.nodes() {
+            *counts.entry(kind(n)).or_insert(0u64) += 1;
+        }
+        if let Ok(r) = infs_isa::Compiler::default().compile(kernel, &[]) {
+            if let Some(inst) = r.representative.as_ref() {
+                if let Some(t) = &inst.tdfg {
+                    for n in t.nodes() {
+                        *optimized.entry(kind(n)).or_insert(0u64) += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("tensorized: {counts:?}");
+    println!("optimized:  {optimized:?}");
+}
+fn kind(n: &Node) -> &'static str {
+    match n {
+        Node::Input { .. } => "Input",
+        Node::ConstVal { .. } => "Const",
+        Node::Param { .. } => "Param",
+        Node::Compute { .. } => "Compute",
+        Node::Mv { .. } => "Mv",
+        Node::Bc { .. } => "Bc",
+        Node::Shrink { .. } => "Shrink",
+        Node::Reduce { .. } => "Reduce",
+        Node::StreamIn { .. } => "StreamIn",
+    }
+}

@@ -1,0 +1,33 @@
+//! The tentpole gate: a fixed-seed differential fuzzing campaign. Every
+//! generated kernel must agree bit-for-bit across the interpreter oracle, the
+//! unoptimized near-memory path, the e-graph-optimized fused path, and the
+//! JIT-lowered in-memory path at both SRAM geometries.
+
+use infs_check::fuzz_many;
+
+#[test]
+fn fixed_seed_campaign_is_bit_identical() {
+    let report = fuzz_many(0xC0FFEE, 200);
+    assert_eq!(report.run, 200);
+    for f in &report.failures {
+        eprintln!(
+            "seed {:#018x} diverged in {}: {} (repro: {:?})",
+            f.seed, f.divergence.config, f.divergence.what, f.repro_dir
+        );
+    }
+    assert!(
+        report.passed(),
+        "{} kernels diverged",
+        report.failures.len()
+    );
+    // The campaign must actually exercise the in-memory path, not silently
+    // fall back to the cores everywhere. (One of the four configs is
+    // near-memory by design, and `InfS` may legitimately choose near-memory
+    // via the Eq 2 decision, so a third is a meaningful floor.)
+    assert!(
+        report.in_memory_runs * 3 >= report.machine_runs,
+        "only {}/{} runs executed in-memory",
+        report.in_memory_runs,
+        report.machine_runs
+    );
+}

@@ -1,0 +1,34 @@
+//! Acceptance half of the validator contract: with the [`infs_check::auditor`]
+//! installed, every workload in the suite must still run — the validator may
+//! only reject artifacts the builder could not have produced.
+
+use infs_check::auditor;
+use infs_sim::{ExecMode, Machine, SystemConfig};
+use infs_workloads::{full_suite, Scale};
+
+fn run_suite(mode: ExecMode) {
+    for b in full_suite(Scale::Test) {
+        let arrays = b.arrays();
+        let mut m = Machine::new(SystemConfig::default(), &arrays);
+        m.set_region_auditor(Some(auditor()));
+        m.set_functional(true);
+        m.set_resident_all();
+        b.init(m.memory());
+        if let Err(e) = b.run(&mut m, mode) {
+            panic!(
+                "validator rejected workload {} under {mode:?}: {e}",
+                b.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn validator_accepts_every_workload_in_memory() {
+    run_suite(ExecMode::InfS);
+}
+
+#[test]
+fn validator_accepts_every_workload_near_memory() {
+    run_suite(ExecMode::NearL3);
+}

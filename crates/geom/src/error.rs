@@ -35,6 +35,14 @@ pub enum GeomError {
     },
     /// A tile shape had a zero-sized dimension.
     ZeroTile,
+    /// A physical index (array slot or bitline) exceeded the `u32` range of
+    /// [`crate::TileAddr`].
+    IndexOverflow {
+        /// Which physical index overflowed (`"array slot"` or `"bitline"`).
+        what: &'static str,
+        /// The overflowing value.
+        value: u64,
+    },
 }
 
 impl fmt::Display for GeomError {
@@ -56,6 +64,9 @@ impl fmt::Display for GeomError {
                 write!(f, "no valid tiling: {detail}")
             }
             GeomError::ZeroTile => write!(f, "tile shape contains a zero-sized dimension"),
+            GeomError::IndexOverflow { what, value } => {
+                write!(f, "{what} index {value} exceeds the u32 address range")
+            }
         }
     }
 }

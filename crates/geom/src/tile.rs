@@ -94,7 +94,7 @@ pub struct TileAddr {
 /// ).unwrap();
 /// assert_eq!(grid.num_tiles(), 4);
 /// // Element (2, 0) is in tile 1, which lives in bank 0's second array slot.
-/// let addr = grid.locate(&[2, 0]).unwrap();
+/// let addr = grid.locate(&[2, 0]).unwrap().unwrap();
 /// assert_eq!((addr.tile, addr.bank, addr.array_slot), (1, 0, 1));
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -244,40 +244,73 @@ impl TileGrid {
     }
 
     /// SRAM array slot of a tile within its bank.
-    pub fn array_slot_of_tile(&self, index: u64) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::IndexOverflow`] if the slot index does not fit the
+    /// `u32` field of [`TileAddr`] (grids that large never satisfy the capacity
+    /// checks upstream, but a hand-built or deserialized grid can ask).
+    pub fn array_slot_of_tile(&self, index: u64) -> Result<u32, GeomError> {
         let w = self.arrays_per_bank as u64;
         let round = index / (w * self.num_banks as u64);
-        (round * w + index % w) as u32
+        let slot = round * w + index % w;
+        u32::try_from(slot).map_err(|_| GeomError::IndexOverflow {
+            what: "array slot",
+            value: slot,
+        })
     }
 
     /// Bitline of a lattice point within its tile (dimension-0-fastest within the
     /// *full* tile extent, so boundary tiles leave trailing bitlines unused).
     ///
-    /// Returns `None` if the point is outside the array.
-    pub fn bitline(&self, point: &[i64]) -> Option<u32> {
-        let tile_coord = self.tile_coord(point)?;
+    /// Returns `Ok(None)` if the point is outside the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::IndexOverflow`] if the within-tile index does not
+    /// fit the `u32` field of [`TileAddr`] (i.e. the tile holds more than
+    /// `u32::MAX` elements — far beyond any real SRAM geometry).
+    pub fn bitline(&self, point: &[i64]) -> Result<Option<u32>, GeomError> {
+        let Some(tile_coord) = self.tile_coord(point) else {
+            return Ok(None);
+        };
         let mut idx = 0u64;
         let mut stride = 1u64;
         for (d, &x) in point.iter().enumerate() {
             let within = x as u64 - tile_coord[d] * self.tile.dim(d);
-            idx += within * stride;
-            stride *= self.tile.dim(d);
+            idx = idx.saturating_add(within.saturating_mul(stride));
+            stride = stride.saturating_mul(self.tile.dim(d));
         }
-        Some(idx as u32)
+        u32::try_from(idx)
+            .map(Some)
+            .map_err(|_| GeomError::IndexOverflow {
+                what: "bitline",
+                value: idx,
+            })
     }
 
     /// Full physical placement of a lattice point.
     ///
-    /// Returns `None` if the point is outside the array.
-    pub fn locate(&self, point: &[i64]) -> Option<TileAddr> {
-        let coord = self.tile_coord(point)?;
+    /// Returns `Ok(None)` if the point is outside the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::IndexOverflow`] if the array slot or bitline does
+    /// not fit the `u32` fields of [`TileAddr`].
+    pub fn locate(&self, point: &[i64]) -> Result<Option<TileAddr>, GeomError> {
+        let Some(coord) = self.tile_coord(point) else {
+            return Ok(None);
+        };
         let tile = self.tile_index(&coord);
-        Some(TileAddr {
+        let Some(bitline) = self.bitline(point)? else {
+            return Ok(None);
+        };
+        Ok(Some(TileAddr {
             tile,
             bank: self.bank_of_tile(tile),
-            array_slot: self.array_slot_of_tile(tile),
-            bitline: self.bitline(point)?,
-        })
+            array_slot: self.array_slot_of_tile(tile)?,
+            bitline,
+        }))
     }
 
     /// Linear tile indices of all tiles overlapping `rect` (clipped to the array).
@@ -348,9 +381,9 @@ mod tests {
         assert_eq!(g.bank_of_tile(1), 0);
         assert_eq!(g.bank_of_tile(2), 1);
         assert_eq!(g.bank_of_tile(3), 1);
-        assert_eq!(g.array_slot_of_tile(0), 0);
-        assert_eq!(g.array_slot_of_tile(1), 1);
-        assert_eq!(g.array_slot_of_tile(2), 0);
+        assert_eq!(g.array_slot_of_tile(0), Ok(0));
+        assert_eq!(g.array_slot_of_tile(1), Ok(1));
+        assert_eq!(g.array_slot_of_tile(2), Ok(0));
     }
 
     #[test]
@@ -359,18 +392,53 @@ mod tests {
         let g = TileGrid::new(TileShape::new(vec![2]).unwrap(), vec![16], 2, 2).unwrap();
         assert_eq!(g.num_tiles(), 8);
         assert_eq!(g.bank_of_tile(4), 0);
-        assert_eq!(g.array_slot_of_tile(4), 2);
-        assert_eq!(g.array_slot_of_tile(7), 3);
+        assert_eq!(g.array_slot_of_tile(4), Ok(2));
+        assert_eq!(g.array_slot_of_tile(7), Ok(3));
+    }
+
+    #[test]
+    fn array_slot_overflow_is_typed_not_truncated() {
+        // One bank, one array per bank: slot == tile index, so indices near
+        // u32::MAX exercise the boundary exactly. Before the checked
+        // conversion, slot u32::MAX + 1 silently truncated to 0.
+        let g = TileGrid::new(TileShape::new(vec![1]).unwrap(), vec![u64::MAX], 1, 1).unwrap();
+        assert_eq!(g.array_slot_of_tile(u32::MAX as u64 - 1), Ok(u32::MAX - 1));
+        assert_eq!(g.array_slot_of_tile(u32::MAX as u64), Ok(u32::MAX));
+        assert_eq!(
+            g.array_slot_of_tile(u32::MAX as u64 + 1),
+            Err(GeomError::IndexOverflow {
+                what: "array slot",
+                value: u32::MAX as u64 + 1,
+            })
+        );
+    }
+
+    #[test]
+    fn bitline_overflow_is_typed_not_truncated() {
+        // A (physically absurd) tile holding more than u32::MAX elements: the
+        // within-tile index of a point past the boundary must error rather
+        // than wrap. Line index u32::MAX is the last addressable bitline.
+        let n = u32::MAX as u64 + 2;
+        let g = TileGrid::new(TileShape::new(vec![n]).unwrap(), vec![n], 1, 1).unwrap();
+        assert_eq!(g.bitline(&[u32::MAX as i64]), Ok(Some(u32::MAX)));
+        assert_eq!(
+            g.bitline(&[u32::MAX as i64 + 1]),
+            Err(GeomError::IndexOverflow {
+                what: "bitline",
+                value: u32::MAX as u64 + 1,
+            })
+        );
+        assert!(g.locate(&[u32::MAX as i64 + 1]).is_err());
     }
 
     #[test]
     fn bitline_dim0_fastest() {
         let g = fig9_grid();
-        assert_eq!(g.bitline(&[0, 0]), Some(0));
-        assert_eq!(g.bitline(&[1, 0]), Some(1));
-        assert_eq!(g.bitline(&[0, 1]), Some(2));
-        assert_eq!(g.bitline(&[3, 3]), Some(3));
-        assert_eq!(g.bitline(&[4, 0]), None);
+        assert_eq!(g.bitline(&[0, 0]), Ok(Some(0)));
+        assert_eq!(g.bitline(&[1, 0]), Ok(Some(1)));
+        assert_eq!(g.bitline(&[0, 1]), Ok(Some(2)));
+        assert_eq!(g.bitline(&[3, 3]), Ok(Some(3)));
+        assert_eq!(g.bitline(&[4, 0]), Ok(None));
     }
 
     #[test]
@@ -402,7 +470,7 @@ mod tests {
                 TileShape::new(vec![tx, ty]).unwrap(),
                 vec![32, 32], 4, 4,
             ).unwrap();
-            let addr = g.locate(&[x, y]).unwrap();
+            let addr = g.locate(&[x, y]).unwrap().unwrap();
             let rect = g.tile_rect(addr.tile);
             prop_assert!(rect.contains(&[x, y]));
             prop_assert!((addr.bitline as u64) < tx * ty);

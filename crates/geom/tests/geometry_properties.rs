@@ -80,7 +80,7 @@ proptest! {
         prop_assert_eq!(covered, sx * sy);
         // Spot-check point membership.
         for &(x, y) in &[(0, 0), (sx as i64 - 1, sy as i64 - 1), (sx as i64 / 2, sy as i64 / 2)] {
-            let addr = g.locate(&[x, y]).unwrap();
+            let addr = g.locate(&[x, y]).unwrap().unwrap();
             prop_assert!(g.tile_rect(addr.tile).contains(&[x, y]));
         }
     }

@@ -117,6 +117,20 @@ impl Schedule {
         let num_regs = (geometry.wordlines - arrays_wordlines) / bits;
 
         let n = g.nodes().len();
+        // Deserialized graphs bypass the builder's validation: reject dangling
+        // ids with a typed error before they can index out of range.
+        for node in g.nodes() {
+            for input in node.inputs() {
+                if input.0 as usize >= n {
+                    return Err(IsaError::Tdfg(infs_tdfg::TdfgError::UnknownNode(input)));
+                }
+            }
+        }
+        for out in g.outputs() {
+            if out.node.0 as usize >= n {
+                return Err(IsaError::Tdfg(infs_tdfg::TdfgError::UnknownNode(out.node)));
+            }
+        }
         // Last use of each node (as an input of a later node or an output).
         let mut last_use = vec![0usize; n];
         for (i, node) in g.nodes().iter().enumerate() {
@@ -294,6 +308,44 @@ mod tests {
         assert_eq!(s2.used_arrays.len(), 2);
         assert_eq!(s2.array_wordline(infs_sdfg::ArrayId(3), 32), Some(0));
         assert_eq!(s2.array_wordline(infs_sdfg::ArrayId(0), 32), None);
+    }
+
+    #[test]
+    fn dangling_ids_in_deserialized_graphs_are_typed_errors() {
+        use serde_json::Value;
+        fn field_mut<'a>(v: &'a mut Value, key: &str) -> &'a mut Value {
+            match v {
+                Value::Object(o) => &mut o.iter_mut().find(|(k, _)| k == key).unwrap().1,
+                _ => panic!("not an object"),
+            }
+        }
+        fn elem_mut(v: &mut Value, i: usize) -> &mut Value {
+            match v {
+                Value::Array(a) => &mut a[i],
+                _ => panic!("not an array"),
+            }
+        }
+        // Deserialization bypasses the builder, so corrupt ids must come back
+        // as IsaError::Tdfg(UnknownNode), not an out-of-range index panic.
+        let g = chain_graph(3);
+        let mut v = serde_json::to_value(&g);
+        let out0 = elem_mut(field_mut(&mut v, "outputs"), 0);
+        *field_mut(out0, "node") = Value::UInt(999);
+        let bad: Tdfg = serde_json::from_value(&v).unwrap();
+        assert!(matches!(
+            Schedule::compute(&bad, SramGeometry::G256),
+            Err(IsaError::Tdfg(infs_tdfg::TdfgError::UnknownNode(_)))
+        ));
+
+        let mut v2 = serde_json::to_value(&g);
+        let node1 = elem_mut(field_mut(&mut v2, "nodes"), 1);
+        let inputs = field_mut(field_mut(node1, "Compute"), "inputs");
+        *elem_mut(inputs, 0) = Value::UInt(999);
+        let bad2: Tdfg = serde_json::from_value(&v2).unwrap();
+        assert!(matches!(
+            Schedule::compute(&bad2, SramGeometry::G256),
+            Err(IsaError::Tdfg(infs_tdfg::TdfgError::UnknownNode(_)))
+        ));
     }
 
     #[test]

@@ -23,6 +23,15 @@ pub enum RuntimeError {
         /// Bytes available across compute ways.
         available: u64,
     },
+    /// The tDFG or schedule is structurally invalid (dangling node ids,
+    /// missing domains). Built graphs never trip this; deserialized fat
+    /// binaries bypass the builder's validation and must not panic a worker.
+    MalformedGraph {
+        /// Offending node id.
+        node: u32,
+        /// What was wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -41,6 +50,9 @@ impl fmt::Display for RuntimeError {
                 f,
                 "working set of {required} bytes exceeds {available} bytes of compute SRAM"
             ),
+            RuntimeError::MalformedGraph { node, what } => {
+                write!(f, "malformed tDFG at node {node}: {what}")
+            }
         }
     }
 }

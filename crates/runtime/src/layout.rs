@@ -46,8 +46,10 @@ impl TransposedLayout {
         if candidates.is_empty() {
             // Reuse pick_tile_shape's diagnostics for the no-candidate cases
             // (line misalignment / no admissible factorization).
-            let err = pick_tile_shape(&request).expect_err("no candidate tiling");
-            return Err(err.into());
+            return match pick_tile_shape(&request) {
+                Err(err) => Err(err.into()),
+                Ok(tile) => Self::with_tile_internal(tdfg, tile, hw),
+            };
         }
         // Score + feasibility for every candidate at once. Each feasibility
         // probe builds the full TileGrid, so the search is the expensive part
@@ -60,8 +62,9 @@ impl TransposedLayout {
             })
             .collect();
         // Stable sort keeps enumeration order on score ties, matching the
-        // sequential pick_tile_shape choice exactly.
-        evaluated.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite"));
+        // sequential pick_tile_shape choice exactly. total_cmp so a NaN score
+        // (degenerate request) cannot panic a serve worker mid-sort.
+        evaluated.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut first_err = None;
         for (_, outcome) in evaluated {
             match outcome {
@@ -72,7 +75,11 @@ impl TransposedLayout {
         }
         // All candidates infeasible: report the best-scored one's failure
         // (e.g. CapacityExceeded when the region exceeds compute SRAM).
-        Err(first_err.expect("candidates were nonempty"))
+        Err(first_err.unwrap_or(RuntimeError::NoLayout(
+            infs_geom::GeomError::NoValidTiling {
+                detail: "no feasible candidate tiling".to_string(),
+            },
+        )))
     }
 
     /// Plans the layout with an explicitly chosen tile shape — the oracle /
@@ -194,8 +201,16 @@ impl TransposedLayout {
     }
 
     /// Physical placement of a lattice cell.
-    pub fn locate(&self, point: &[i64]) -> Option<TileAddr> {
-        self.grid.locate(point)
+    ///
+    /// Returns `Ok(None)` for points outside the lattice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`infs_geom::GeomError::IndexOverflow`] (as
+    /// [`RuntimeError::NoLayout`]) if the cell's physical indices do not fit
+    /// the `u32` fields of [`TileAddr`].
+    pub fn locate(&self, point: &[i64]) -> Result<Option<TileAddr>, RuntimeError> {
+        Ok(self.grid.locate(point)?)
     }
 
     /// Total transposed bytes one array of the region occupies (the lattice
@@ -283,10 +298,10 @@ mod tests {
         let g = stencil2d_tdfg(512);
         let hw = HwConfig::default();
         let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).unwrap();
-        let addr = layout.locate(&[17, 3]).unwrap();
+        let addr = layout.locate(&[17, 3]).unwrap().unwrap();
         // Tile coordinates (1, 0) on the 32-wide tile grid.
         assert_eq!(addr.tile, 1);
         assert!(addr.bitline < 256);
-        assert!(layout.locate(&[512, 0]).is_none());
+        assert!(layout.locate(&[512, 0]).unwrap().is_none());
     }
 }

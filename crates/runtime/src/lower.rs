@@ -184,6 +184,25 @@ pub fn lower(
         pending_sync: false,
         elem_bytes: g.dtype().size_bytes() as u64,
     };
+    // Deserialized fat binaries bypass the builder's validation: reject
+    // dangling ids up front so every later indexed access is in range.
+    let n_nodes = g.nodes().len();
+    for &id in &schedule.order {
+        if id.0 as usize >= n_nodes {
+            return Err(RuntimeError::MalformedGraph {
+                node: id.0,
+                what: "schedule order references a node the graph does not have",
+            });
+        }
+        for input in g.node(id).inputs() {
+            if input.0 as usize >= n_nodes {
+                return Err(RuntimeError::MalformedGraph {
+                    node: id.0,
+                    what: "node input references a node the graph does not have",
+                });
+            }
+        }
+    }
     for &id in &schedule.order {
         lw.lower_node(id)?;
     }
@@ -277,7 +296,14 @@ impl Lowerer<'_> {
                 if dist == 0 {
                     return Ok(());
                 }
-                let domain = self.g.domain(id).cloned().expect("mv domains are finite");
+                let domain = self
+                    .g
+                    .domain(id)
+                    .cloned()
+                    .ok_or(RuntimeError::MalformedGraph {
+                        node: id.0,
+                        what: "mv node has no finite domain",
+                    })?;
                 // Effective source: only elements whose destination survives
                 // the bounding clip are moved.
                 let eff_src = domain
@@ -286,12 +312,20 @@ impl Lowerer<'_> {
                 self.lower_shift(id, &eff_src, dim, dist)
             }
             Node::Bc { dim, .. } => {
-                let domain = self.g.domain(id).cloned().expect("bc domains are finite");
-                let src = self
+                let domain = self
                     .g
-                    .domain(self.g.node(id).inputs()[0])
+                    .domain(id)
                     .cloned()
-                    .expect("bc inputs are finite");
+                    .ok_or(RuntimeError::MalformedGraph {
+                        node: id.0,
+                        what: "bc node has no finite domain",
+                    })?;
+                let src = self.g.domain(self.g.node(id).inputs()[0]).cloned().ok_or(
+                    RuntimeError::MalformedGraph {
+                        node: id.0,
+                        what: "bc input has no finite domain",
+                    },
+                )?;
                 self.lower_broadcast(id, &src, &domain, dim)
             }
             Node::Reduce { input, dim, op } => {
@@ -299,7 +333,10 @@ impl Lowerer<'_> {
                     .g
                     .domain(input)
                     .cloned()
-                    .expect("reduce inputs are finite");
+                    .ok_or(RuntimeError::MalformedGraph {
+                        node: id.0,
+                        what: "reduce input has no finite domain",
+                    })?;
                 self.lower_reduce(id, &in_dom, dim, op)
             }
         }

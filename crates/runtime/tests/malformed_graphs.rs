@@ -1,0 +1,110 @@
+//! Regression: structurally invalid graphs and schedules must surface typed
+//! [`RuntimeError::MalformedGraph`] values from the JIT lowering path, never
+//! panics. Built graphs can't be malformed (the builder validates), but a fat
+//! binary deserialized from the wire bypasses the builder entirely — a serve
+//! worker must survive whatever it is fed.
+
+use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_isa::{Schedule, SramGeometry};
+use infs_runtime::{lower, HwConfig, RuntimeError, TransposedLayout};
+use infs_sdfg::DataType;
+use infs_tdfg::{NodeId, Tdfg};
+use serde_json::Value;
+
+/// Mutable access to an object field of a JSON tree.
+fn field_mut<'a>(v: &'a mut Value, key: &str) -> &'a mut Value {
+    match v {
+        Value::Object(o) => {
+            &mut o
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("no field {key}"))
+                .1
+        }
+        _ => panic!("not an object"),
+    }
+}
+
+/// Mutable access to an array element of a JSON tree.
+fn elem_mut(v: &mut Value, i: usize) -> &mut Value {
+    match v {
+        Value::Array(a) => &mut a[i],
+        _ => panic!("not an array"),
+    }
+}
+
+/// Index of the first `Mv` node in a serialized graph.
+fn first_mv_index(v: &Value) -> usize {
+    v.get("nodes")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .position(|n| n.get("Mv").is_some())
+        .expect("stencil has mv nodes")
+}
+
+/// 1-D three-point stencil over 512 cells: tensorizes into inputs, two `mv`
+/// alignment nodes, a compute tree, and an array output.
+fn stencil1d_tdfg() -> Tdfg {
+    let mut k = KernelBuilder::new("s1", DataType::F32);
+    let a = k.array("A", vec![512]);
+    let b = k.array("B", vec![512]);
+    let i = k.parallel_loop("i", 1, 511);
+    let e = ScalarExpr::add(
+        ScalarExpr::load(a, vec![Idx::var_plus(i, -1)]),
+        ScalarExpr::load(a, vec![Idx::var_plus(i, 1)]),
+    );
+    k.assign(b, vec![Idx::var(i)], e);
+    k.build().unwrap().tensorize(&[]).unwrap()
+}
+
+fn plan_and_schedule(g: &Tdfg) -> (TransposedLayout, Schedule, HwConfig) {
+    let hw = HwConfig::default();
+    let layout = TransposedLayout::plan(g, &g.layout_hints(), &hw).unwrap();
+    let schedule = Schedule::compute(g, SramGeometry::G256).unwrap();
+    (layout, schedule, hw)
+}
+
+#[test]
+fn dangling_schedule_order_id_is_a_typed_error() {
+    let g = stencil1d_tdfg();
+    let (layout, mut schedule, hw) = plan_and_schedule(&g);
+    schedule.order.push(NodeId(999));
+    let err = lower(&g, &schedule, &layout, &hw).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::MalformedGraph { node: 999, .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn mv_without_domain_is_a_typed_error() {
+    let g = stencil1d_tdfg();
+    let (layout, schedule, hw) = plan_and_schedule(&g);
+    // Null out an mv node's domain the way a corrupt fat binary would.
+    let mut v = serde_json::to_value(&g);
+    let mv_idx = first_mv_index(&v);
+    *elem_mut(field_mut(&mut v, "domains"), mv_idx) = Value::Null;
+    let bad: Tdfg = serde_json::from_value(&v).unwrap();
+    let err = lower(&bad, &schedule, &layout, &hw).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::MalformedGraph { what, .. } if what.contains("domain")),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn dangling_node_input_is_a_typed_error() {
+    let g = stencil1d_tdfg();
+    let (layout, schedule, hw) = plan_and_schedule(&g);
+    let mut v = serde_json::to_value(&g);
+    let mv_idx = first_mv_index(&v);
+    let mv = field_mut(elem_mut(field_mut(&mut v, "nodes"), mv_idx), "Mv");
+    *field_mut(mv, "input") = Value::UInt(999);
+    let bad: Tdfg = serde_json::from_value(&v).unwrap();
+    let err = lower(&bad, &schedule, &layout, &hw).unwrap_err();
+    assert!(
+        matches!(err, RuntimeError::MalformedGraph { .. }),
+        "got {err:?}"
+    );
+}

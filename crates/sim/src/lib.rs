@@ -48,7 +48,9 @@ pub use config::SystemConfig;
 pub use core_model::{core_time, CoreProfile};
 pub use energy::{area_report, AreaReport, EnergyBreakdown, EnergyParams};
 pub use inmem::InMemOutcome;
-pub use machine::{ExecMode, Executed, FaultCounters, Machine, RegionReport, SimError};
+pub use machine::{
+    ExecMode, Executed, FaultCounters, Machine, RegionAuditor, RegionReport, SimError,
+};
 pub use nearmem::NearMemOutcome;
 pub use noc::Mesh;
 pub use stats::{CycleBreakdown, RunStats, TrafficBreakdown};

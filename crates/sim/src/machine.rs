@@ -89,6 +89,8 @@ pub enum SimError {
     Tdfg(TdfgError),
     /// Functional sDFG execution failure.
     Sdfg(SdfgError),
+    /// An installed [`RegionAuditor`] rejected the region before execution.
+    Audit(String),
 }
 
 impl fmt::Display for SimError {
@@ -97,6 +99,7 @@ impl fmt::Display for SimError {
             SimError::Runtime(e) => write!(f, "runtime error: {e}"),
             SimError::Tdfg(e) => write!(f, "tdfg execution error: {e}"),
             SimError::Sdfg(e) => write!(f, "sdfg execution error: {e}"),
+            SimError::Audit(what) => write!(f, "region rejected by auditor: {what}"),
         }
     }
 }
@@ -116,6 +119,39 @@ impl From<TdfgError> for SimError {
 impl From<SdfgError> for SimError {
     fn from(e: SdfgError) -> Self {
         SimError::Sdfg(e)
+    }
+}
+
+/// A pre-execution validation hook over every region instance entering
+/// [`Machine::run_region`].
+///
+/// Verification harnesses (see the `infs-check` crate) install one to audit
+/// each region the workload drivers actually instantiate — including the
+/// kernels they build inline per host iteration, which no static enumeration
+/// can reach. A rejection aborts the run with [`SimError::Audit`].
+#[derive(Clone)]
+pub struct RegionAuditor(Arc<AuditFn>);
+
+type AuditFn = dyn Fn(&RegionInstance, &SystemConfig) -> Result<(), String> + Send + Sync;
+
+impl RegionAuditor {
+    /// Wraps an audit function. It receives the region and the machine's
+    /// configuration (for geometry-dependent checks) and returns a
+    /// human-readable rejection on failure.
+    pub fn new(
+        f: impl Fn(&RegionInstance, &SystemConfig) -> Result<(), String> + Send + Sync + 'static,
+    ) -> Self {
+        RegionAuditor(Arc::new(f))
+    }
+
+    fn check(&self, region: &RegionInstance, cfg: &SystemConfig) -> Result<(), String> {
+        (self.0)(region, cfg)
+    }
+}
+
+impl fmt::Debug for RegionAuditor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RegionAuditor(..)")
     }
 }
 
@@ -180,6 +216,9 @@ pub struct Machine {
     /// Regions executed so far — the sequence number fault queries key on.
     region_seq: u64,
     fault_counts: FaultCounters,
+    /// Optional pre-execution validation hook (machine configuration, like
+    /// the tile override: it survives [`Machine::reset`]).
+    auditor: Option<RegionAuditor>,
 }
 
 impl Machine {
@@ -218,7 +257,14 @@ impl Machine {
             faults: None,
             region_seq: 0,
             fault_counts: FaultCounters::default(),
+            auditor: None,
         }
+    }
+
+    /// Installs (or clears) a [`RegionAuditor`] consulted on every
+    /// [`Machine::run_region`] call before any execution or fault accounting.
+    pub fn set_region_auditor(&mut self, auditor: Option<RegionAuditor>) {
+        self.auditor = auditor;
     }
 
     /// Installs a deterministic fault plan: the plan's initial health mask
@@ -366,6 +412,9 @@ impl Machine {
             region = region.name.as_str(),
             mode = mode_label(mode),
         );
+        if let Some(auditor) = &self.auditor {
+            auditor.check(region, &self.cfg).map_err(SimError::Audit)?;
+        }
         let seq = self.region_seq;
         self.region_seq += 1;
         self.apply_scheduled_faults(seq);

@@ -110,13 +110,11 @@ impl Tdfg {
     }
 
     /// Domain of a node: `Some(rect)` for finite tensors, `None` for the
-    /// infinite constant/parameter tensors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the id is out of range.
+    /// infinite constant/parameter tensors. Out-of-range ids (possible only in
+    /// hand-built or deserialized graphs) also answer `None` so downstream
+    /// consumers can reject them with a typed error instead of panicking.
     pub fn domain(&self, id: NodeId) -> Option<&HyperRect> {
-        self.domains[id.0 as usize].as_ref()
+        self.domains.get(id.0 as usize)?.as_ref()
     }
 
     /// Region outputs.

@@ -1,0 +1,164 @@
+//! Property tests pinning the reference interpreter to naive per-point
+//! evaluation. The interpreter is the functional oracle for the whole
+//! pipeline (the simulator and the differential fuzzer both trust it), so it
+//! gets its own independent check: for hand-parameterized graph families over
+//! small 1-D tensors, `interp::execute` must agree *bitwise* with evaluating
+//! the scalar recurrence one lattice point at a time.
+//!
+//! Data is integer-valued and the op pool excludes division and square roots,
+//! so every intermediate is exactly representable and bit-equality is the
+//! right comparison even across reduction reassociation.
+
+use infs_geom::HyperRect;
+use infs_sdfg::{ArrayDecl, DataType, Memory, ReduceOp};
+use infs_tdfg::{interp, ComputeOp, OutputTarget, TdfgBuilder};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const N: i64 = 16;
+
+fn arrays() -> Vec<ArrayDecl> {
+    ["A", "B", "C"]
+        .iter()
+        .map(|n| ArrayDecl {
+            name: (*n).to_string(),
+            shape: vec![N as u64],
+            dtype: DataType::F32,
+        })
+        .collect()
+}
+
+fn rect(p: i64, q: i64) -> HyperRect {
+    HyperRect::new(vec![(p, q)]).unwrap()
+}
+
+const OPS: [ComputeOp; 6] = [
+    ComputeOp::Add,
+    ComputeOp::Sub,
+    ComputeOp::Mul,
+    ComputeOp::Min,
+    ComputeOp::Max,
+    ComputeOp::CmpLt,
+];
+const ROPS: [ReduceOp; 3] = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max];
+
+fn arb_vals() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec((-3i64..4).prop_map(|v| v as f32), N as usize)
+}
+
+fn arb_op() -> impl Strategy<Value = ComputeOp> {
+    (0usize..OPS.len()).prop_map(|i| OPS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `C[x] = op(A[x], B[x - d])` over the aligned domain: an `mv` node's
+    /// shift must read exactly the translated points, and untouched cells of
+    /// the output array must stay zero.
+    #[test]
+    fn prop_mv_compute_matches_naive(
+        av in arb_vals(),
+        bv in arb_vals(),
+        d in -2i64..3,
+        op in arb_op(),
+    ) {
+        let decls = arrays();
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        b.set_arrays(decls.clone());
+        let (a, bb, c) = (infs_sdfg::ArrayId(0), infs_sdfg::ArrayId(1), infs_sdfg::ArrayId(2));
+        let ina = b.input(a, rect(0, N)).unwrap();
+        let inb = b.input(bb, rect(0, N)).unwrap();
+        let mv = b.mv(inb, 0, d).unwrap();
+        let e = b.compute(op, &[ina, mv]).unwrap();
+        // The shifted operand only covers [max(0, d), min(N, N + d)).
+        let (lo, hi) = (0.max(d), N.min(N + d));
+        b.output(e, OutputTarget::array(c, rect(lo, hi)));
+        let g = b.build().unwrap();
+
+        let mut mem = Memory::for_arrays(&decls);
+        mem.write_array(a, &av);
+        mem.write_array(bb, &bv);
+        interp::execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+
+        let got = mem.array(c);
+        for x in 0..N {
+            let want = if (lo..hi).contains(&x) {
+                op.eval(&[av[x as usize], bv[(x - d) as usize]])
+            } else {
+                0.0
+            };
+            prop_assert_eq!(
+                got[x as usize].to_bits(),
+                want.to_bits(),
+                "C[{}] = {} (want {}) for d={}, op={:?}",
+                x, got[x as usize], want, d, op
+            );
+        }
+    }
+
+    /// `C[x] = op(A[x], B[k])`: a `shrink` to one point followed by a `bc`
+    /// across the lattice must replicate exactly that point everywhere.
+    #[test]
+    fn prop_shrink_bc_matches_naive(
+        av in arb_vals(),
+        bv in arb_vals(),
+        k in 0i64..N,
+        op in arb_op(),
+    ) {
+        let decls = arrays();
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        b.set_arrays(decls.clone());
+        let (a, bb, c) = (infs_sdfg::ArrayId(0), infs_sdfg::ArrayId(1), infs_sdfg::ArrayId(2));
+        let ina = b.input(a, rect(0, N)).unwrap();
+        let inb = b.input(bb, rect(0, N)).unwrap();
+        let thin = b.shrink(inb, 0, k, k + 1).unwrap();
+        let wide = b.bc(thin, 0, 0, N as u64).unwrap();
+        let e = b.compute(op, &[ina, wide]).unwrap();
+        b.output(e, OutputTarget::array(c, rect(0, N)));
+        let g = b.build().unwrap();
+
+        let mut mem = Memory::for_arrays(&decls);
+        mem.write_array(a, &av);
+        mem.write_array(bb, &bv);
+        interp::execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+
+        let got = mem.array(c);
+        for x in 0..N as usize {
+            let want = op.eval(&[av[x], bv[k as usize]]);
+            prop_assert_eq!(got[x].to_bits(), want.to_bits());
+        }
+    }
+
+    /// `acc = reduce(op(A[x], B[x]))`: the interpreter's reduction must match
+    /// a naive left-to-right fold bit for bit (exact on integer-valued data).
+    #[test]
+    fn prop_reduce_matches_naive(
+        av in arb_vals(),
+        bv in arb_vals(),
+        op in arb_op(),
+        rop in (0usize..ROPS.len()).prop_map(|i| ROPS[i]),
+    ) {
+        let decls = arrays();
+        let mut b = TdfgBuilder::new(1, DataType::F32);
+        b.set_arrays(decls.clone());
+        let (a, bb) = (infs_sdfg::ArrayId(0), infs_sdfg::ArrayId(1));
+        let ina = b.input(a, rect(0, N)).unwrap();
+        let inb = b.input(bb, rect(0, N)).unwrap();
+        let e = b.compute(op, &[ina, inb]).unwrap();
+        let r = b.reduce(e, 0, rop).unwrap();
+        b.output(r, OutputTarget::scalar("acc"));
+        let g = b.build().unwrap();
+
+        let mut mem = Memory::for_arrays(&decls);
+        mem.write_array(a, &av);
+        mem.write_array(bb, &bv);
+        let out = interp::execute(&g, &mut mem, &[], &HashMap::new()).unwrap();
+
+        let mut want = rop.identity();
+        for x in 0..N as usize {
+            want = rop.apply(want, op.eval(&[av[x], bv[x]]));
+        }
+        prop_assert_eq!(out.scalar("acc").unwrap().to_bits(), want.to_bits());
+    }
+}
