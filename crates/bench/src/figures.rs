@@ -21,44 +21,93 @@ fn steady_cycles(b: &dyn Benchmark, mode: ExecMode, cfg: &SystemConfig) -> u64 {
     m.finish().cycles - warm
 }
 
-/// Per-workload summary of the cached run matrix: Inf-S cycles, where the
-/// region executed is implied by the config, and the per-machine JIT cache
-/// counters (`RunStats::jit_hits` / `jit_misses`) that Fig 15's analysis
-/// aggregates away.
+/// Per-workload summary of the cached run matrix: Inf-S cycles and the
+/// shape-polymorphic JIT cache behaviour. "jit hits" counts region dispatches
+/// served from the cache (exact stream or template patch), "template hits"
+/// the copy-and-patch subset, "jit misses" the full lowerings, and "jit hit
+/// rate" is the *command-level* rate — the fraction of all commands entering
+/// in-memory execution that did not pay the full per-command lowering rate
+/// ([`infs_sim::RunStats::jit_cmd_hit_rate`]).
+///
+/// Also emits `BENCH_jit.json` next to the tables: the machine-readable
+/// per-workload record (cycles, hit rate, lowerings, patch count) that CI's
+/// `jit-smoke` step diffs against its committed baseline.
 pub fn matrix_summary(ctx: &Ctx) {
     let m = RunMatrix::load_or_run(ctx);
     let mut t = Table::new(
-        "Run matrix summary: per-workload Inf-S JIT cache behaviour",
+        "Run matrix summary: per-workload Inf-S JIT cache behaviour \
+         (hit rate is command-level; hits include template patches)",
         &[
             "benchmark",
             "Inf-S cycles",
             "jit hits",
+            "template hits",
             "jit misses",
             "jit hit rate",
             "noJIT cycles",
         ],
     );
+    let mut bench_entries = Vec::new();
     for name in crate::matrix::WORKLOADS {
         let Some(e) = m.get(name, ConfigName::InfS) else {
             continue;
         };
-        let (h, mi) = (e.stats.jit_hits, e.stats.jit_misses);
-        let rate = if h + mi == 0 {
+        let st = &e.stats;
+        let (h, mi) = (st.jit_hits, st.jit_misses);
+        let cmd_total = st.jit_cmd_hits + st.jit_cmd_template + st.jit_cmd_misses;
+        let rate = if cmd_total == 0 {
             "-".to_string()
         } else {
-            Table::f(h as f64 / (h + mi) as f64)
+            Table::f(st.jit_cmd_hit_rate())
         };
+        let nojit = m.get(name, ConfigName::InfSNoJit).map(|e| e.stats.cycles);
         t.row(vec![
             name.into(),
-            e.stats.cycles.to_string(),
+            st.cycles.to_string(),
             h.to_string(),
+            st.jit_template_hits.to_string(),
             mi.to_string(),
             rate,
-            m.get(name, ConfigName::InfSNoJit)
-                .map_or_else(|| "-".into(), |e| e.stats.cycles.to_string()),
+            nojit.map_or_else(|| "-".into(), |c| c.to_string()),
         ]);
+        bench_entries.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"cycles\": {},\n",
+                "      \"nojit_cycles\": {},\n",
+                "      \"jit_hits\": {},\n",
+                "      \"template_hits\": {},\n",
+                "      \"lowerings\": {},\n",
+                "      \"cmd_hits\": {},\n",
+                "      \"cmd_template\": {},\n",
+                "      \"cmd_misses\": {},\n",
+                "      \"cmd_hit_rate\": {:.6}\n",
+                "    }}"
+            ),
+            name,
+            st.cycles,
+            nojit.map_or_else(|| "null".into(), |c| c.to_string()),
+            h,
+            st.jit_template_hits,
+            mi,
+            st.jit_cmd_hits,
+            st.jit_cmd_template,
+            st.jit_cmd_misses,
+            st.jit_cmd_hit_rate(),
+        ));
     }
     ctx.emit("matrix", &t);
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"workloads\": {{\n{}\n  }}\n}}\n",
+        if ctx.quick { "test" } else { "paper" },
+        bench_entries.join(",\n"),
+    );
+    let path = ctx.out_dir.join("BENCH_jit.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[figures] failed to write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
 }
 
 /// Fig 2: speedup of the paradigms on `vec_add` / `array_sum` across input
@@ -1054,8 +1103,8 @@ pub fn check(ctx: &Ctx) {
     );
     t.row(vec![
         format!(
-            "differential fuzz ({} kernels, {} tDFG nodes)",
-            report.run, report.total_nodes
+            "differential fuzz ({} kernels, {} tDFG nodes, {} template-patched)",
+            report.run, report.total_nodes, report.template_patched_runs
         ),
         report.machine_runs.to_string(),
         report.in_memory_runs.to_string(),

@@ -9,12 +9,17 @@
 //! to "bit-identical", and any divergence between configurations is a real
 //! compiler or simulator bug, not floating-point noise.
 //!
-//! Each kernel runs through four configurations:
+//! Each kernel runs through five configurations:
 //!
 //! 1. the tDFG interpreter oracle ([`infs_tdfg::interp::execute`]);
 //! 2. an **unoptimized** binary on the near-memory path (`NearL3`);
 //! 3. an **e-graph-optimized** binary on the fused path (`InfS`) at 256×256;
-//! 4. the optimized binary on the JIT-lowered in-memory path (`InL3`) at both
+//! 4. the optimized binary again on the in-memory path, but served by the
+//!    **shape-polymorphic JIT's template path**: the shared cache is seeded,
+//!    its concrete level rotted ([`infs_runtime::JitCache::tamper_slots`]),
+//!    and the scored run must be stamped out by copy-and-patch — pinning the
+//!    patched-stream path against the oracle;
+//! 5. the optimized binary on the JIT-lowered in-memory path (`InL3`) at both
 //!    256×256 and 512×512 geometries.
 //!
 //! Every machine run also carries the [`crate::validate`] auditor, so each
@@ -26,11 +31,13 @@ use crate::validate;
 use infs_faults::{mix64, Xorshift64};
 use infs_frontend::{FrontendError, Idx, Kernel, KernelBuilder, ScalarExpr};
 use infs_isa::{Compiler, SramGeometry};
+use infs_runtime::JitCache;
 use infs_sdfg::{ArrayId, DataType, Memory, ReduceOp};
-use infs_sim::{ExecMode, Executed, Machine, SystemConfig};
+use infs_sim::{ExecMode, Executed, JitOutcome, Machine, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// `mix64` domain tags (see `infs-faults`): one per independent random stream.
 const DOMAIN_GEN: u64 = 0x6b;
@@ -361,6 +368,9 @@ pub struct DiffOutcome {
     pub machine_runs: u32,
     /// How many of those actually executed on the compute-SRAM bitlines.
     pub in_memory_runs: u32,
+    /// Runs served by the shape-polymorphic JIT's copy-and-patch path (a
+    /// template hit against a rotted concrete cache level).
+    pub template_patched_runs: u32,
 }
 
 /// Runs one spec through all four configurations and compares outputs bitwise.
@@ -412,19 +422,52 @@ pub fn run_differential(spec: &FuzzKernel) -> Result<DiffOutcome, Divergence> {
         geometry: SramGeometry::G512,
         ..SystemConfig::default()
     };
-    let configs: [(&str, &infs_isa::RegionInstance, &SystemConfig, ExecMode); 4] = [
-        ("near-unopt", &unopt, &cfg256, ExecMode::NearL3),
-        ("infs-opt-256", &opt, &cfg256, ExecMode::InfS),
-        ("inl3-opt-256", &opt, &cfg256, ExecMode::InL3),
-        ("inl3-opt-512", &opt, &cfg512, ExecMode::InL3),
+
+    // Pin the shape-polymorphic JIT's patched-stream path: seed a shared
+    // cache with this kernel's commands (timing-only run, `InL3` so the
+    // in-memory path is taken whenever it is feasible at all), then rot the
+    // concrete level while leaving templates clean. The scored
+    // "inl3-patched-256" run below must then be served by copy-and-patch —
+    // and still match the oracle bit for bit.
+    let patched_jit = Arc::new(JitCache::new());
+    {
+        let mut m = Machine::with_jit(cfg256.clone(), kernel.arrays(), patched_jit.clone());
+        m.set_functional(false);
+        m.set_resident_all();
+        let _ = m.run_region(&opt, &[], ExecMode::InL3);
+    }
+    let tampered = patched_jit.tamper_slots() > 0;
+
+    type Cfg<'a> = (
+        &'a str,
+        &'a infs_isa::RegionInstance,
+        &'a SystemConfig,
+        ExecMode,
+        Option<Arc<JitCache>>,
+    );
+    let configs: [Cfg<'_>; 5] = [
+        ("near-unopt", &unopt, &cfg256, ExecMode::NearL3, None),
+        ("infs-opt-256", &opt, &cfg256, ExecMode::InfS, None),
+        (
+            "inl3-patched-256",
+            &opt,
+            &cfg256,
+            ExecMode::InL3,
+            Some(patched_jit),
+        ),
+        ("inl3-opt-256", &opt, &cfg256, ExecMode::InL3, None),
+        ("inl3-opt-512", &opt, &cfg512, ExecMode::InL3, None),
     ];
 
     let mut outcome = DiffOutcome {
         nodes: opt.tdfg.as_ref().map_or(0, |t| t.nodes().len()),
         ..DiffOutcome::default()
     };
-    for (name, inst, cfg, mode) in configs {
-        let mut m = Machine::new(cfg.clone(), kernel.arrays());
+    for (name, inst, cfg, mode, jit) in configs {
+        let mut m = match jit {
+            Some(j) => Machine::with_jit(cfg.clone(), kernel.arrays(), j),
+            None => Machine::new(cfg.clone(), kernel.arrays()),
+        };
         m.set_region_auditor(Some(validate::auditor()));
         m.set_functional(true);
         m.set_resident_all();
@@ -439,6 +482,19 @@ pub fn run_differential(spec: &FuzzKernel) -> Result<DiffOutcome, Divergence> {
         outcome.machine_runs += 1;
         if report.executed == Executed::InMemory {
             outcome.in_memory_runs += 1;
+        }
+        if name == "inl3-patched-256" && report.executed == Executed::InMemory && tampered {
+            if report.jit_outcome != Some(JitOutcome::TemplateHit) {
+                return Err(diverge(
+                    name,
+                    format!(
+                        "expected the rotted cache to be healed by a template \
+                         patch, got {:?}",
+                        report.jit_outcome
+                    ),
+                ));
+            }
+            outcome.template_patched_runs += 1;
         }
         for (a, want) in expect.iter().enumerate() {
             let got = m.memory_ref().array(ArrayId(a as u32));
@@ -629,6 +685,8 @@ pub struct FuzzReport {
     pub machine_runs: u32,
     /// Runs that executed on the compute-SRAM bitlines.
     pub in_memory_runs: u32,
+    /// Runs served by the shape-polymorphic JIT's copy-and-patch path.
+    pub template_patched_runs: u32,
     /// Total tDFG nodes across optimized instances.
     pub total_nodes: usize,
     /// Divergences, each minimized and dumped.
@@ -654,6 +712,7 @@ pub fn fuzz_many(base_seed: u64, count: usize) -> FuzzReport {
             Ok(o) => {
                 report.machine_runs += o.machine_runs;
                 report.in_memory_runs += o.in_memory_runs;
+                report.template_patched_runs += o.template_patched_runs;
                 report.total_nodes += o.nodes;
             }
             Err(_) => {

@@ -30,4 +30,12 @@ fn fixed_seed_campaign_is_bit_identical() {
         report.in_memory_runs,
         report.machine_runs
     );
+    // The campaign must also pin the shape-polymorphic JIT's patched-stream
+    // path: the infs-patched config rots the concrete cache level and
+    // requires a template (copy-and-patch) hit, so a healthy campaign
+    // exercises it many times.
+    assert!(
+        report.template_patched_runs > 0,
+        "no run was served by the template path"
+    );
 }

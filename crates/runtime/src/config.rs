@@ -29,6 +29,12 @@ pub struct HwConfig {
     pub jit_per_cmd_bank_cycles: u64,
     /// Cycles charged on a JIT-cache hit.
     pub jit_hit_cycles: u64,
+    /// Cycles to copy-and-patch one command's offset/extent slots when a
+    /// relocatable template serves the request (template hit, or a command
+    /// whose emission class was already materialized earlier in the same
+    /// stream). Orders of magnitude below `jit_per_cmd_cycles` because no
+    /// decomposition or scheduling re-runs.
+    pub jit_patch_per_cmd_cycles: u64,
 }
 
 impl Default for HwConfig {
@@ -44,6 +50,7 @@ impl Default for HwConfig {
             jit_per_cmd_cycles: 60,
             jit_per_cmd_bank_cycles: 2,
             jit_hit_cycles: 500,
+            jit_patch_per_cmd_cycles: 2,
         }
     }
 }
@@ -61,11 +68,30 @@ impl HwConfig {
     }
 
     /// The JIT lowering cycle model for a freshly lowered stream of `n_cmds`
-    /// commands.
+    /// commands, none of which reuse a previously materialized emission class.
     pub fn jit_cycles(&self, n_cmds: u64) -> u64 {
+        self.jit_cycles_templated(n_cmds, 0)
+    }
+
+    /// The JIT lowering cycle model for a fresh stream in which
+    /// `from_template` of the `n_cmds` commands were stamped out of an
+    /// emission class already materialized earlier in the same stream (e.g.
+    /// the per-piece copies of one decomposed compute node): those pay the
+    /// copy-and-patch rate instead of the full per-command rate. The
+    /// `O(N_bank×N_cmd)` bank-mapping loop still runs for every command —
+    /// cold streams have no bank structure to reuse.
+    pub fn jit_cycles_templated(&self, n_cmds: u64, from_template: u64) -> u64 {
+        let fresh = n_cmds.saturating_sub(from_template);
         self.jit_base_cycles
-            + self.jit_per_cmd_cycles * n_cmds
+            + self.jit_per_cmd_cycles * fresh
+            + self.jit_patch_per_cmd_cycles * from_template.min(n_cmds)
             + self.jit_per_cmd_bank_cycles * n_cmds * self.n_banks as u64
+    }
+
+    /// Cycles to serve a request from a cached relocatable template:
+    /// the hit cost plus one slot patch per command.
+    pub fn jit_patch_cycles(&self, n_cmds: u64) -> u64 {
+        self.jit_hit_cycles + self.jit_patch_per_cmd_cycles * n_cmds
     }
 }
 
@@ -85,5 +111,22 @@ mod tests {
         let hw = HwConfig::default();
         let half = HwConfig { n_banks: 32, ..hw };
         assert!(hw.jit_cycles(100) > half.jit_cycles(100));
+    }
+
+    #[test]
+    fn templated_commands_are_cheaper_than_fresh_ones() {
+        let hw = HwConfig::default();
+        assert!(hw.jit_cycles_templated(100, 60) < hw.jit_cycles(100));
+        // All-fresh matches the legacy flat model.
+        assert_eq!(hw.jit_cycles_templated(100, 0), hw.jit_cycles(100));
+        // from_template can never push the cost below base + bank mapping.
+        let floor = hw.jit_base_cycles + hw.jit_per_cmd_bank_cycles * 100 * hw.n_banks as u64;
+        assert!(hw.jit_cycles_templated(100, 100) >= floor);
+    }
+
+    #[test]
+    fn patch_is_orders_cheaper_than_lowering() {
+        let hw = HwConfig::default();
+        assert!(hw.jit_patch_cycles(100) * 10 < hw.jit_cycles(100));
     }
 }

@@ -135,19 +135,68 @@ impl TransposedLayout {
         })
     }
 
+    /// The origin-anchored lattice shape planning derives from a graph's
+    /// *touched* region — everything [`plan`](Self::plan) reads from the
+    /// graph besides dtype and hints. Public so callers can key layout caches
+    /// and template signatures on it without planning.
+    pub fn lattice_shape_for(tdfg: &Tdfg) -> Result<Vec<u64>, RuntimeError> {
+        Self::lattice_shape_of(tdfg)
+    }
+
     fn lattice_shape_of(tdfg: &Tdfg) -> Result<Vec<u64>, RuntimeError> {
+        // The §3.2 bounding rectangle spans the full lattice boxes of every
+        // referenced array, so a region writing `C[m][..]` drags it to
+        // `[-m, ..)` even though every command it emits is origin-anchored.
+        // In dimensions where the array boxes stay origin-anchored we keep
+        // their extent (the natural, line-aligned lattice). In dimensions
+        // dragged negative by an aligned write offset, we fall back to the
+        // *touched* region — the union of finite node domains and output
+        // rects, i.e. the cells actually resident in compute SRAM. That keeps
+        // shifted instances feasible and shape-identical, which is what lets
+        // them share one command template.
         let b = tdfg.bounding();
+        if (0..b.ndim()).all(|d| b.interval(d).0 >= 0) {
+            return Ok((0..b.ndim()).map(|d| b.interval(d).1 as u64).collect());
+        }
+        let mut touched: Option<HyperRect> = None;
+        let mut extend = |r: &HyperRect| -> Result<(), RuntimeError> {
+            touched = Some(match touched.take() {
+                Some(t) => t
+                    .bounding(r)
+                    .map_err(|e| RuntimeError::BadBounding(e.to_string()))?,
+                None => r.clone(),
+            });
+            Ok(())
+        };
+        for i in 0..tdfg.nodes().len() {
+            if let Some(d) = tdfg.domain(infs_tdfg::NodeId(i as u32)) {
+                extend(d)?;
+            }
+        }
+        for out in tdfg.outputs() {
+            if let infs_tdfg::OutputTarget::Array { rect, .. } = &out.target {
+                extend(rect)?;
+            }
+        }
+        let t = touched.ok_or_else(|| {
+            RuntimeError::BadBounding("region touches no finite lattice cells".to_string())
+        })?;
         let mut shape = Vec::with_capacity(b.ndim());
         for d in 0..b.ndim() {
-            let (p, q) = b.interval(d);
-            if p < 0 {
+            let (bp, bq) = b.interval(d);
+            if bp >= 0 {
+                // Origin-anchored array boxes: keep the full (aligned) extent,
+                // mapping cells [0, bq) even if the region only touches part.
+                shape.push(bq as u64);
+                continue;
+            }
+            let (tp, tq) = t.interval(d);
+            if tp < 0 {
                 return Err(RuntimeError::BadBounding(format!(
-                    "bounding {b} starts before the origin in dim {d}"
+                    "touched region {t} starts before the origin in dim {d}"
                 )));
             }
-            // Anchor at the origin: cells [0, q) are mapped even if the region
-            // only touches [p, q).
-            shape.push(q as u64);
+            shape.push(tq as u64);
         }
         Ok(shape)
     }
@@ -291,6 +340,48 @@ mod tests {
             TransposedLayout::plan(&g, &g.layout_hints(), &hw),
             Err(RuntimeError::CapacityExceeded { .. })
         ));
+    }
+
+    /// One matmul inner-product row: `C[m][n] = Σ_k buf[k]·B[k][n]` with a
+    /// symbolic output row `m`. The §3.2 bounding rectangle is `[-m, N)` in
+    /// dim 0 (it spans C's full lattice box shifted by the write offset), but
+    /// every node domain and output rect is origin-anchored.
+    fn mm_row_tdfg(n: u64, m: i64) -> Tdfg {
+        let mut k = KernelBuilder::new("mm_row", DataType::F32);
+        let _a = k.array("A", vec![n, n]);
+        let b = k.array("B", vec![n, n]);
+        let c = k.array("C", vec![n, n]);
+        let buf = k.array("buf", vec![n, 1]);
+        let mm = k.sym("m");
+        let kk = k.parallel_loop("k", 0, n as i64);
+        let nn = k.parallel_loop("n", 0, n as i64);
+        let prod = ScalarExpr::mul(
+            ScalarExpr::load(buf, vec![Idx::var(kk), Idx::constant(0)]),
+            ScalarExpr::load(b, vec![Idx::var(kk), Idx::var(nn)]),
+        );
+        k.assign_reduced(
+            c,
+            vec![Idx::sym(mm), Idx::var(nn)],
+            prod,
+            vec![(kk, infs_sdfg::ReduceOp::Sum)],
+        );
+        k.build().unwrap().tensorize(&[m]).unwrap()
+    }
+
+    #[test]
+    fn shifted_output_rows_plan_and_share_a_lattice() {
+        let hw = HwConfig::default();
+        let base = mm_row_tdfg(512, 0);
+        let shape = TransposedLayout::lattice_shape_for(&base).unwrap();
+        assert_eq!(shape, vec![512, 512]);
+        for m in [1i64, 5, 511] {
+            let g = mm_row_tdfg(512, m);
+            assert!(g.bounding().interval(0).0 == -m, "bounding drags to -m");
+            let s = TransposedLayout::lattice_shape_for(&g).unwrap();
+            assert_eq!(s, shape, "row {m} must share the row-0 lattice");
+            let layout = TransposedLayout::plan(&g, &g.layout_hints(), &hw).unwrap();
+            assert_eq!(layout.lattice_shape(), &shape[..]);
+        }
     }
 
     #[test]

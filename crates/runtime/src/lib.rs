@@ -41,11 +41,15 @@ mod health;
 mod layout;
 mod lower;
 mod memo;
+mod template;
 
 pub use config::HwConfig;
 pub use decide::{decide, Paradigm};
 pub use error::RuntimeError;
 pub use health::{decide_healthy, in_memory_quorum, place_on_healthy, Tier};
 pub use layout::TransposedLayout;
-pub use lower::{lower, BankLoad, CommandStream, InfCommand, LoweredStats, RemoteTransfer};
-pub use memo::JitCache;
+pub use lower::{
+    instantiate, lower, BankLoad, CommandStream, InfCommand, LoweredStats, RemoteTransfer,
+};
+pub use memo::{JitCache, JitClass, JitOutcome};
+pub use template::{distill, CommandTemplate, SlotRect, TemplateOp};

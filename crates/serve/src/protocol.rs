@@ -214,9 +214,13 @@ pub struct MetricsReport {
     /// Artifact-cache evictions since start.
     pub artifact_evictions: u64,
     /// JIT memoization cache hits since start (all sessions share one cache).
+    /// Includes template (copy-and-patch) hits.
     pub jit_hits: u64,
     /// JIT memoization cache misses since start.
     pub jit_misses: u64,
+    /// The subset of `jit_hits` served by patching a cached relocatable
+    /// template rather than returning an exact cached stream.
+    pub jit_template_hits: u64,
     /// JIT cache evictions since start.
     pub jit_evictions: u64,
     /// Worker threads serving requests.
@@ -303,8 +307,11 @@ pub struct ResponseStats {
     /// Whether the artifact cache already held the compiled binary.
     pub artifact_cache_hit: bool,
     /// For in-memory execution, whether the shared JIT memoization cache
-    /// already held the lowered commands.
+    /// already held the lowered commands (template hits count as hits).
     pub jit_cache_hit: Option<bool>,
+    /// Three-way JIT resolution for in-memory execution: `"concrete"`,
+    /// `"template"` or `"miss"`.
+    pub jit_outcome: Option<String>,
     /// Simulated cycles of the executed region.
     pub cycles: u64,
     /// Where the region ran: `"core"`, `"near-memory"` or `"in-memory"`.

@@ -149,6 +149,7 @@ impl Shared {
             artifact_evictions,
             jit_hits,
             jit_misses,
+            jit_template_hits: self.jit.template_hits(),
             jit_evictions: self.jit.evictions(),
             workers: self.cfg.workers.max(1),
             uptime_ms: self.started.elapsed().as_millis() as u64,
@@ -777,6 +778,14 @@ fn run_region(
     drop(span);
     stats.execute_us = t0.elapsed().as_micros() as u64;
     stats.jit_cache_hit = report.jit_hit;
+    stats.jit_outcome = report.jit_outcome.map(|o| {
+        match o {
+            infs_sim::JitOutcome::ConcreteHit => "concrete",
+            infs_sim::JitOutcome::TemplateHit => "template",
+            infs_sim::JitOutcome::Miss => "miss",
+        }
+        .to_string()
+    });
     stats.cycles = report.cycles;
     stats.executed = Some(executed_label(report.executed).to_string());
     Ok(Payload {

@@ -80,6 +80,8 @@ pub struct JitModel {
     pub per_cmd_bank: u64,
     /// Cycles on a memoization hit.
     pub hit: u64,
+    /// Cycles to copy-and-patch one command's slots on a template hit.
+    pub patch_per_cmd: u64,
 }
 
 impl Default for SystemConfig {
@@ -116,6 +118,7 @@ impl Default for SystemConfig {
                 per_cmd: 60,
                 per_cmd_bank: 2,
                 hit: 500,
+                patch_per_cmd: 2,
             },
             release_request_threshold: 100_000,
         }
@@ -164,6 +167,7 @@ impl SystemConfig {
             jit_per_cmd_cycles: self.jit.per_cmd,
             jit_per_cmd_bank_cycles: self.jit.per_cmd_bank,
             jit_hit_cycles: self.jit.hit,
+            jit_patch_per_cmd_cycles: self.jit.patch_per_cmd,
         }
     }
 

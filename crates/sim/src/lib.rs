@@ -47,6 +47,7 @@ mod stats;
 pub use config::SystemConfig;
 pub use core_model::{core_time, CoreProfile};
 pub use energy::{area_report, AreaReport, EnergyBreakdown, EnergyParams};
+pub use infs_runtime::JitOutcome;
 pub use inmem::InMemOutcome;
 pub use machine::{
     ExecMode, Executed, FaultCounters, Machine, RegionAuditor, RegionReport, SimError,

@@ -4,13 +4,15 @@ use crate::{inmem, EnergyParams, Mesh, RunStats, SystemConfig};
 use infs_faults::{BankHealth, FaultPlan, NocFault};
 use infs_geom::TileShape;
 use infs_isa::RegionInstance;
-use infs_runtime::{decide_healthy, JitCache, RuntimeError, Tier, TransposedLayout};
+use infs_runtime::{
+    decide_healthy, JitCache, JitClass, JitOutcome, RuntimeError, Tier, TransposedLayout,
+};
 use infs_sdfg::{Memory, SdfgError};
 use infs_tdfg::{Node, OutputTarget, TdfgError};
 use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which machine configuration executes a region (the bars of Fig 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,8 +77,11 @@ pub struct RegionReport {
     /// For in-memory execution, whether the JIT memoization cache already
     /// held the lowered commands (`None` for core/near-memory runs) — the
     /// per-invocation observability hook the serving layer reports to
-    /// clients.
+    /// clients. Template hits count as hits.
     pub jit_hit: Option<bool>,
+    /// The three-way JIT resolution for in-memory execution: concrete hit,
+    /// template (copy-and-patch) hit, or full lowering.
+    pub jit_outcome: Option<JitOutcome>,
 }
 
 /// Simulator errors.
@@ -198,9 +203,22 @@ pub struct Machine {
     jit: Arc<JitCache>,
     /// This machine's own JIT hit/miss counts. With a shared cache the
     /// cache-global counters aggregate every tenant, so per-run stats must be
-    /// tracked locally.
+    /// tracked locally. `jit_hits` includes template hits.
     jit_hits: u64,
     jit_misses: u64,
+    jit_template_hits: u64,
+    /// Command-granular three-way accounting (see [`RunStats`]).
+    jit_cmd_hits: u64,
+    jit_cmd_template: u64,
+    jit_cmd_misses: u64,
+    /// Planned-layout cache. Layout planning depends only on the graph's
+    /// lattice shape, element size, layout hints and the (health-dependent)
+    /// bank count — not on rect coordinates — so gauss_elim's 1806 per-pivot
+    /// graphs plan exactly once. Keyed by a rendered string of those
+    /// ingredients. Failures are not cached: planning is only re-attempted
+    /// for regions that cannot run in-memory anyway, and the concrete error
+    /// must stay fresh.
+    layouts: Mutex<HashMap<String, Arc<TransposedLayout>>>,
     stats: RunStats,
     transposed: Option<ActiveTranspose>,
     touched: HashSet<u32>,
@@ -247,6 +265,11 @@ impl Machine {
             jit,
             jit_hits: 0,
             jit_misses: 0,
+            jit_template_hits: 0,
+            jit_cmd_hits: 0,
+            jit_cmd_template: 0,
+            jit_cmd_misses: 0,
+            layouts: Mutex::new(HashMap::new()),
             stats: RunStats::default(),
             transposed: None,
             touched: HashSet::new(),
@@ -309,6 +332,10 @@ impl Machine {
         self.mem = Memory::for_arrays(&decls);
         self.jit_hits = 0;
         self.jit_misses = 0;
+        self.jit_template_hits = 0;
+        self.jit_cmd_hits = 0;
+        self.jit_cmd_template = 0;
+        self.jit_cmd_misses = 0;
         self.stats = RunStats::default();
         self.transposed = None;
         self.touched.clear();
@@ -371,6 +398,10 @@ impl Machine {
     pub fn finish(mut self) -> RunStats {
         self.stats.jit_hits = self.jit_hits;
         self.stats.jit_misses = self.jit_misses;
+        self.stats.jit_template_hits = self.jit_template_hits;
+        self.stats.jit_cmd_hits = self.jit_cmd_hits;
+        self.stats.jit_cmd_template = self.jit_cmd_template;
+        self.stats.jit_cmd_misses = self.jit_cmd_misses;
         self.stats.noc_utilization = self
             .mesh
             .utilization(self.stats.traffic.noc_total(), self.stats.cycles.max(1));
@@ -540,11 +571,16 @@ impl Machine {
         let hw = self.cfg.hw();
         let expected_jit = if nojit {
             0
-        } else if self.jit_would_hit(region, health) {
-            self.cfg.jit.hit
         } else {
-            // Conservative pre-lowering estimate: a handful of commands per node.
-            hw.jit_cycles(region.profile.node_count * 4)
+            match self.jit_class(region, health) {
+                JitClass::Concrete => self.cfg.jit.hit,
+                JitClass::Template { n_cmds } => {
+                    self.cfg.jit.hit + self.cfg.jit.patch_per_cmd * n_cmds
+                }
+                // Conservative pre-lowering estimate: a handful of commands
+                // per node.
+                JitClass::Miss => hw.jit_cycles(region.profile.node_count * 4),
+            }
         };
         decide_healthy(&region.profile, &hw, expected_jit, health)
     }
@@ -574,27 +610,60 @@ impl Machine {
         }
         let tdfg = region.tdfg.as_ref().expect("checked above");
         let hw = self.hw_for(health);
-        match &self.tile_override {
-            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw).is_ok(),
-            None => TransposedLayout::plan(tdfg, &region.hints, &hw).is_ok(),
-        }
+        self.plan_layout(tdfg, &region.hints, &hw).is_ok()
     }
 
-    /// Whether the memoization cache already holds this region's commands
-    /// (consulted by the decision model; the paper's hardware command cache).
-    fn jit_would_hit(&self, region: &RegionInstance, health: &BankHealth) -> bool {
+    /// Plans (or reuses) the transposed layout for a graph. The cache key
+    /// renders every input [`TransposedLayout::plan`] actually reads, so two
+    /// graphs with the same lattice footprint — gauss_elim's per-pivot
+    /// instances — share one planned layout.
+    fn plan_layout(
+        &self,
+        tdfg: &infs_tdfg::Tdfg,
+        hints: &infs_geom::layout::LayoutHints,
+        hw: &infs_runtime::HwConfig,
+    ) -> Result<Arc<TransposedLayout>, RuntimeError> {
+        let lattice = TransposedLayout::lattice_shape_for(tdfg)?;
+        let key = format!(
+            "{lattice:?}|{}|{hints:?}|{}|{:?}",
+            tdfg.dtype().size_bytes(),
+            hw.n_banks,
+            self.tile_override,
+        );
+        if let Some(cached) = self.layouts.lock().expect("layout cache lock").get(&key) {
+            return Ok(cached.clone());
+        }
+        let planned = match &self.tile_override {
+            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), hw),
+            None => TransposedLayout::plan(tdfg, hints, hw),
+        }?;
+        let arc = Arc::new(planned);
+        self.layouts
+            .lock()
+            .expect("layout cache lock")
+            .insert(key, arc.clone());
+        Ok(arc)
+    }
+
+    /// What the JIT cache would do with this region — exact stream, template
+    /// patch, or full lowering (consulted by the decision model; the paper's
+    /// hardware command cache).
+    fn jit_class(&self, region: &RegionInstance, health: &BankHealth) -> JitClass {
         let Some(tdfg) = region.tdfg.as_ref() else {
-            return false;
+            return JitClass::Miss;
+        };
+        let Some(schedule) = region.schedule_for(self.cfg.geometry) else {
+            return JitClass::Miss;
         };
         let hw = self.hw_for(health);
-        let layout = match &self.tile_override {
-            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw),
-            None => TransposedLayout::plan(tdfg, &region.hints, &hw),
+        let Ok(layout) = self.plan_layout(tdfg, &region.hints, &hw) else {
+            return JitClass::Miss;
         };
-        let Ok(layout) = layout else { return false };
-        let sig = tdfg.command_signature();
+        let Ok((template, slots)) = infs_runtime::distill(tdfg, schedule, &hw) else {
+            return JitClass::Miss;
+        };
         self.jit
-            .contains(&region.name, &[sig as i64], layout.tile().dims())
+            .classify(template.signature, &slots, layout.tile().dims())
     }
 
     /// Arrays a tDFG touches (inputs and outputs).
@@ -647,6 +716,7 @@ impl Machine {
             cycles: out.cycles,
             executed: Executed::Core,
             jit_hit: None,
+            jit_outcome: None,
         })
     }
 
@@ -685,6 +755,7 @@ impl Machine {
             cycles: out.cycles,
             executed: Executed::NearMemory,
             jit_hit: None,
+            jit_outcome: None,
         })
     }
 
@@ -702,34 +773,55 @@ impl Machine {
             .schedule_for(self.cfg.geometry)
             .expect("caller checked the schedule");
         let hw = self.hw_healthy();
-        let layout = match &self.tile_override {
-            Some(t) => TransposedLayout::plan_with_tile(tdfg, t.clone(), &hw)?,
-            None => TransposedLayout::plan(tdfg, &region.hints, &hw)?,
-        };
+        let layout = self.plan_layout(tdfg, &region.hints, &hw)?;
 
         // 1. Prepare transposed data (TC_core flush + TTU transpose streams).
         let needed = Self::used_arrays(tdfg);
         let prepare_cycles = self.prepare_transposed(&needed, layout.tile().dims());
 
-        // 2. JIT lower (memoized on the command-determining structure, so
-        // regions differing only in store targets share lowered commands).
-        let sig = tdfg.command_signature();
-        let (cs, hit) =
-            self.jit
-                .get_or_lower(&region.name, &[sig as i64], layout.tile().dims(), || {
-                    infs_runtime::lower(tdfg, schedule, &layout, &hw)
-                })?;
+        // 2. JIT: distill the relocatable template (O(nodes)) and resolve
+        // through the two-level cache — exact stream (concrete hit),
+        // copy-and-patch against a cached template (template hit), or full
+        // lowering (miss). The key is the template's canonical signature,
+        // never the region name, so shape-equal regions over different
+        // arrays — gauss_elim's per-pivot instances, conv's per-channel
+        // taps, ping-pong phase pairs — reuse each other's work.
+        let (template, slots) = infs_runtime::distill(tdfg, schedule, &hw)?;
+        let (cs, outcome) = self.jit.get_or_instantiate(
+            &region.name,
+            &template,
+            &slots,
+            layout.tile().dims(),
+            |tpl| infs_runtime::instantiate(tpl, &slots, &layout, &hw),
+            || infs_runtime::lower(tdfg, schedule, &layout, &hw),
+        )?;
+        let hit = outcome.is_hit();
         if hit {
             self.jit_hits += 1;
         } else {
             self.jit_misses += 1;
         }
+        if outcome == JitOutcome::TemplateHit {
+            self.jit_template_hits += 1;
+        }
+        let n_cmds = cs.cmds.len() as u64;
+        match outcome {
+            JitOutcome::ConcreteHit => self.jit_cmd_hits += n_cmds,
+            JitOutcome::TemplateHit => self.jit_cmd_template += n_cmds,
+            JitOutcome::Miss => {
+                let from_template = cs.stats.cmds_from_template.min(n_cmds);
+                self.jit_cmd_template += from_template;
+                self.jit_cmd_misses += n_cmds - from_template;
+            }
+        }
         let jit_cycles = if nojit {
             0
-        } else if hit {
-            self.cfg.jit.hit
         } else {
-            cs.jit_cycles
+            match outcome {
+                JitOutcome::ConcreteHit => self.cfg.jit.hit,
+                JitOutcome::TemplateHit => self.cfg.jit.hit + self.cfg.jit.patch_per_cmd * n_cmds,
+                JitOutcome::Miss => cs.jit_cycles,
+            }
         };
 
         // 3. Execute the command stream. The command phase starts on the
@@ -799,6 +891,7 @@ impl Machine {
             cycles: total,
             executed: Executed::InMemory,
             jit_hit: Some(hit),
+            jit_outcome: Some(outcome),
         })
     }
 

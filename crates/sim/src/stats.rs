@@ -106,10 +106,23 @@ pub struct RunStats {
     pub ops_near_memory: u64,
     /// Element operations executed in-core.
     pub ops_core: u64,
-    /// JIT cache hits / misses.
+    /// JIT cache hits / misses. Hits count both exact-stream (concrete) hits
+    /// and template (copy-and-patch) hits, so `jit_hits + jit_misses` is the
+    /// number of in-memory region dispatches.
     pub jit_hits: u64,
     /// JIT cache misses.
     pub jit_misses: u64,
+    /// The subset of `jit_hits` served by patching a relocatable template
+    /// (shape-polymorphic JIT) instead of an exact cached stream.
+    pub jit_template_hits: u64,
+    /// Commands served without any JIT work (exact cached stream).
+    pub jit_cmd_hits: u64,
+    /// Commands stamped out by copy-and-patch: template hits, plus — on a
+    /// cold lowering — commands whose emission class was already
+    /// materialized earlier in the same stream.
+    pub jit_cmd_template: u64,
+    /// Commands paying the full per-command lowering rate.
+    pub jit_cmd_misses: u64,
     /// Mean NoC utilization over the run.
     pub noc_utilization: f64,
 }
@@ -126,6 +139,20 @@ impl RunStats {
         }
     }
 
+    /// Command-level JIT hit rate: the fraction of all commands entering
+    /// in-memory execution that were served from the cache (exact stream) or
+    /// stamped out by copy-and-patch, rather than paying the full
+    /// per-command lowering rate. This is the headline rate of the run
+    /// matrix — region-level hits/misses stay available separately.
+    pub fn jit_cmd_hit_rate(&self) -> f64 {
+        let total = self.jit_cmd_hits + self.jit_cmd_template + self.jit_cmd_misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.jit_cmd_hits + self.jit_cmd_template) as f64 / total as f64
+        }
+    }
+
     /// Accumulates another run's statistics (used across phases/iterations).
     pub fn accumulate(&mut self, o: &RunStats) {
         self.cycles += o.cycles;
@@ -137,6 +164,10 @@ impl RunStats {
         self.ops_core += o.ops_core;
         self.jit_hits += o.jit_hits;
         self.jit_misses += o.jit_misses;
+        self.jit_template_hits += o.jit_template_hits;
+        self.jit_cmd_hits += o.jit_cmd_hits;
+        self.jit_cmd_template += o.jit_cmd_template;
+        self.jit_cmd_misses += o.jit_cmd_misses;
     }
 }
 

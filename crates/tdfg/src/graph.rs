@@ -169,6 +169,62 @@ impl Tdfg {
         h.finish()
     }
 
+    /// A *shape-polymorphic* signature: everything [`command_signature`]
+    /// captures **except** the concrete geometry. Node kinds, operator
+    /// choices, SSA wiring, dtype and domain *presence* are folded in; rect
+    /// coordinates, shift distances, broadcast extents and per-dimension
+    /// choices are not — those become the slot table of a relocatable command
+    /// template (§4.2 extension). Two instances of the same kernel at
+    /// different symbolic offsets (e.g. successive Gaussian-elimination
+    /// pivots, or a convolution's nine sliding taps) share a structural
+    /// signature while their `command_signature`s differ.
+    ///
+    /// Array and stream ids are deliberately excluded: command emission is
+    /// pure lattice-space (which physical array feeds a tensor never reaches
+    /// the bit-serial command stream), so ping-pong buffered phases also
+    /// share a signature.
+    ///
+    /// [`command_signature`]: Tdfg::command_signature
+    pub fn structural_signature(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.ndim.hash(&mut h);
+        format!("{:?}", self.dtype).hash(&mut h);
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.domains[i].is_some().hash(&mut h);
+            match n {
+                Node::Input { .. } => 0u8.hash(&mut h),
+                Node::ConstVal { .. } => 1u8.hash(&mut h),
+                Node::Param { .. } => 2u8.hash(&mut h),
+                Node::Compute { op, inputs } => {
+                    3u8.hash(&mut h);
+                    op.hash(&mut h);
+                    inputs.hash(&mut h);
+                }
+                Node::Mv { input, .. } => {
+                    4u8.hash(&mut h);
+                    input.hash(&mut h);
+                }
+                Node::Bc { input, .. } => {
+                    5u8.hash(&mut h);
+                    input.hash(&mut h);
+                }
+                Node::Shrink { input, .. } => {
+                    6u8.hash(&mut h);
+                    input.hash(&mut h);
+                }
+                Node::Reduce { input, dim: _, op } => {
+                    7u8.hash(&mut h);
+                    input.hash(&mut h);
+                    format!("{op:?}").hash(&mut h);
+                }
+                Node::StreamIn { .. } => 8u8.hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
     /// The primary array of the region for tiling purposes (§4.1): the first
     /// array written by an array output, falling back to the first input array.
     pub fn primary_array(&self) -> Option<ArrayId> {
@@ -863,6 +919,54 @@ mod tests {
         let s = b.compute(ComputeOp::Add, &[x, y]).unwrap();
         b.output(s, OutputTarget::array(a, rect(&[(0, 1)])));
         assert_eq!(b.build().unwrap_err(), TdfgError::EmptyDomain(s));
+    }
+
+    /// A shifted-window instance of a kernel must share a structural
+    /// signature (it can reuse a relocatable command template) while its
+    /// concrete `command_signature` differs (the geometry moved).
+    #[test]
+    fn structural_signature_is_shift_invariant() {
+        let build = |lo: i64, dist: i64| {
+            let mut b = TdfgBuilder::new(1, DataType::F32);
+            let a = b.declare_array(ArrayDecl::new("A", vec![32], DataType::F32));
+            let x = b.input(a, rect(&[(lo, 16)])).unwrap();
+            let m = b.mv(x, 0, dist).unwrap();
+            let s = b.compute(ComputeOp::Add, &[x, m]).unwrap();
+            b.output(s, OutputTarget::array(a, rect(&[(lo + dist.max(0), 16)])));
+            b.build().unwrap()
+        };
+        let (g1, g2) = (build(0, 1), build(3, 2));
+        assert_eq!(g1.structural_signature(), g2.structural_signature());
+        assert_ne!(g1.command_signature(), g2.command_signature());
+    }
+
+    /// Swapping which array feeds a tensor (ping-pong buffering) or which
+    /// operator runs changes the right things: array identity is excluded,
+    /// the operator is not.
+    #[test]
+    fn structural_signature_ignores_arrays_but_not_ops() {
+        let build = |use_c: bool, op: ComputeOp| {
+            let mut b = TdfgBuilder::new(1, DataType::F32);
+            let a = b.declare_array(ArrayDecl::new("A", vec![16], DataType::F32));
+            let c = b.declare_array(ArrayDecl::new("C", vec![16], DataType::F32));
+            let src = if use_c { c } else { a };
+            let x = b.input(src, rect(&[(0, 16)])).unwrap();
+            let y = b.input(src, rect(&[(0, 16)])).unwrap();
+            let s = b.compute(op, &[x, y]).unwrap();
+            b.output(
+                s,
+                OutputTarget::array(if use_c { a } else { c }, rect(&[(0, 16)])),
+            );
+            b.build().unwrap()
+        };
+        assert_eq!(
+            build(false, ComputeOp::Add).structural_signature(),
+            build(true, ComputeOp::Add).structural_signature()
+        );
+        assert_ne!(
+            build(false, ComputeOp::Add).structural_signature(),
+            build(false, ComputeOp::Mul).structural_signature()
+        );
     }
 
     #[test]
