@@ -28,6 +28,7 @@ const ALL: &[&str] = &[
     "fig18",
     "fig19",
     "jit",
+    "pipeline",
     "tiling",
     "ablate",
     "ablate_dtype",
@@ -53,6 +54,9 @@ fn run(name: &str, ctx: &Ctx) {
         "fig18" => figures::fig18(ctx),
         "fig19" => figures::fig19(ctx),
         "jit" => figures::jit(ctx),
+        // Fused streaming regions vs per-kernel round-trip on the multi-kernel
+        // model graphs; writes BENCH_pipeline.json for CI's pipeline-smoke.
+        "pipeline" => figures::pipeline(ctx),
         "tiling" => figures::tiling(ctx),
         "eq1" => figures::eq1(ctx),
         "area" => figures::area(ctx),

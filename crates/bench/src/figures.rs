@@ -4,7 +4,9 @@
 use crate::{ConfigName, Ctx, RunMatrix, Table};
 use infs_geom::TileShape;
 use infs_sim::{ExecMode, Machine, SystemConfig};
-use infs_workloads::{by_name, ArraySum, Benchmark, PointNet, PointNetVariant, Scale, VecAdd};
+use infs_workloads::{
+    by_name, ArraySum, Benchmark, MlpStack, PointNet, PointNetVariant, Scale, VecAdd,
+};
 use rayon::prelude::*;
 
 /// Steady-state cycles of one benchmark run (second invocation on a warmed
@@ -1112,4 +1114,143 @@ pub fn check(ctx: &Ctx) {
         "bit-identical".to_string(),
     ]);
     ctx.emit("check", &t);
+}
+
+/// One pipeline graph's fused-vs-roundtrip measurement for [`pipeline`].
+struct PipelineRun {
+    name: &'static str,
+    stages: usize,
+    fused: infs_pipeline::PipelineReport,
+    roundtrip: infs_pipeline::PipelineReport,
+    spills: u64,
+}
+
+/// Runs one graph under both policies on fresh machines, asserts the outputs
+/// are bitwise identical, and returns the two reports plus the planner's
+/// spill count. A cycle number from a graph that computed something different
+/// would be worse than no number at all, so equivalence gates the measurement.
+fn measure_pipeline(
+    ctx: &Ctx,
+    name: &'static str,
+    graph: &infs_pipeline::PipelineGraph,
+    arrays: &[infs_sdfg::ArrayDecl],
+    seed: &dyn Fn(&mut Machine),
+) -> PipelineRun {
+    infs_check::validate_pipeline(graph, &ctx.cfg)
+        .unwrap_or_else(|e| panic!("pipeline '{name}' failed validation: {e}"));
+    let compiled = infs_pipeline::compile(graph, &ctx.cfg).expect("pipeline compiles");
+
+    let mut mf = Machine::new(ctx.cfg.clone(), arrays);
+    seed(&mut mf);
+    let fused = compiled
+        .run_fused(&mut mf, ExecMode::InfS)
+        .expect("fused run");
+
+    let mut mr = Machine::new(ctx.cfg.clone(), arrays);
+    seed(&mut mr);
+    let roundtrip = compiled
+        .run_roundtrip(&mut mr, ExecMode::InfS)
+        .expect("roundtrip run");
+
+    for &t in graph.produced().iter() {
+        let id = infs_sdfg::ArrayId(t);
+        assert!(
+            mf.memory_ref().array(id) == mr.memory_ref().array(id),
+            "pipeline '{name}' tensor '{}' diverges between fused and roundtrip",
+            graph.tensors[t as usize].name
+        );
+    }
+    PipelineRun {
+        name,
+        stages: graph.stages.len(),
+        fused,
+        roundtrip,
+        spills: compiled.plan().spill_count(),
+    }
+}
+
+/// Pipeline figure (DESIGN.md §13): fused streaming-region execution vs the
+/// per-kernel host round-trip on the two multi-kernel model graphs — the
+/// `mlp_stack` MLP chain and the PointNet SSG classification tail. Both
+/// policies run the *same* compiled stages on the same tile; only operand
+/// movement differs, so the outputs are asserted bitwise identical before any
+/// cycle count is reported.
+///
+/// Also emits `BENCH_pipeline.json`: the machine-readable per-graph record
+/// (fused/roundtrip cycles, speedup, stall/overlap cycles, spill count) that
+/// CI's `pipeline-smoke` step schema-checks and diffs against its committed
+/// baseline.
+pub fn pipeline(ctx: &Ctx) {
+    let mlp = MlpStack::new(ctx.scale());
+    let pn = PointNet::new(ctx.scale(), PointNetVariant::Ssg);
+    let pn_graph = pn.tail_graph();
+    let runs = [
+        measure_pipeline(ctx, "mlp_stack", mlp.graph(), &mlp.arrays(), &|m| {
+            mlp.init(m.memory());
+        }),
+        measure_pipeline(ctx, "pointnet_tail", &pn_graph, &pn.arrays(), &|m| {
+            pn.seed_tail_inputs(m.memory());
+        }),
+    ];
+
+    let mut t = Table::new(
+        "Pipeline: fused streaming regions vs per-kernel round-trip (Inf-S, outputs bit-identical)",
+        &[
+            "graph",
+            "stages",
+            "fused cycles",
+            "roundtrip cycles",
+            "speedup",
+            "prepare stalls",
+            "prefetch hidden",
+            "spills",
+        ],
+    );
+    let mut entries = Vec::new();
+    for r in &runs {
+        let speedup = r.roundtrip.total_cycles as f64 / r.fused.total_cycles.max(1) as f64;
+        t.row(vec![
+            r.name.into(),
+            r.stages.to_string(),
+            r.fused.total_cycles.to_string(),
+            r.roundtrip.total_cycles.to_string(),
+            Table::f(speedup),
+            r.fused.prepare_stall_cycles.to_string(),
+            r.fused.prefetch_hidden_cycles.to_string(),
+            r.spills.to_string(),
+        ]);
+        entries.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"stages\": {},\n",
+                "      \"fused_cycles\": {},\n",
+                "      \"roundtrip_cycles\": {},\n",
+                "      \"speedup\": {:.6},\n",
+                "      \"prepare_stall_cycles\": {},\n",
+                "      \"prefetch_hidden_cycles\": {},\n",
+                "      \"spills\": {}\n",
+                "    }}"
+            ),
+            r.name,
+            r.stages,
+            r.fused.total_cycles,
+            r.roundtrip.total_cycles,
+            speedup,
+            r.fused.prepare_stall_cycles,
+            r.fused.prefetch_hidden_cycles,
+            r.spills,
+        ));
+    }
+    ctx.emit("pipeline", &t);
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"workloads\": {{\n{}\n  }}\n}}\n",
+        if ctx.quick { "test" } else { "paper" },
+        entries.join(",\n"),
+    );
+    let path = ctx.out_dir.join("BENCH_pipeline.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[figures] failed to write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
 }

@@ -31,5 +31,6 @@ pub use fuzz::{
     FuzzKernel, FuzzReport,
 };
 pub use validate::{
-    auditor, validate_graph, validate_region, validate_schedule, validate_stream, CheckError,
+    auditor, validate_graph, validate_pipeline, validate_region, validate_schedule,
+    validate_stream, CheckError,
 };

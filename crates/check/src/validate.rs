@@ -62,6 +62,11 @@ pub enum CheckError {
         /// Violated invariant.
         what: String,
     },
+    /// A multi-kernel pipeline graph or its residency plan is ill-formed.
+    Pipeline {
+        /// Violated invariant.
+        what: String,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -75,6 +80,7 @@ impl fmt::Display for CheckError {
             CheckError::Stream { index, what } => write!(f, "command {index}: {what}"),
             CheckError::Lower(e) => write!(f, "JIT lowering failed: {e}"),
             CheckError::Template { what } => write!(f, "template path: {what}"),
+            CheckError::Pipeline { what } => write!(f, "pipeline graph: {what}"),
         }
     }
 }
@@ -646,6 +652,94 @@ fn validate_template_path(
                 first_diff,
             ),
         });
+    }
+    Ok(())
+}
+
+/// Validates a multi-kernel pipeline graph *and* the residency plan it
+/// implies on the given machine configuration.
+///
+/// Three layers, mirroring the trust boundary of [`validate_graph`] — graphs
+/// arrive over the serve wire as JSON and deserialization bypasses the
+/// builder entirely:
+///
+/// 1. **Structure** ([`infs_pipeline::PipelineGraph::validate`]): one shared
+///    tensor table (which is what makes every edge shape/dtype-consistent),
+///    derived read/write edge lists that agree with the kernels, a single
+///    producer per tensor, and producer-before-consumer stage order.
+/// 2. **Capacity**: the residency plan exists (no stage's working set exceeds
+///    the L3 compute ways) and its peak occupancy fits the configuration.
+/// 3. **Liveness**: no stage uses an intermediate the plan already released
+///    for good. A tensor evicted as *dead* must never reappear in a later
+///    stage's working set (a *spilled* tensor may — it re-enters cold, which
+///    the planner records and the scheduler re-stages).
+///
+/// # Errors
+///
+/// [`CheckError::Pipeline`] naming the violated layer and rule.
+pub fn validate_pipeline(
+    g: &infs_pipeline::PipelineGraph,
+    cfg: &SystemConfig,
+) -> Result<(), CheckError> {
+    let fail = |what: String| Err(CheckError::Pipeline { what });
+    g.validate().map_err(|e| CheckError::Pipeline {
+        what: e.to_string(),
+    })?;
+    let capacity = infs_pipeline::compute_capacity(cfg);
+    let plan = infs_pipeline::plan_residency(g, capacity).map_err(|e| CheckError::Pipeline {
+        what: e.to_string(),
+    })?;
+    if plan.peak_bytes() > capacity {
+        return fail(format!(
+            "plan peak occupancy {} exceeds L3 compute capacity {capacity}",
+            plan.peak_bytes()
+        ));
+    }
+    if plan.stages.len() != g.stages.len() {
+        return fail(format!(
+            "plan has {} stages, graph has {}",
+            plan.stages.len(),
+            g.stages.len()
+        ));
+    }
+    for (k, (st, sp)) in g.stages.iter().zip(&plan.stages).enumerate() {
+        if sp.stage != st.name {
+            return fail(format!(
+                "plan stage {k} is '{}', graph stage is '{}'",
+                sp.stage, st.name
+            ));
+        }
+        if sp.resident != st.working_set() {
+            return fail(format!(
+                "stage '{}' plans residency {:?} but its working set is {:?}",
+                st.name,
+                sp.resident,
+                st.working_set()
+            ));
+        }
+    }
+    // Liveness replay: an eviction is *dead* (not a spill) unless the next
+    // stage records it as spilled. Dead tensors must stay dead.
+    for (k, sp) in plan.stages.iter().enumerate() {
+        for &t in &sp.evict {
+            let respilled = plan
+                .stages
+                .get(k + 1)
+                .is_some_and(|next| next.spilled.contains(&t));
+            if respilled {
+                continue;
+            }
+            if let Some(user) = g.stages[k + 1..]
+                .iter()
+                .find(|st| st.working_set().contains(&t))
+            {
+                return fail(format!(
+                    "stage '{}' uses tensor {t} ('{}') after the plan evicted \
+                     it as dead at stage '{}'",
+                    user.name, g.tensors[t as usize].name, sp.stage
+                ));
+            }
+        }
     }
     Ok(())
 }

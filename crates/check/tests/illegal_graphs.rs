@@ -331,3 +331,121 @@ fn stream_sync_protocol_is_enforced() {
         Err(CheckError::Stream { index: 1, .. })
     ));
 }
+
+// ---------------------------------------------------------------------------
+// Pipeline graphs: the same trust boundary one level up. A whole multi-kernel
+// graph travels the serve wire as JSON, so `validate_pipeline` must reject
+// the corruptions a hostile or bit-rotted payload could carry.
+// ---------------------------------------------------------------------------
+
+/// A → `p0` → B → `p1` → C, every tensor 64 f32.
+fn pipeline_chain() -> infs_pipeline::PipelineGraph {
+    let mut pb = infs_pipeline::PipelineBuilder::new("wire");
+    let a = pb.tensor("A", vec![64]);
+    let b = pb.tensor("B", vec![64]);
+    let c = pb.tensor("C", vec![64]);
+    for (name, src, dst) in [("p0", a, b), ("p1", b, c)] {
+        let mut kb = pb.kernel(name, DataType::F32);
+        let i = kb.parallel_loop("i", 0, 64);
+        kb.assign(
+            dst,
+            vec![Idx::var(i)],
+            ScalarExpr::load(src, vec![Idx::var(i)]),
+        );
+        pb.add_stage(kb.build().unwrap(), vec![], vec![], false);
+    }
+    pb.build().expect("chain is valid")
+}
+
+fn corrupt_pipeline(mutate: impl FnOnce(&mut Value)) -> infs_pipeline::PipelineGraph {
+    let mut v = serde_json::to_value(&pipeline_chain());
+    mutate(&mut v);
+    serde_json::from_value(&v).expect("corrupted pipeline graph should still deserialize")
+}
+
+fn assert_pipeline_rejected(g: &infs_pipeline::PipelineGraph, needle: &str) {
+    let cfg = infs_sim::SystemConfig::default();
+    let err = infs_check::validate_pipeline(g, &cfg).unwrap_err();
+    assert!(
+        matches!(&err, CheckError::Pipeline { what } if what.contains(needle)),
+        "got {err}, wanted '{needle}'"
+    );
+}
+
+#[test]
+fn pipeline_builder_output_is_accepted() {
+    let cfg = infs_sim::SystemConfig::default();
+    infs_check::validate_pipeline(&pipeline_chain(), &cfg).unwrap();
+}
+
+#[test]
+fn pipeline_rejects_corrupted_tensor_shape() {
+    // Shrinking A's declared shape makes every stage kernel's table disagree
+    // with the graph table — a reader and writer would no longer agree on
+    // the edge's geometry.
+    let bad = corrupt_pipeline(|v| {
+        let decl = elem_mut(field_mut(v, "tensors"), 0);
+        *elem_mut(field_mut(decl, "shape"), 0) = Value::UInt(4);
+    });
+    assert_pipeline_rejected(&bad, "different array table");
+}
+
+#[test]
+fn pipeline_rejects_corrupted_tensor_dtype() {
+    let bad = corrupt_pipeline(|v| {
+        let decl = elem_mut(field_mut(v, "tensors"), 1);
+        *field_mut(decl, "dtype") = Value::String("I32".into());
+    });
+    assert_pipeline_rejected(&bad, "different array table");
+}
+
+#[test]
+fn pipeline_rejects_forged_edge_lists() {
+    // Blanking a stage's read list: the validator re-derives edges from the
+    // kernel body, so the planner never trusts forged lists.
+    let bad = corrupt_pipeline(|v| {
+        let st = elem_mut(field_mut(v, "stages"), 0);
+        *field_mut(st, "reads") = Value::Array(vec![]);
+    });
+    assert_pipeline_rejected(&bad, "edge lists disagree");
+}
+
+#[test]
+fn pipeline_rejects_reordered_stages() {
+    // p1 reads B before p0 produces it.
+    let bad = corrupt_pipeline(|v| {
+        if let Value::Array(stages) = field_mut(v, "stages") {
+            stages.swap(0, 1);
+        }
+    });
+    assert_pipeline_rejected(&bad, "not in dataflow order");
+}
+
+#[test]
+fn pipeline_rejects_duplicate_producer() {
+    // Replace stage p1 with a renamed copy of p0: two kernels now write B.
+    let bad = corrupt_pipeline(|v| {
+        let dup = elem_mut(field_mut(v, "stages"), 0).clone();
+        let st = elem_mut(field_mut(v, "stages"), 1);
+        *st = dup;
+        *field_mut(st, "name") = Value::String("p1".into());
+        *field_mut(field_mut(st, "kernel"), "name") = Value::String("p1".into());
+    });
+    assert_pipeline_rejected(&bad, "two producers");
+}
+
+#[test]
+fn pipeline_rejects_working_set_beyond_l3() {
+    // Two 192 MB tensors in one stage cannot fit the 128 MB of compute ways,
+    // and no residency plan can fix a single stage that is too big.
+    let mut pb = infs_pipeline::PipelineBuilder::new("huge");
+    let n: u64 = 48_000_000;
+    let a = pb.tensor("A", vec![n]);
+    let b = pb.tensor("B", vec![n]);
+    let mut kb = pb.kernel("big", DataType::F32);
+    let i = kb.parallel_loop("i", 0, n as i64);
+    kb.assign(b, vec![Idx::var(i)], ScalarExpr::load(a, vec![Idx::var(i)]));
+    pb.add_stage(kb.build().unwrap(), vec![], vec![], false);
+    let g = pb.build().expect("structurally valid");
+    assert_pipeline_rejected(&g, "exceeds L3 residency capacity");
+}

@@ -65,9 +65,11 @@ mod error;
 mod expr;
 mod kernel;
 mod streamize;
+mod tensor;
 mod tensorize;
 
 pub use error::FrontendError;
 pub use expr::{Idx, ScalarExpr, Stmt};
 pub use kernel::{Kernel, KernelBuilder, LoopVar, SymVar};
 pub use streamize::indirect_update;
+pub use tensor::{kernel_io, KernelIo, TensorTable};

@@ -1,0 +1,220 @@
+//! Named tensor tables and kernel I/O inference — the frontend half of the
+//! program-level pipeline IR (`infs-pipeline`).
+//!
+//! Multi-kernel workloads share one array table: every kernel of the program
+//! declares the *same* arrays in the same order, so one [`infs_sdfg::ArrayId`]
+//! names the same tensor in every region and a simulated machine (or serving
+//! session) allocates functional memory once. [`TensorTable`] owns that table
+//! and re-declares it into each [`KernelBuilder`], replacing the ad-hoc
+//! "declare everything in every kernel" loops the workloads used to carry.
+//!
+//! [`kernel_io`] infers which tensors a built kernel reads and writes by
+//! walking its statements — the edge information the pipeline graph validator
+//! and residency planner consume. It sees through reductions, accumulations
+//! (an accumulate both reads and writes its target) and one-level indirect
+//! loads (both the index-producing array and the indirectly-addressed array
+//! are reads).
+
+use crate::expr::{ScalarExpr, Stmt};
+use crate::kernel::{Kernel, KernelBuilder};
+use infs_sdfg::{ArrayDecl, ArrayId, DataType};
+
+/// An ordered table of named tensors shared by every kernel of a program.
+///
+/// Indices are stable: the `n`-th [`tensor`](TensorTable::tensor) call yields
+/// `ArrayId(n)`, in every kernel the table is declared into.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TensorTable {
+    decls: Vec<ArrayDecl>,
+}
+
+impl TensorTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        TensorTable::default()
+    }
+
+    /// A table over pre-existing declarations (e.g. a deserialized graph's).
+    pub fn from_decls(decls: Vec<ArrayDecl>) -> Self {
+        TensorTable { decls }
+    }
+
+    /// Declares an `f32` tensor; returns its stable id.
+    pub fn tensor(&mut self, name: impl Into<String>, shape: Vec<u64>) -> ArrayId {
+        self.tensor_typed(name, shape, DataType::F32)
+    }
+
+    /// Declares a tensor with an explicit element type; returns its stable id.
+    pub fn tensor_typed(
+        &mut self,
+        name: impl Into<String>,
+        shape: Vec<u64>,
+        dtype: DataType,
+    ) -> ArrayId {
+        let id = ArrayId(self.decls.len() as u32);
+        self.decls.push(ArrayDecl::new(name, shape, dtype));
+        id
+    }
+
+    /// Looks a tensor up by name.
+    pub fn id(&self, name: &str) -> Option<ArrayId> {
+        self.decls
+            .iter()
+            .position(|d| d.name == name)
+            .map(|i| ArrayId(i as u32))
+    }
+
+    /// The declaration behind an id.
+    pub fn decl(&self, id: ArrayId) -> &ArrayDecl {
+        &self.decls[id.0 as usize]
+    }
+
+    /// Shape of a tensor.
+    pub fn shape(&self, id: ArrayId) -> &[u64] {
+        &self.decls[id.0 as usize].shape
+    }
+
+    /// All declarations, in id order.
+    pub fn decls(&self) -> &[ArrayDecl] {
+        &self.decls
+    }
+
+    /// Number of tensors.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// True when no tensor has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Declares the whole table into a kernel builder, preserving ids: after
+    /// this call the builder's array table equals this table, so the built
+    /// kernel shares [`ArrayId`]s with every other kernel declared the same
+    /// way. Panics if the builder already declared arrays (ids would shift).
+    pub fn declare_into(&self, kb: &mut KernelBuilder) {
+        for (i, d) in self.decls.iter().enumerate() {
+            let id = kb.array_typed(&d.name, d.shape.clone(), d.dtype);
+            assert_eq!(
+                id.0 as usize, i,
+                "TensorTable::declare_into requires a fresh KernelBuilder"
+            );
+        }
+    }
+
+    /// Convenience: a fresh kernel builder with the whole table pre-declared.
+    pub fn kernel(&self, name: impl Into<String>, dtype: DataType) -> KernelBuilder {
+        let mut kb = KernelBuilder::new(name, dtype);
+        self.declare_into(&mut kb);
+        kb
+    }
+}
+
+/// Which tensors a kernel reads and writes (see [`kernel_io`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelIo {
+    /// Tensors loaded from (including accumulate targets and indirect
+    /// index sources), ascending, deduplicated.
+    pub reads: Vec<u32>,
+    /// Tensors stored to, ascending, deduplicated.
+    pub writes: Vec<u32>,
+}
+
+fn collect_reads(e: &ScalarExpr, reads: &mut Vec<u32>) {
+    match e {
+        ScalarExpr::Load { array, .. } => reads.push(array.0),
+        ScalarExpr::LoadIndirect { array, index, .. } => {
+            reads.push(array.0);
+            collect_reads(index, reads);
+        }
+        ScalarExpr::Const(_) | ScalarExpr::Param(_) | ScalarExpr::LoopVal(_) => {}
+        ScalarExpr::Op { args, .. } => {
+            for a in args {
+                collect_reads(a, reads);
+            }
+        }
+    }
+}
+
+/// Infers the tensors a kernel reads and writes by walking its statements.
+///
+/// `Assign` writes its target; `Accum` both reads and writes its target
+/// (read-modify-write); every `Load`/`LoadIndirect` in a value expression —
+/// including the index expression of an indirect load — is a read.
+pub fn kernel_io(kernel: &Kernel) -> KernelIo {
+    let mut io = KernelIo::default();
+    for stmt in kernel.stmts() {
+        match stmt {
+            Stmt::Assign { array, value, .. } => {
+                io.writes.push(array.0);
+                collect_reads(value, &mut io.reads);
+            }
+            Stmt::Accum { array, value, .. } => {
+                io.writes.push(array.0);
+                io.reads.push(array.0);
+                collect_reads(value, &mut io.reads);
+            }
+            Stmt::ScalarReduce { value, .. } => collect_reads(value, &mut io.reads),
+        }
+    }
+    for v in [&mut io.reads, &mut io.writes] {
+        v.sort_unstable();
+        v.dedup();
+    }
+    io
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Idx;
+    use infs_sdfg::ReduceOp;
+
+    #[test]
+    fn table_assigns_stable_ids_and_looks_up_by_name() {
+        let mut t = TensorTable::new();
+        let x = t.tensor("x", vec![4, 8]);
+        let w = t.tensor_typed("w", vec![8, 2], DataType::F32);
+        assert_eq!((x.0, w.0), (0, 1));
+        assert_eq!(t.id("w"), Some(w));
+        assert_eq!(t.id("nope"), None);
+        assert_eq!(t.shape(x), &[4, 8]);
+        assert_eq!(t.len(), 2);
+
+        // Kernels built from the table share its array ids.
+        let mut kb = t.kernel("copy", DataType::F32);
+        let i = kb.parallel_loop("i", 0, 2);
+        kb.assign(
+            w,
+            vec![Idx::constant(0), Idx::var(i)],
+            ScalarExpr::load(x, vec![Idx::constant(0), Idx::var(i)]),
+        );
+        let k = kb.build().unwrap();
+        assert_eq!(k.arrays(), t.decls());
+    }
+
+    #[test]
+    fn io_inference_sees_accumulates_and_indirect_indices() {
+        let mut t = TensorTable::new();
+        let a = t.tensor("a", vec![16]);
+        let idx = t.tensor("idx", vec![16]);
+        let out = t.tensor("out", vec![16]);
+        let mut kb = t.kernel("gather_acc", DataType::F32);
+        let i = kb.parallel_loop("i", 0, 16);
+        kb.accum(
+            out,
+            vec![Idx::var(i)],
+            ReduceOp::Sum,
+            ScalarExpr::LoadIndirect {
+                array: a,
+                dim: 0,
+                index: Box::new(ScalarExpr::load(idx, vec![Idx::var(i)])),
+                rest: vec![Idx::constant(0)],
+            },
+        );
+        let io = kernel_io(&kb.build().unwrap());
+        assert_eq!(io.reads, vec![a.0, idx.0, out.0]);
+        assert_eq!(io.writes, vec![out.0]);
+    }
+}

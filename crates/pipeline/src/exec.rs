@@ -1,0 +1,209 @@
+//! Pipeline compilation and streaming execution: lowers a validated graph to
+//! region instances, negotiates a cross-stage SRAM layout, and drives the
+//! machine's 3-phase prepare/stream/prefetch loop.
+
+use crate::{plan_residency, PipelineError, PipelineGraph, ResidencyPlan};
+use infs_geom::TileShape;
+use infs_isa::{Compiler, RegionInstance};
+use infs_runtime::TransposedLayout;
+use infs_sim::{ExecMode, Machine, PipelinePolicy, StageReport, StageRequest, SystemConfig};
+use infs_tdfg::Tdfg;
+use std::time::Instant;
+
+/// A graph lowered against one machine configuration: validated, residency-
+/// planned, every stage compiled and instantiated, and a shared tile shape
+/// negotiated so a producer's transposed output is consumed in place.
+#[derive(Debug)]
+pub struct CompiledPipeline {
+    graph: PipelineGraph,
+    plan: ResidencyPlan,
+    regions: Vec<RegionInstance>,
+    tile: Option<TileShape>,
+    compile_ns: Vec<u64>,
+}
+
+/// What one pipeline run produced: the machine's per-stage reports plus the
+/// pipeline-level cycle and overlap accounting.
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Per-stage machine reports, in execution order.
+    pub stages: Vec<StageReport>,
+    /// Total simulated cycles the run advanced the machine's clock.
+    pub total_cycles: u64,
+    /// Cycles stalled preparing (transposing) operands at stage entry.
+    pub prepare_stall_cycles: u64,
+    /// Prefetch cycles hidden under a preceding stage's execution.
+    pub prefetch_hidden_cycles: u64,
+    /// Prefetch cycles that did *not* fit under execution and stalled.
+    pub prefetch_stall_cycles: u64,
+}
+
+impl PipelineReport {
+    fn from_stages(stages: Vec<StageReport>, total_cycles: u64) -> Self {
+        let prepare_stall_cycles = stages.iter().map(|s| s.prepare_stall).sum();
+        let prefetch_hidden_cycles = stages.iter().map(|s| s.prefetch_hidden).sum();
+        let prefetch_stall_cycles = stages
+            .iter()
+            .map(|s| s.prefetch_issued - s.prefetch_hidden)
+            .sum();
+        PipelineReport {
+            stages,
+            total_cycles,
+            prepare_stall_cycles,
+            prefetch_hidden_cycles,
+            prefetch_stall_cycles,
+        }
+    }
+}
+
+/// Validates, plans and compiles a graph for a machine configuration.
+///
+/// Every stage is compiled with its own symbol binding as the representative
+/// instantiation. If two or more stages are tensorizable, a tile shape
+/// admissible to all of them is negotiated
+/// ([`TransposedLayout::negotiate_tile`]) so intermediate tensors keep their
+/// SRAM layout across the producer→consumer handoff instead of being
+/// re-transposed at every stage boundary.
+///
+/// # Errors
+///
+/// [`PipelineError::Invalid`] for structurally bad graphs,
+/// [`PipelineError::Capacity`] when a stage cannot fit L3, and
+/// [`PipelineError::Compile`] when a stage kernel fails to compile.
+pub fn compile(
+    graph: &PipelineGraph,
+    cfg: &SystemConfig,
+) -> Result<CompiledPipeline, PipelineError> {
+    let mut span = infs_trace::span!(
+        "pipeline.compile",
+        graph = graph.name.as_str(),
+        stages = graph.stages.len() as u64,
+    );
+    graph.validate()?;
+    let plan = plan_residency(graph, crate::compute_capacity(cfg))?;
+    let mut regions = Vec::with_capacity(graph.stages.len());
+    let mut compile_ns = Vec::with_capacity(graph.stages.len());
+    for st in &graph.stages {
+        let t0 = Instant::now();
+        let compiler = Compiler {
+            optimize: st.optimize,
+            ..Compiler::default()
+        };
+        let region = compiler
+            .compile(st.kernel.clone(), &st.syms)
+            .and_then(|c| c.instantiate(&st.syms))
+            .map_err(|e| PipelineError::Compile(format!("stage '{}': {e}", st.name)))?;
+        compile_ns.push(t0.elapsed().as_nanos() as u64);
+        regions.push(region);
+    }
+    let tdfgs: Vec<&Tdfg> = regions.iter().filter_map(|r| r.tdfg.as_ref()).collect();
+    let tile = if tdfgs.len() >= 2 {
+        TransposedLayout::negotiate_tile(&tdfgs, &cfg.hw())
+    } else {
+        None
+    };
+    span.arg("shared_tile", tile.is_some());
+    Ok(CompiledPipeline {
+        graph: graph.clone(),
+        plan,
+        regions,
+        tile,
+        compile_ns,
+    })
+}
+
+impl CompiledPipeline {
+    /// The source graph.
+    pub fn graph(&self) -> &PipelineGraph {
+        &self.graph
+    }
+
+    /// The residency plan the executor follows.
+    pub fn plan(&self) -> &ResidencyPlan {
+        &self.plan
+    }
+
+    /// The compiled region instances, one per stage.
+    pub fn regions(&self) -> &[RegionInstance] {
+        &self.regions
+    }
+
+    /// The negotiated cross-stage tile shape, if one exists.
+    pub fn shared_tile(&self) -> Option<&TileShape> {
+        self.tile.as_ref()
+    }
+
+    /// Host nanoseconds each stage took to compile.
+    pub fn compile_ns(&self) -> &[u64] {
+        &self.compile_ns
+    }
+
+    fn stage_requests(&self, fused: bool) -> Vec<StageRequest<'_>> {
+        self.regions
+            .iter()
+            .zip(&self.graph.stages)
+            .zip(&self.plan.stages)
+            .map(|((region, spec), plan)| StageRequest {
+                region,
+                params: spec.params.clone(),
+                prefetch: if fused {
+                    plan.prefetch.clone()
+                } else {
+                    Vec::new()
+                },
+                evict: if fused {
+                    plan.evict.clone()
+                } else {
+                    Vec::new()
+                },
+            })
+            .collect()
+    }
+
+    fn run(
+        &self,
+        m: &mut Machine,
+        mode: ExecMode,
+        policy: PipelinePolicy,
+    ) -> Result<PipelineReport, infs_sim::SimError> {
+        let fused = matches!(policy, PipelinePolicy::Fused);
+        // Both policies pin the negotiated tile so the comparison isolates
+        // residency and overlap, not tile choice.
+        m.set_tile_override(self.tile.clone());
+        let start = m.stats().cycles;
+        let result = m.run_pipeline(&self.stage_requests(fused), mode, policy);
+        m.set_tile_override(None);
+        let stages = result?;
+        let total = m.stats().cycles - start;
+        Ok(PipelineReport::from_stages(stages, total))
+    }
+
+    /// Runs the fused pipeline: intermediates stay resident per the plan and
+    /// each stage's operands are prefetched under its predecessor.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_region`]; the first failing stage aborts.
+    pub fn run_fused(
+        &self,
+        m: &mut Machine,
+        mode: ExecMode,
+    ) -> Result<PipelineReport, infs_sim::SimError> {
+        self.run(m, mode, PipelinePolicy::Fused)
+    }
+
+    /// Runs the per-kernel round-trip baseline: every stage arrives cold and
+    /// writes all resident state back to host afterwards, like independent
+    /// offload requests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_region`]; the first failing stage aborts.
+    pub fn run_roundtrip(
+        &self,
+        m: &mut Machine,
+        mode: ExecMode,
+    ) -> Result<PipelineReport, infs_sim::SimError> {
+        self.run(m, mode, PipelinePolicy::Roundtrip)
+    }
+}

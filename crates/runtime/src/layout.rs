@@ -119,6 +119,38 @@ impl TransposedLayout {
         Ok(valid_tilings(&request))
     }
 
+    /// Cross-region layout handoff: the tile shape a *pipeline* of regions
+    /// should share so a producer's transposed output is consumed in place by
+    /// the next region without re-transposition (a tile-shape change releases
+    /// the whole transposed working set — see the machine's prepare path).
+    ///
+    /// Returns the candidate tile admissible **and feasible** for every given
+    /// region that minimizes the summed per-region layout score, or `None`
+    /// when the regions share no tile (callers then fall back to per-region
+    /// planning and pay the boundary re-transposition).
+    pub fn negotiate_tile(tdfgs: &[&Tdfg], hw: &HwConfig) -> Option<TileShape> {
+        let mut span = infs_trace::span!("runtime.negotiate_tile", regions = tdfgs.len());
+        let (&first, rest) = tdfgs.split_first()?;
+        let mut requests = vec![Self::request(first, &LayoutHints::default(), hw).ok()?];
+        let mut common = valid_tilings(&requests[0]);
+        for tdfg in rest {
+            let request = Self::request(tdfg, &LayoutHints::default(), hw).ok()?;
+            let admissible = valid_tilings(&request);
+            common.retain(|t| admissible.contains(t));
+            requests.push(request);
+        }
+        common.retain(|tile| {
+            tdfgs
+                .iter()
+                .all(|&tdfg| Self::with_tile_internal(tdfg, tile.clone(), hw).is_ok())
+        });
+        span.arg("candidates", common.len());
+        common.into_iter().min_by(|a, b| {
+            let score = |t: &TileShape| requests.iter().map(|r| tile_score(t, r)).sum::<f64>();
+            score(a).total_cmp(&score(b))
+        })
+    }
+
     fn request(
         tdfg: &Tdfg,
         hints: &LayoutHints,

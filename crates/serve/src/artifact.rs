@@ -159,6 +159,85 @@ impl ArtifactCache {
     }
 }
 
+/// A bounded cache of compiled pipelines, keyed by the graph's content key
+/// ([`infs_pipeline::PipelineGraph::content_key`]). The pipeline-level
+/// analogue of [`ArtifactCache`]: a whole multi-kernel graph — every stage's
+/// compiled region, the residency plan, and the negotiated cross-stage tile —
+/// is one artifact, so a repeated graph skips compilation *and* planning.
+///
+/// No checksum layer: a [`CompiledPipeline`](infs_pipeline::CompiledPipeline)
+/// has no canonical byte encoding to re-hash (unlike a fat binary), so the
+/// corruption drill stays at the fat-binary and JIT caches below it.
+pub struct PipelineCache {
+    entries: Mutex<HashMap<u64, (Arc<infs_pipeline::CompiledPipeline>, u64)>>,
+    capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PipelineCache {
+    /// A cache holding at most `capacity` compiled graphs (at least one).
+    pub fn new(capacity: usize) -> Self {
+        PipelineCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a compiled graph, counting a hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<infs_pipeline::CompiledPipeline>> {
+        let mut entries = self.entries.lock();
+        match entries.get_mut(&key) {
+            Some((compiled, last_hit)) => {
+                *last_hit = self.clock.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(compiled.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a compiled graph, evicting the least-recently-hit entry when
+    /// full. Returns the cached value (an earlier concurrent insert wins).
+    pub fn insert(
+        &self,
+        key: u64,
+        compiled: Arc<infs_pipeline::CompiledPipeline>,
+    ) -> Arc<infs_pipeline::CompiledPipeline> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        if let Some((existing, _)) = entries.get(&key) {
+            return existing.clone();
+        }
+        if entries.len() >= self.capacity {
+            if let Some(&victim) = entries
+                .iter()
+                .min_by_key(|(_, (_, last_hit))| *last_hit)
+                .map(|(k, _)| k)
+            {
+                entries.remove(&victim);
+            }
+        }
+        entries.insert(key, (compiled.clone(), stamp));
+        compiled
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Renders an artifact id for the wire (16 hex digits).
 pub fn format_id(id: u64) -> String {
     format!("{id:016x}")

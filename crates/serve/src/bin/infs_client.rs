@@ -1,9 +1,10 @@
 //! `infs-client` — thin client for `infs-served`.
 //!
 //! ```text
-//! infs-client smoke   [--addr HOST:PORT] [--keep-alive]
-//! infs-client metrics [--addr HOST:PORT] [--shutdown]
-//! infs-client health  [--addr HOST:PORT]
+//! infs-client smoke    [--addr HOST:PORT] [--keep-alive]
+//! infs-client pipeline [--addr HOST:PORT] [--keep-alive]
+//! infs-client metrics  [--addr HOST:PORT] [--shutdown]
+//! infs-client health   [--addr HOST:PORT]
 //! ```
 //!
 //! `smoke` runs the end-to-end acceptance sequence the CI server-smoke step
@@ -11,6 +12,12 @@
 //! (asserting an artifact-cache hit), then graceful shutdown. Any deviation —
 //! wrong outputs, missing stats, cache miss where a hit is required, or a
 //! stats block whose phase times exceed its total — exits non-zero.
+//!
+//! `pipeline` is the multi-kernel acceptance sequence: it ships the demo
+//! 3-stage pipeline graph as one request, verifies the output numerically,
+//! checks the per-stage stats breakdown nests inside the request totals,
+//! re-sends the identical graph (asserting a pipeline-cache hit), and then
+//! runs the round-trip baseline, asserting the fused schedule is not slower.
 //!
 //! `metrics` queries the server's observability counters and pretty-prints
 //! cache hit rates, queue occupancy, and admission totals. With `--shutdown`
@@ -27,6 +34,7 @@ use std::process::ExitCode;
 
 enum Command {
     Smoke { keep_alive: bool },
+    Pipeline { keep_alive: bool },
     Metrics { shutdown: bool },
     Health,
 }
@@ -37,12 +45,13 @@ struct Args {
 }
 
 const USAGE: &str =
-    "usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]\n       infs-client metrics [--addr HOST:PORT] [--shutdown]\n       infs-client health [--addr HOST:PORT]";
+    "usage: infs-client smoke [--addr HOST:PORT] [--keep-alive]\n       infs-client pipeline [--addr HOST:PORT] [--keep-alive]\n       infs-client metrics [--addr HOST:PORT] [--shutdown]\n       infs-client health [--addr HOST:PORT]";
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let mut command = match it.next().as_deref() {
         Some("smoke") => Command::Smoke { keep_alive: false },
+        Some("pipeline") => Command::Pipeline { keep_alive: false },
         Some("metrics") => Command::Metrics { shutdown: false },
         Some("health") => Command::Health,
         Some("--help") | Some("-h") | None => return Err(USAGE.to_string()),
@@ -56,7 +65,8 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| "--addr requires a value".to_string())?
             }
-            ("--keep-alive", Command::Smoke { keep_alive }) => *keep_alive = true,
+            ("--keep-alive", Command::Smoke { keep_alive })
+            | ("--keep-alive", Command::Pipeline { keep_alive }) => *keep_alive = true,
             ("--shutdown", Command::Metrics { shutdown }) => *shutdown = true,
             (other, _) => return Err(format!("unknown flag '{other}'")),
         }
@@ -95,6 +105,32 @@ fn check_stats(step: &str, r: &Response, executed: bool) -> Result<(), String> {
         }
         if s.executed.is_none() {
             return Err(format!("{step}: stats lack an execution site"));
+        }
+    }
+    // Per-stage breakdowns (pipeline requests) must nest inside the request
+    // totals — the invariant above, extended one level down.
+    if !s.stages.is_empty() {
+        let stage_compile: u64 = s.stages.iter().map(|st| st.compile_us).sum();
+        let stage_execute: u64 = s.stages.iter().map(|st| st.execute_us).sum();
+        if stage_compile > s.compile_us {
+            return Err(format!(
+                "{step}: per-stage compile {stage_compile}us exceeds request compile {}us",
+                s.compile_us
+            ));
+        }
+        if stage_execute > s.execute_us {
+            return Err(format!(
+                "{step}: per-stage execute {stage_execute}us exceeds request execute {}us",
+                s.execute_us
+            ));
+        }
+        for st in &s.stages {
+            if st.executed.is_empty() {
+                return Err(format!(
+                    "{step}: stage '{}' lacks an execution site",
+                    st.name
+                ));
+            }
         }
     }
     Ok(())
@@ -169,6 +205,91 @@ fn smoke(addr: &str, keep_alive: bool) -> Result<(), String> {
     Ok(())
 }
 
+fn pipeline(addr: &str, keep_alive: bool) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("transport: {e}");
+    let mut client = Client::connect(addr, "pipeline").map_err(io)?;
+
+    let n = 256u64;
+    let p0 = 3.0f32;
+    let graph = demo::pipeline(n, p0);
+    let graph_json = graph
+        .to_json()
+        .map_err(|e| format!("pipeline: unserializable graph: {e}"))?;
+    let input: Vec<f32> = (0..n).map(|i| (i % 17) as f32 - 8.0).collect();
+    let want = demo::pipeline_reference(&input, p0);
+    let send = |client: &mut Client, fused: bool| {
+        client.pipeline(
+            &graph_json,
+            WireMode::InfS,
+            fused,
+            vec![ArrayPayload {
+                array: 0,
+                data: input.clone(),
+            }],
+            vec![3],
+        )
+    };
+
+    // Fused run: outputs must match the reference bit for bit, and the stats
+    // must carry a per-stage breakdown for every stage of the graph.
+    let r = send(&mut client, true).map_err(io)?;
+    check_stats("pipeline", &r, true)?;
+    if r.stats.artifact_cache_hit {
+        return Err("pipeline: first graph cannot be a pipeline-cache hit".to_string());
+    }
+    if r.stats.stages.len() != graph.stages.len() {
+        return Err(format!(
+            "pipeline: stats carry {} stage entries, graph has {}",
+            r.stats.stages.len(),
+            graph.stages.len()
+        ));
+    }
+    let out = r
+        .outputs
+        .first()
+        .ok_or_else(|| "pipeline: no output tensor returned".to_string())?;
+    if out.data != want {
+        return Err("pipeline: fused output disagrees with the reference".to_string());
+    }
+    let fused_cycles = r.stats.cycles;
+    let artifact = r
+        .artifact
+        .ok_or_else(|| "pipeline: response carries no artifact id".to_string())?;
+
+    // The identical graph must be a pipeline-cache hit with the same id.
+    let r = send(&mut client, true).map_err(io)?;
+    check_stats("pipeline(cached)", &r, true)?;
+    if !r.stats.artifact_cache_hit {
+        return Err("pipeline(cached): expected a pipeline-cache hit".to_string());
+    }
+    if r.artifact.as_deref() != Some(artifact.as_str()) {
+        return Err("pipeline(cached): artifact id changed for identical graph".to_string());
+    }
+
+    // The round-trip baseline computes the same answer, never faster.
+    let r = send(&mut client, false).map_err(io)?;
+    check_stats("pipeline(roundtrip)", &r, true)?;
+    let out = r
+        .outputs
+        .first()
+        .ok_or_else(|| "pipeline(roundtrip): no output tensor returned".to_string())?;
+    if out.data != want {
+        return Err("pipeline(roundtrip): output disagrees with the reference".to_string());
+    }
+    if fused_cycles > r.stats.cycles {
+        return Err(format!(
+            "pipeline: fused run took {fused_cycles} cycles, round-trip only {}",
+            r.stats.cycles
+        ));
+    }
+
+    if !keep_alive {
+        let r = client.shutdown().map_err(io)?;
+        check_stats("shutdown", &r, false)?;
+    }
+    Ok(())
+}
+
 /// Renders a hit/miss pair as `hits/total (rate%)`, or `-` when the cache has
 /// never been consulted.
 fn rate(hits: u64, misses: u64) -> String {
@@ -226,6 +347,10 @@ fn metrics(addr: &str, shutdown: bool) -> Result<(), String> {
         rate(m.jit_hits, m.jit_misses),
         m.jit_evictions
     );
+    println!(
+        "  pipelines  hits {}",
+        rate(m.pipeline_hits, m.pipeline_misses)
+    );
     if shutdown {
         let r = client.shutdown().map_err(io)?;
         check_stats("shutdown", &r, false)?;
@@ -243,13 +368,14 @@ fn main() -> ExitCode {
     };
     let (name, result) = match args.command {
         Command::Smoke { keep_alive } => ("smoke", smoke(&args.addr, keep_alive)),
+        Command::Pipeline { keep_alive } => ("pipeline", pipeline(&args.addr, keep_alive)),
         Command::Metrics { shutdown } => ("metrics", metrics(&args.addr, shutdown)),
         Command::Health => ("health", health(&args.addr)),
     };
     match result {
         Ok(()) => {
-            if name == "smoke" {
-                println!("infs-client: smoke ok");
+            if matches!(name, "smoke" | "pipeline") {
+                println!("infs-client: {name} ok");
             }
             ExitCode::SUCCESS
         }

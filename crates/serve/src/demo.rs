@@ -6,6 +6,7 @@
 //! `scale` uses array 0; `vec_add` uses arrays 0 (A), 1 (B) and 2 (C).
 
 use infs_frontend::{Idx, Kernel, KernelBuilder, ScalarExpr};
+use infs_pipeline::{PipelineBuilder, PipelineGraph};
 use infs_sdfg::DataType;
 
 /// `A[i] = A[i] * p0` over `n` elements — region name `"scale"`, array 0.
@@ -61,6 +62,87 @@ pub fn stencil(n: u64) -> Kernel {
     k.build().expect("demo kernel is well-formed")
 }
 
+/// The demo pipeline: the three demo kernels chained over one shared table —
+/// graph name `"demo_pipeline"`, tensors 0 (X, the input), 1 (Y), 2 (Z) and
+/// 3 (W, the output).
+///
+/// ```text
+/// p_scale:   Y[i] = X[i] * p0          (param p0 on stage 0)
+/// p_add:     Z[i] = Y[i] + X[i]
+/// p_stencil: W[i] = Z[i-1] + Z[i] + Z[i+1]   (interior)
+/// ```
+pub fn pipeline(n: u64, p0: f32) -> PipelineGraph {
+    let mut pb = PipelineBuilder::new("demo_pipeline");
+    let x = pb.tensor("X", vec![n]);
+    let y = pb.tensor("Y", vec![n]);
+    let z = pb.tensor("Z", vec![n]);
+    let w = pb.tensor("W", vec![n]);
+
+    let mut k = pb.kernel("p_scale", DataType::F32);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        y,
+        vec![Idx::var(i)],
+        ScalarExpr::mul(ScalarExpr::load(x, vec![Idx::var(i)]), ScalarExpr::Param(0)),
+    );
+    pb.add_stage(
+        k.build().expect("demo stage is well-formed"),
+        vec![],
+        vec![p0],
+        true,
+    );
+
+    let mut k = pb.kernel("p_add", DataType::F32);
+    let i = k.parallel_loop("i", 0, n as i64);
+    k.assign(
+        z,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::load(y, vec![Idx::var(i)]),
+            ScalarExpr::load(x, vec![Idx::var(i)]),
+        ),
+    );
+    pb.add_stage(
+        k.build().expect("demo stage is well-formed"),
+        vec![],
+        vec![],
+        true,
+    );
+
+    let mut k = pb.kernel("p_stencil", DataType::F32);
+    let i = k.parallel_loop("i", 1, n as i64 - 1);
+    k.assign(
+        w,
+        vec![Idx::var(i)],
+        ScalarExpr::add(
+            ScalarExpr::add(
+                ScalarExpr::load(z, vec![Idx::var_plus(i, -1)]),
+                ScalarExpr::load(z, vec![Idx::var(i)]),
+            ),
+            ScalarExpr::load(z, vec![Idx::var_plus(i, 1)]),
+        ),
+    );
+    pb.add_stage(
+        k.build().expect("demo stage is well-formed"),
+        vec![],
+        vec![],
+        true,
+    );
+
+    pb.build().expect("demo pipeline is well-formed")
+}
+
+/// The scalar reference for [`pipeline`]: what `W` must contain after the
+/// graph runs on input `x` (interior only; the boundary stays untouched).
+pub fn pipeline_reference(x: &[f32], p0: f32) -> Vec<f32> {
+    let z: Vec<f32> = x.iter().map(|&v| v * p0 + v).collect();
+    let mut w = vec![0.0; x.len()];
+    for i in 1..x.len().saturating_sub(1) {
+        w[i] = z[i - 1] + z[i] + z[i + 1];
+    }
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +152,22 @@ mod tests {
         for k in [scale(64), vec_add(64), stencil(64)] {
             infs_isa::Compiler::default().compile(k, &[]).unwrap();
         }
+    }
+
+    #[test]
+    fn demo_pipeline_compiles_and_matches_reference() {
+        let n = 64;
+        let graph = pipeline(n, 3.0);
+        assert_eq!(graph.stages.len(), 3);
+        let cfg = infs_sim::SystemConfig::default();
+        let compiled = infs_pipeline::compile(&graph, &cfg).unwrap();
+        let mut m = infs_sim::Machine::new(cfg, &graph.tensors);
+        let x: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        m.memory().write_array(infs_sdfg::ArrayId(0), &x);
+        compiled
+            .run_fused(&mut m, infs_sim::ExecMode::InfS)
+            .unwrap();
+        let want = pipeline_reference(&x, 3.0);
+        assert_eq!(m.memory_ref().array(infs_sdfg::ArrayId(3)), &want[..]);
     }
 }

@@ -85,6 +85,7 @@ pub use error::ServeError;
 pub use net::{serve_tcp, Client};
 pub use protocol::{
     executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,
-    Request, RequestBody, Response, ResponseStats, ScalarOut, WireError, WireMode,
+    PipelineRequest, Request, RequestBody, Response, ResponseStats, ScalarOut, StageStats,
+    WireError, WireMode,
 };
 pub use server::{Server, ShutdownStats, Submitted, Ticket};

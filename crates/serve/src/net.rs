@@ -7,8 +7,8 @@
 //! in the standard library.
 
 use crate::protocol::{
-    ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response, ResponseStats,
-    WireError, WireMode,
+    ArrayPayload, CompileRequest, ExecuteRequest, PipelineRequest, Request, RequestBody, Response,
+    ResponseStats, WireError, WireMode,
 };
 use crate::server::Server;
 use infs_faults::RetryPolicy;
@@ -252,6 +252,32 @@ impl Client {
                 syms,
                 params,
                 mode,
+                inputs,
+                outputs,
+            }),
+        )
+    }
+
+    /// Compiles and runs a whole pipeline graph (serialized
+    /// `infs_pipeline::PipelineGraph` JSON) in one request.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, as [`Client::request`].
+    pub fn pipeline(
+        &mut self,
+        graph_json: &str,
+        mode: WireMode,
+        fused: bool,
+        inputs: Vec<ArrayPayload>,
+        outputs: Vec<u32>,
+    ) -> std::io::Result<Response> {
+        self.request(
+            None,
+            RequestBody::Pipeline(PipelineRequest {
+                graph: graph_json.to_string(),
+                mode,
+                fused,
                 inputs,
                 outputs,
             }),

@@ -33,6 +33,9 @@ pub enum RequestBody {
     Compile(CompileRequest),
     /// Execute a region of a compiled artifact.
     Execute(ExecuteRequest),
+    /// Compile and execute a whole multi-kernel pipeline graph
+    /// (`infs_pipeline::PipelineGraph` JSON) under the streaming scheduler.
+    Pipeline(PipelineRequest),
     /// Liveness probe.
     Ping,
     /// Dump server-wide observability counters (cache hit rates, queue
@@ -82,6 +85,27 @@ pub struct ExecuteRequest {
     /// Input arrays to write before running.
     pub inputs: Vec<ArrayPayload>,
     /// Array ids whose contents to return after running.
+    pub outputs: Vec<u32>,
+}
+
+/// Compile-and-run a multi-kernel pipeline graph in one request.
+///
+/// The graph travels as the JSON `infs_pipeline::PipelineGraph::to_json`
+/// produces and is content-addressed as **one** artifact: identical graphs
+/// (same tensors, kernels, symbol bindings, and stage order) hit the
+/// pipeline cache and skip compilation and residency planning entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineRequest {
+    /// The serialized pipeline graph (`PipelineGraph::to_json` output).
+    pub graph: String,
+    /// Execution mode.
+    pub mode: WireMode,
+    /// `true` runs the fused streaming schedule (resident intermediates,
+    /// overlapped prefetch); `false` runs the per-kernel round-trip baseline.
+    pub fused: bool,
+    /// Input tensors to write before the first stage.
+    pub inputs: Vec<ArrayPayload>,
+    /// Tensor ids whose contents to return after the last stage.
     pub outputs: Vec<u32>,
 }
 
@@ -223,6 +247,11 @@ pub struct MetricsReport {
     pub jit_template_hits: u64,
     /// JIT cache evictions since start.
     pub jit_evictions: u64,
+    /// Pipeline-cache hits since start (whole graphs served without
+    /// recompiling or replanning).
+    pub pipeline_hits: u64,
+    /// Pipeline-cache misses (graph compilations) since start.
+    pub pipeline_misses: u64,
     /// Worker threads serving requests.
     pub workers: usize,
     /// Milliseconds since the server started.
@@ -318,6 +347,32 @@ pub struct ResponseStats {
     pub executed: Option<String>,
     /// Whether the compiled region has an in-memory (tDFG) version.
     pub tensorizable: Option<bool>,
+    /// Per-stage breakdown for pipeline requests (empty otherwise). The
+    /// stage sums nest inside the top-level figures:
+    /// `sum(stages[i].compile_us) <= compile_us` and
+    /// `sum(stages[i].execute_us) <= execute_us`.
+    pub stages: Vec<StageStats>,
+}
+
+/// One pipeline stage's slice of a [`ResponseStats`] block.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage (kernel) name.
+    pub name: String,
+    /// Wall time compiling this stage, zero on pipeline-cache hits (µs).
+    pub compile_us: u64,
+    /// Wall time driving this stage on the simulator (µs).
+    pub execute_us: u64,
+    /// Simulated cycles of the stage's region.
+    pub cycles: u64,
+    /// Cycles stalled staging operands at stage entry (not hidden by a
+    /// predecessor's prefetch).
+    pub prepare_stall_cycles: u64,
+    /// Prefetch cycles for the *next* stage hidden under this stage's
+    /// execution.
+    pub prefetch_hidden_cycles: u64,
+    /// Where the stage ran: `"core"`, `"near-memory"` or `"in-memory"`.
+    pub executed: String,
 }
 
 /// Display label for an [`Executed`] value.

@@ -7,12 +7,13 @@
 //! or the TCP front end in [`crate::net`]; both produce the same
 //! [`Response`]s.
 
-use crate::artifact::{format_id, parse_id, ArtifactCache};
+use crate::artifact::{format_id, parse_id, ArtifactCache, PipelineCache};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::protocol::{
     executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,
-    Request, RequestBody, Response, ResponseStats, ScalarOut, WireError,
+    PipelineRequest, Request, RequestBody, Response, ResponseStats, ScalarOut, StageStats,
+    WireError,
 };
 use crate::queue::{AdmissionQueue, PushError};
 use infinity_stream::{Session, SessionError};
@@ -20,6 +21,7 @@ use infs_faults::FaultPlan;
 use infs_isa::{fnv1a, Compiler, FatBinary, IsaError};
 use infs_runtime::JitCache;
 use infs_sdfg::ArrayId;
+use infs_sim::Machine;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -118,6 +120,7 @@ struct Shared {
     cfg: ServeConfig,
     queue: AdmissionQueue<Job>,
     artifacts: ArtifactCache,
+    pipelines: PipelineCache,
     jit: Arc<JitCache>,
     gate: Gate,
     shutting_down: AtomicBool,
@@ -139,6 +142,7 @@ impl Shared {
     fn metrics(&self) -> MetricsReport {
         let (artifact_hits, artifact_misses, artifact_evictions) = self.artifacts.stats();
         let (jit_hits, jit_misses) = self.jit.stats();
+        let (pipeline_hits, pipeline_misses) = self.pipelines.stats();
         MetricsReport {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -151,6 +155,8 @@ impl Shared {
             jit_misses,
             jit_template_hits: self.jit.template_hits(),
             jit_evictions: self.jit.evictions(),
+            pipeline_hits,
+            pipeline_misses,
             workers: self.cfg.workers.max(1),
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
@@ -244,6 +250,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(cfg.queue_capacity),
             artifacts: ArtifactCache::new(cfg.artifact_capacity),
+            pipelines: PipelineCache::new(cfg.artifact_capacity),
             jit,
             gate: Gate::new(),
             shutting_down: AtomicBool::new(false),
@@ -505,6 +512,7 @@ fn request_kind(body: &RequestBody) -> &'static str {
     match body {
         RequestBody::Compile(_) => "compile",
         RequestBody::Execute(_) => "execute",
+        RequestBody::Pipeline(_) => "pipeline",
         RequestBody::Ping => "ping",
         RequestBody::Metrics => "metrics",
         RequestBody::Health => "health",
@@ -569,6 +577,10 @@ fn handle(
             RequestBody::Execute(e) => {
                 shared.maybe_panic(request.id);
                 handle_execute(shared, pool, e, deadline, &mut stats)
+            }
+            RequestBody::Pipeline(p) => {
+                shared.maybe_panic(request.id);
+                handle_pipeline(shared, p, deadline, &mut stats)
             }
         }
     };
@@ -744,6 +756,138 @@ fn handle_execute(
     Ok(Payload {
         artifact: Some(format_id(artifact_id)),
         ..result?
+    })
+}
+
+/// Maps a pipeline compile failure onto the wire error vocabulary: graphs
+/// that can never run (structure, capacity) are the client's fault; a stage
+/// kernel the compiler rejects is a compile error.
+fn pipeline_error(e: infs_pipeline::PipelineError) -> WireError {
+    match &e {
+        infs_pipeline::PipelineError::Invalid(_)
+        | infs_pipeline::PipelineError::Capacity { .. } => bad_request(e.to_string()),
+        _ => WireError::new(WireError::COMPILE, e.to_string()),
+    }
+}
+
+fn handle_pipeline(
+    shared: &Shared,
+    p: &PipelineRequest,
+    deadline: Instant,
+    stats: &mut ResponseStats,
+) -> Result<Payload, WireError> {
+    let graph = infs_pipeline::PipelineGraph::from_json(&p.graph)
+        .map_err(|e| bad_request(format!("unparseable pipeline graph: {e}")))?;
+    // Deserialization bypasses the builder, so gate before planning anything.
+    graph.validate().map_err(pipeline_error)?;
+    let key = graph.content_key().map_err(pipeline_error)?;
+
+    // Pipeline-level artifact cache: the whole graph — compiled stages,
+    // residency plan, negotiated tile — is one content-addressed artifact.
+    let compiled = if let Some(cached) = shared.pipelines.get(key) {
+        stats.artifact_cache_hit = true;
+        cached
+    } else {
+        let t0 = Instant::now();
+        let _span = infs_trace::span!("serve.pipeline_compile", graph = graph.name.as_str());
+        let compiled =
+            infs_pipeline::compile(&graph, &shared.cfg.system).map_err(pipeline_error)?;
+        stats.compile_us = t0.elapsed().as_micros() as u64;
+        shared.pipelines.insert(key, Arc::new(compiled))
+    };
+
+    let tensors = &compiled.graph().tensors;
+    for payload in &p.inputs {
+        let decl = tensors.get(payload.array as usize).ok_or_else(|| {
+            bad_request(format!("input tensor id {} out of range", payload.array))
+        })?;
+        if payload.data.len() as u64 != decl.num_elements() {
+            return Err(bad_request(format!(
+                "input tensor {} ('{}') has {} elements, got {}",
+                payload.array,
+                decl.name,
+                decl.num_elements(),
+                payload.data.len()
+            )));
+        }
+    }
+    for &out in &p.outputs {
+        if tensors.get(out as usize).is_none() {
+            return Err(bad_request(format!("output tensor id {out} out of range")));
+        }
+    }
+    if Instant::now() >= deadline {
+        return Err(WireError::new(
+            WireError::TIMEOUT,
+            "deadline expired before pipeline execution",
+        ));
+    }
+
+    // Pipelines run on a fresh machine per request: the graph owns its whole
+    // tensor table, so there is no artifact×mode session to keep warm.
+    let mut machine = Machine::new(shared.cfg.system.clone(), tensors);
+    if let Some(plan) = &shared.faults {
+        machine.set_fault_plan(plan.clone());
+    }
+    for payload in &p.inputs {
+        machine
+            .memory()
+            .write_array(ArrayId(payload.array), &payload.data);
+    }
+
+    let t0 = Instant::now();
+    let mut span = infs_trace::span!(
+        "serve.pipeline",
+        graph = compiled.graph().name.as_str(),
+        fused = p.fused,
+    );
+    let report = if p.fused {
+        compiled.run_fused(&mut machine, p.mode.exec_mode())
+    } else {
+        compiled.run_roundtrip(&mut machine, p.mode.exec_mode())
+    }
+    .map_err(|e| WireError::new(WireError::EXECUTION, e.to_string()))?;
+    span.arg("cycles", report.total_cycles);
+    drop(span);
+    stats.execute_us = t0.elapsed().as_micros() as u64;
+    stats.cycles = report.total_cycles;
+    stats.executed = report
+        .stages
+        .last()
+        .map(|s| executed_label(s.region.executed).to_string());
+    stats.stages = report
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| StageStats {
+            name: s.stage.clone(),
+            // Cache hits charge no compile time, matching the top-level rule.
+            compile_us: if stats.artifact_cache_hit {
+                0
+            } else {
+                compiled.compile_ns().get(i).copied().unwrap_or(0) / 1000
+            },
+            execute_us: s.host_ns / 1000,
+            cycles: s.region.cycles,
+            prepare_stall_cycles: s.prepare_stall,
+            prefetch_hidden_cycles: s.prefetch_hidden,
+            executed: executed_label(s.region.executed).to_string(),
+        })
+        .collect();
+
+    Ok(Payload {
+        artifact: Some(format_id(key)),
+        outputs: p
+            .outputs
+            .iter()
+            .map(|&id| ArrayPayload {
+                array: id,
+                data: machine.memory_ref().array(ArrayId(id)).to_vec(),
+            })
+            .collect(),
+        scalars: Vec::new(),
+        metrics: None,
+        health: None,
     })
 }
 

@@ -117,3 +117,75 @@ fn phase_times_fit_inside_total_and_metrics_add_up() {
 
     server.shutdown();
 }
+
+#[test]
+fn pipeline_stats_nest_and_cache_hits() {
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let n = 128u64;
+    let graph = demo::pipeline(n, 2.0);
+    let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    let body = || {
+        RequestBody::Pipeline(infs_serve::PipelineRequest {
+            graph: graph.to_json().unwrap(),
+            mode: WireMode::InfS,
+            fused: true,
+            inputs: vec![ArrayPayload {
+                array: 0,
+                data: input.clone(),
+            }],
+            outputs: vec![3],
+        })
+    };
+
+    // Cold: compiled once, per-stage breakdown present and nested.
+    let r = call(&server, 40, body());
+    assert!(r.ok, "pipeline request failed: {:?}", r.error);
+    assert!(!r.stats.artifact_cache_hit);
+    assert_eq!(r.stats.stages.len(), graph.stages.len());
+    let stage_compile: u64 = r.stats.stages.iter().map(|s| s.compile_us).sum();
+    let stage_execute: u64 = r.stats.stages.iter().map(|s| s.execute_us).sum();
+    assert!(stage_compile <= r.stats.compile_us);
+    assert!(stage_execute <= r.stats.execute_us);
+    assert!(r.stats.cycles > 0);
+    for st in &r.stats.stages {
+        assert!(!st.name.is_empty());
+        assert!(!st.executed.is_empty());
+        assert!(st.cycles > 0);
+    }
+    let out = &r.outputs[0].data;
+    assert_eq!(out, &demo::pipeline_reference(&input, 2.0));
+    let artifact = r.artifact.clone().unwrap();
+
+    // Warm: pipeline-cache hit, zero compile time everywhere, same artifact.
+    let r = call(&server, 41, body());
+    assert!(r.ok);
+    assert!(r.stats.artifact_cache_hit, "identical graph must hit");
+    assert!(r.stats.stages.iter().all(|s| s.compile_us == 0));
+    assert_eq!(r.artifact.as_deref(), Some(artifact.as_str()));
+
+    // A malformed graph is a bad request, not a worker fault.
+    let r = call(
+        &server,
+        42,
+        RequestBody::Pipeline(infs_serve::PipelineRequest {
+            graph: "{not json".into(),
+            mode: WireMode::InfS,
+            fused: true,
+            inputs: vec![],
+            outputs: vec![],
+        }),
+    );
+    assert!(!r.ok);
+    assert_eq!(r.error.unwrap().kind, infs_serve::WireError::BAD_REQUEST);
+
+    let metrics = match call(&server, 43, RequestBody::Metrics).metrics {
+        Some(m) => m,
+        None => panic!("metrics verb must answer with a report"),
+    };
+    assert_eq!(metrics.pipeline_hits, 1);
+    assert_eq!(metrics.pipeline_misses, 1);
+    server.shutdown();
+}

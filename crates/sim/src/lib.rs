@@ -50,7 +50,8 @@ pub use energy::{area_report, AreaReport, EnergyBreakdown, EnergyParams};
 pub use infs_runtime::JitOutcome;
 pub use inmem::InMemOutcome;
 pub use machine::{
-    ExecMode, Executed, FaultCounters, Machine, RegionAuditor, RegionReport, SimError,
+    ExecMode, Executed, FaultCounters, Machine, PipelinePolicy, RegionAuditor, RegionReport,
+    SimError, StageReport, StageRequest,
 };
 pub use nearmem::NearMemOutcome;
 pub use noc::Mesh;

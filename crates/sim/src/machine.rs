@@ -84,6 +84,59 @@ pub struct RegionReport {
     pub jit_outcome: Option<JitOutcome>,
 }
 
+/// One stage of a pipelined multi-kernel run (see [`Machine::run_pipeline`]).
+#[derive(Debug)]
+pub struct StageRequest<'a> {
+    /// Region to execute.
+    pub region: &'a RegionInstance,
+    /// Runtime parameters for the region.
+    pub params: Vec<f32>,
+    /// Arrays to stage for the *next* stage while this one executes — the
+    /// prefetch half of the 3-phase prepare/stream/prefetch loop. Staging
+    /// cycles overlap with this stage's execution; only the excess stalls
+    /// the timeline.
+    pub prefetch: Vec<u32>,
+    /// Arrays dead after this stage (the residency planner's eviction list):
+    /// written back and dropped from L3, freeing compute ways.
+    pub evict: Vec<u32>,
+}
+
+/// Per-stage result of a pipelined run: the region's own report plus the
+/// overlap accounting that makes prefetch effectiveness observable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage (region) name.
+    pub stage: String,
+    /// The underlying region invocation.
+    pub region: RegionReport,
+    /// Prepare cycles this stage stalled on (operand staging **not** hidden
+    /// by a previous stage's prefetch; for round-trip runs this is the full
+    /// prepare cost).
+    pub prepare_stall: u64,
+    /// Staging cycles issued on behalf of the next stage during this one.
+    pub prefetch_issued: u64,
+    /// Portion of `prefetch_issued` hidden under this stage's execution —
+    /// the cycles the fused pipeline saves over a round trip.
+    pub prefetch_hidden: u64,
+    /// Host wall-clock nanoseconds spent driving this stage (the serving
+    /// layer's per-stage breakdown).
+    pub host_ns: u64,
+}
+
+/// How [`Machine::run_pipeline`] treats inter-stage state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelinePolicy {
+    /// Fused streaming execution: intermediates stay resident (and
+    /// transposed) across stages, the next stage's operands are prefetched
+    /// under the current stage's execution, and only planner-declared
+    /// evictions write back.
+    Fused,
+    /// Per-kernel host round trip (the pre-pipeline baseline): after every
+    /// stage all resident and transposed state is written back and dropped,
+    /// so each stage re-stages its operands from cold.
+    Roundtrip,
+}
+
 /// Simulator errors.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -237,6 +290,10 @@ pub struct Machine {
     /// Optional pre-execution validation hook (machine configuration, like
     /// the tile override: it survives [`Machine::reset`]).
     auditor: Option<RegionAuditor>,
+    /// Prepare cycles the most recent [`Machine::run_region`] charged (0 for
+    /// core/near-memory runs) — the per-stage stall [`Machine::run_pipeline`]
+    /// reports without widening [`RegionReport`].
+    last_prepare_cycles: u64,
 }
 
 impl Machine {
@@ -281,7 +338,13 @@ impl Machine {
             region_seq: 0,
             fault_counts: FaultCounters::default(),
             auditor: None,
+            last_prepare_cycles: 0,
         }
+    }
+
+    /// The machine's system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
     }
 
     /// Installs (or clears) a [`RegionAuditor`] consulted on every
@@ -425,6 +488,137 @@ impl Machine {
         }
     }
 
+    /// Writes back a specific set of resident arrays and drops them from L3
+    /// (the residency planner's per-stage eviction, as opposed to the global
+    /// [`Machine::release_transposed`]). Arrays still in transposed form pay
+    /// the DRAM writeback; untransposed resident arrays are simply dropped
+    /// (clean lines need no writeback in this model).
+    pub fn evict_resident(&mut self, arrays: &[u32]) {
+        let mut bytes = 0u64;
+        let sizes: Vec<u64> = arrays
+            .iter()
+            .map(|&a| self.mem.decls()[a as usize].size_bytes())
+            .collect();
+        if let Some(active) = &mut self.transposed {
+            for (&a, &sz) in arrays.iter().zip(&sizes) {
+                if active.arrays.remove(&a) {
+                    bytes += sz;
+                }
+            }
+            if active.arrays.is_empty() {
+                self.transposed = None;
+            }
+        }
+        for &a in arrays {
+            self.touched.remove(&a);
+        }
+        if bytes > 0 {
+            let cycles = (bytes as f64 / self.cfg.dram_bytes_per_cycle).ceil() as u64;
+            self.stats.cycles += cycles;
+            self.stats.breakdown.dram += cycles;
+            self.stats.traffic.noc_data += bytes as f64 * self.mesh.avg_hops() * 0.5;
+            self.stats.energy.dram += bytes as f64 * self.eparams.dram_byte;
+        }
+        infs_trace::counter!("pipeline.evictions", arrays.len() as u64);
+    }
+
+    /// Stages arrays into L3 ahead of their consuming stage, returning the
+    /// cycles the staging occupies **without** advancing the timeline — the
+    /// caller decides how much hides under concurrent execution. With an
+    /// active transposed region the arrays also enter transposed form (so a
+    /// following in-memory stage's prepare finds them); otherwise they are
+    /// pulled warm from DRAM.
+    fn prefetch_resident(&mut self, wanted: &HashSet<u32>) -> u64 {
+        if self.assume_transposed || wanted.is_empty() {
+            return 0;
+        }
+        let cycles = match self.transposed.as_ref().map(|a| a.tile.clone()) {
+            Some(tile) => self.prepare_transposed(wanted, &tile),
+            None => {
+                let cold: u64 = wanted
+                    .iter()
+                    .filter(|a| !self.touched.contains(a))
+                    .map(|&a| self.mem.decls()[a as usize].size_bytes())
+                    .sum();
+                if cold == 0 {
+                    0
+                } else {
+                    self.stats.energy.dram += cold as f64 * self.eparams.dram_byte;
+                    (cold as f64 / self.cfg.dram_bytes_per_cycle).ceil() as u64
+                        + self.cfg.dram_latency
+                }
+            }
+        };
+        for &a in wanted {
+            self.touched.insert(a);
+        }
+        cycles
+    }
+
+    /// Runs a sequence of regions as one pipeline on a single timeline — the
+    /// 3-phase prepare/stream/prefetch loop: while stage *k* streams, stage
+    /// *k+1*'s operands (each request's `prefetch` list) are staged, and only
+    /// staging cycles exceeding the execution window stall the clock.
+    ///
+    /// Under [`PipelinePolicy::Roundtrip`] every stage instead behaves like an
+    /// isolated request: prefetch lists are ignored and all resident state is
+    /// written back after each stage — the per-kernel baseline the fused
+    /// pipeline is measured against.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_region`]; the first failing stage aborts the run.
+    pub fn run_pipeline(
+        &mut self,
+        stages: &[StageRequest<'_>],
+        mode: ExecMode,
+        policy: PipelinePolicy,
+    ) -> Result<Vec<StageReport>, SimError> {
+        let _span = infs_trace::span!(
+            "sim.pipeline",
+            stages = stages.len() as u64,
+            mode = mode_label(mode),
+        );
+        let mut reports = Vec::with_capacity(stages.len());
+        for st in stages {
+            let t0 = std::time::Instant::now();
+            let region = self.run_region(st.region, &st.params, mode)?;
+            let prepare_stall = self.last_prepare_cycles;
+            let (mut prefetch_issued, mut prefetch_hidden) = (0, 0);
+            match policy {
+                PipelinePolicy::Fused => {
+                    if !st.prefetch.is_empty() {
+                        let wanted: HashSet<u32> = st.prefetch.iter().copied().collect();
+                        prefetch_issued = self.prefetch_resident(&wanted);
+                        prefetch_hidden = prefetch_issued.min(region.cycles);
+                        let stall = prefetch_issued - prefetch_hidden;
+                        self.stats.cycles += stall;
+                        self.stats.breakdown.dram += stall;
+                        infs_trace::counter!("pipeline.prefetch_hidden_cycles", prefetch_hidden);
+                        infs_trace::counter!("pipeline.prefetch_stall_cycles", stall);
+                    }
+                    if !st.evict.is_empty() {
+                        self.evict_resident(&st.evict);
+                    }
+                }
+                PipelinePolicy::Roundtrip => {
+                    self.release_transposed();
+                    self.touched.clear();
+                }
+            }
+            infs_trace::counter!("pipeline.prepare_stall_cycles", prepare_stall);
+            reports.push(StageReport {
+                stage: st.region.name.clone(),
+                region,
+                prepare_stall,
+                prefetch_issued,
+                prefetch_hidden,
+                host_ns: t0.elapsed().as_nanos() as u64,
+            });
+        }
+        Ok(reports)
+    }
+
     /// Runs one region under a configuration.
     ///
     /// # Errors
@@ -438,6 +632,7 @@ impl Machine {
         params: &[f32],
         mode: ExecMode,
     ) -> Result<RegionReport, SimError> {
+        self.last_prepare_cycles = 0;
         let mut span = infs_trace::span!(
             "sim.region",
             region = region.name.as_str(),
@@ -778,6 +973,7 @@ impl Machine {
         // 1. Prepare transposed data (TC_core flush + TTU transpose streams).
         let needed = Self::used_arrays(tdfg);
         let prepare_cycles = self.prepare_transposed(&needed, layout.tile().dims());
+        self.last_prepare_cycles = prepare_cycles;
 
         // 2. JIT: distill the relocatable template (O(nodes)) and resolve
         // through the two-level cache — exact stream (concrete hit),

@@ -27,6 +27,7 @@ mod gather_mlp;
 mod gauss;
 mod kmeans;
 mod micro;
+mod mlp_stack;
 mod mm;
 mod pointnet;
 mod stencil;
@@ -37,6 +38,7 @@ pub use gather_mlp::GatherMlp;
 pub use gauss::GaussElim;
 pub use kmeans::Kmeans;
 pub use micro::{ArraySum, VecAdd};
+pub use mlp_stack::MlpStack;
 pub use mm::MatMul;
 pub use pointnet::{PointNet, PointNetVariant};
 pub use stencil::{Dwt2d, Stencil1d, Stencil2d, Stencil3d};
@@ -217,6 +219,8 @@ pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Benchmark>> {
         "kmeans/out" => Box::new(Kmeans::new(scale, Dataflow::Outer)),
         "gather_mlp/in" => Box::new(GatherMlp::new(scale, Dataflow::Inner)),
         "gather_mlp/out" => Box::new(GatherMlp::new(scale, Dataflow::Outer)),
+        // Not part of the Table 3 suite: the multi-kernel pipeline workload.
+        "mlp_stack" => Box::new(MlpStack::new(scale)),
         _ => return None,
     };
     Some(b)

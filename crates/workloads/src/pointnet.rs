@@ -22,10 +22,11 @@
 //! runs host-side functionally while its scan work is timed by the mask
 //! region, a substitution recorded in DESIGN.md.
 
-use crate::util::{compile, instantiate};
+use crate::util::{compile, fill_uniform, instantiate};
 use crate::{Benchmark, Scale};
-use infs_frontend::{Idx, KernelBuilder, ScalarExpr};
+use infs_frontend::{Idx, Kernel, KernelBuilder, ScalarExpr, TensorTable};
 use infs_isa::CompiledRegion;
+use infs_pipeline::{PipelineBuilder, PipelineGraph};
 use infs_sdfg::{ArrayDecl, ArrayId, DataType, Memory, ReduceOp};
 use infs_sim::{ExecMode, Executed, Machine, SimError};
 use infs_tdfg::ComputeOp;
@@ -115,23 +116,121 @@ struct SaStage {
     aggregate: CompiledRegion,
 }
 
-/// Array-table builder shared by every kernel of the network.
-#[derive(Debug, Default)]
-struct Decls {
-    list: Vec<ArrayDecl>,
-}
-
-impl Decls {
-    fn add(&mut self, name: String, shape: Vec<u64>, dtype: DataType) -> ArrayId {
-        self.list.push(ArrayDecl::new(name, shape, dtype));
-        ArrayId(self.list.len() as u32 - 1)
-    }
-}
-
 fn declare_all(kb: &mut KernelBuilder, decls: &[ArrayDecl]) {
     for d in decls {
         kb.array_typed(d.name.clone(), d.shape.clone(), d.dtype);
     }
+}
+
+/// Dense MLP layer `OUT[j][c][o] = Σ_kk IN[j][c][kk] · W[o][kk]` — the fused
+/// inner-product form shared by the per-kernel path and the tail graph.
+#[allow(clippy::too_many_arguments)]
+fn dense_mlp_kernel(
+    decls: &[ArrayDecl],
+    name: String,
+    input: ArrayId,
+    weight: ArrayId,
+    out: ArrayId,
+    n: u64,
+    k: u64,
+    din: u64,
+    dout: u64,
+) -> Kernel {
+    let mut kb = KernelBuilder::new(name, DataType::F32);
+    declare_all(&mut kb, decls);
+    let kk = kb.parallel_loop("kk", 0, din as i64);
+    let j = kb.parallel_loop("j", 0, n as i64);
+    let c = kb.parallel_loop("c", 0, k as i64);
+    let o = kb.parallel_loop("o", 0, dout as i64);
+    let prod = ScalarExpr::mul(
+        ScalarExpr::load(input, vec![Idx::var(j), Idx::var(c), Idx::var(kk)]),
+        ScalarExpr::load(weight, vec![Idx::var(o), Idx::var(kk)]),
+    );
+    kb.assign_reduced(
+        out,
+        vec![Idx::var(j), Idx::var(c), Idx::var(o)],
+        prod,
+        vec![(kk, ReduceOp::Sum)],
+    );
+    kb.build().expect("mlp kernel builds")
+}
+
+/// `DST = relu(SRC)` element-wise over `SRC`'s full shape (any rank). With
+/// `dst == src` this is the in-place form the per-kernel path uses; the tail
+/// graph passes a fresh activation tensor to keep one producer per tensor.
+fn relu_kernel(decls: &[ArrayDecl], name: String, src: ArrayId, dst: ArrayId) -> Kernel {
+    let mut kb = KernelBuilder::new(name, DataType::F32);
+    declare_all(&mut kb, decls);
+    const LOOPS: [&str; 4] = ["j", "c", "o", "q"];
+    let idx: Vec<Idx> = decls[src.0 as usize]
+        .shape
+        .clone()
+        .iter()
+        .enumerate()
+        .map(|(d, &ext)| Idx::var(kb.parallel_loop(LOOPS[d], 0, ext as i64)))
+        .collect();
+    kb.assign(
+        dst,
+        idx.clone(),
+        ScalarExpr::un(ComputeOp::Relu, ScalarExpr::load(src, idx)),
+    );
+    kb.build().expect("relu kernel builds")
+}
+
+/// Neighborhood max-pool `DST[0][c][o] = max_j SRC[j][c][o]`.
+fn agg_kernel(
+    decls: &[ArrayDecl],
+    name: String,
+    src: ArrayId,
+    dst: ArrayId,
+    n: u64,
+    k: u64,
+    d: u64,
+) -> Kernel {
+    let mut kb = KernelBuilder::new(name, DataType::F32);
+    declare_all(&mut kb, decls);
+    let j = kb.parallel_loop("j", 0, n as i64);
+    let c = kb.parallel_loop("c", 0, k as i64);
+    let o = kb.parallel_loop("o", 0, d as i64);
+    kb.assign_reduced(
+        dst,
+        vec![Idx::constant(0), Idx::var(c), Idx::var(o)],
+        ScalarExpr::load(src, vec![Idx::var(j), Idx::var(c), Idx::var(o)]),
+        vec![(j, ReduceOp::Max)],
+    );
+    kb.build().expect("aggregate kernel builds")
+}
+
+/// FC head layer `OUT[0][o] = Σ_i IN[..][i] · W[i][o]`; the first layer reads
+/// the rank-3 global feature, later layers a rank-2 activation vector.
+#[allow(clippy::too_many_arguments)]
+fn fc_kernel(
+    decls: &[ArrayDecl],
+    name: String,
+    input: ArrayId,
+    input_rank3: bool,
+    weight: ArrayId,
+    out: ArrayId,
+    din: u64,
+    dout: u64,
+) -> Kernel {
+    let mut kb = KernelBuilder::new(name, DataType::F32);
+    declare_all(&mut kb, decls);
+    let i = kb.parallel_loop("i", 0, din as i64);
+    let o = kb.parallel_loop("o", 0, dout as i64);
+    let input = if input_rank3 {
+        ScalarExpr::load(input, vec![Idx::constant(0), Idx::constant(0), Idx::var(i)])
+    } else {
+        ScalarExpr::load(input, vec![Idx::constant(0), Idx::var(i)])
+    };
+    let w = ScalarExpr::load(weight, vec![Idx::var(i), Idx::var(o)]);
+    kb.assign_reduced(
+        out,
+        vec![Idx::constant(0), Idx::var(o)],
+        ScalarExpr::mul(input, w),
+        vec![(i, ReduceOp::Sum)],
+    );
+    kb.build().expect("fc kernel builds")
 }
 
 /// PointNet++ classifier inference over a random 4k-point cloud.
@@ -152,6 +251,11 @@ pub struct PointNet {
     fc_in: ArrayId,
     #[allow(dead_code)]
     fc_in_dim: u64,
+    /// Dense-tail activation tensors (graph stages need one producer per
+    /// tensor, so the pipeline's ReLUs write here instead of in place).
+    tact: [ArrayId; 3],
+    /// FC-head activation tensors for the pipeline's inter-layer ReLUs.
+    fc_act: Vec<ArrayId>,
 }
 
 impl PointNet {
@@ -171,11 +275,11 @@ impl PointNet {
                 (d2 / shrink).max(4),
             ],
         };
-        let mut decls = Decls::default();
-        let pts = decls.add("PTS".into(), vec![3, np], DataType::F32);
+        let mut decls = TensorTable::new();
+        let pts = decls.tensor_typed("PTS", vec![3, np], DataType::F32);
 
         let mut stages: Vec<SaStage> = Vec::new();
-        let build_stage = |decls: &mut Decls,
+        let build_stage = |decls: &mut TensorTable,
                            stages: &mut Vec<SaStage>,
                            label: &str,
                            p: SaParams,
@@ -327,45 +431,52 @@ impl PointNet {
         let mut fc_out = Vec::new();
         let mut din = fc_in_dim;
         for (l, &dout) in fc_dims.iter().enumerate() {
-            fc_w.push(decls.add(format!("FCW{l}"), vec![din, dout], DataType::F32));
-            fc_out.push(decls.add(format!("FCO{l}"), vec![1, dout], DataType::F32));
+            fc_w.push(decls.tensor_typed(format!("FCW{l}"), vec![din, dout], DataType::F32));
+            fc_out.push(decls.tensor_typed(format!("FCO{l}"), vec![1, dout], DataType::F32));
             din = dout;
         }
 
-        // FC kernels (near-memory by construction: tiny matvecs).
+        // Pipeline-only activation tensors (appended after the classic table,
+        // so existing array ids are unchanged): the graph IR requires one
+        // producer per tensor, so its ReLU stages cannot update in place.
+        let (tn, tk, tdims) = {
+            let last = stages.last().expect("at least one stage");
+            (last.p.n, last.p.k, last.p.dims)
+        };
+        let tact = [
+            decls.tensor_typed("TACT0", vec![tn, tk, tdims[0]], DataType::F32),
+            decls.tensor_typed("TACT1", vec![tn, tk, tdims[1]], DataType::F32),
+            decls.tensor_typed("TACT2", vec![tn, tk, tdims[2]], DataType::F32),
+        ];
+        let fc_act: Vec<ArrayId> = fc_dims[..fc_dims.len() - 1]
+            .iter()
+            .enumerate()
+            .map(|(l, &d)| decls.tensor_typed(format!("FCA{l}"), vec![1, d], DataType::F32))
+            .collect();
+
+        // FC kernels (near-memory by construction: tiny matvecs). ReLU
+        // between layers is applied post-store by a host pass in the wrapper;
+        // the matvec itself stays linear.
         let mut fc_regions = Vec::new();
         let mut din = fc_in_dim;
         for (l, &dout) in fc_dims.iter().enumerate() {
-            let mut kb = KernelBuilder::new(format!("fc{l}"), DataType::F32);
-            declare_all(&mut kb, &decls.list);
-            let i = kb.parallel_loop("i", 0, din as i64);
-            let o = kb.parallel_loop("o", 0, dout as i64);
-            let input = if l == 0 {
-                ScalarExpr::load(fc_in, vec![Idx::constant(0), Idx::constant(0), Idx::var(i)])
-            } else {
-                ScalarExpr::load(fc_out[l - 1], vec![Idx::constant(0), Idx::var(i)])
-            };
-            let w = ScalarExpr::load(fc_w[l], vec![Idx::var(i), Idx::var(o)]);
-            let prod = ScalarExpr::mul(input, w);
-            let act = if l + 1 < fc_dims.len() {
-                // ReLU between layers is applied post-store by a host pass in
-                // the reference; keep the matvec linear and activate inline.
-                prod
-            } else {
-                prod
-            };
-            kb.assign_reduced(
+            let input = if l == 0 { fc_in } else { fc_out[l - 1] };
+            let kernel = fc_kernel(
+                decls.decls(),
+                format!("fc{l}"),
+                input,
+                l == 0,
+                fc_w[l],
                 fc_out[l],
-                vec![Idx::constant(0), Idx::var(o)],
-                act,
-                vec![(i, ReduceOp::Sum)],
+                din,
+                dout,
             );
-            fc_regions.push(compile(kb.build().expect("fc builds"), &[], false));
+            fc_regions.push(compile(kernel, &[], false));
             din = dout;
         }
 
         // Finish building stage kernels now that the table is complete.
-        let decls = decls.list;
+        let decls = decls.decls().to_vec();
         for st in &mut stages {
             st.build_kernels(&decls);
         }
@@ -382,12 +493,125 @@ impl PointNet {
             fc_regions,
             fc_in,
             fc_in_dim,
+            tact,
+            fc_act,
         }
     }
 
     /// Network shape.
     pub fn variant(&self) -> PointNetVariant {
         self.variant
+    }
+
+    /// The dense tail of the network — final-SA MLP×3 (+ReLU), neighborhood
+    /// max-pool, and the FC head — expressed as a pipeline graph: 12 kernel
+    /// stages chained by named tensors, ending in the logits tensor the
+    /// per-kernel wrapper also produces. The host-interactive front phases
+    /// (sampling, ball query, gather) are data-dependent and stay outside.
+    pub fn tail_graph(&self) -> PipelineGraph {
+        let last = self.stages.last().expect("at least one stage");
+        let (n, k) = (last.p.n, last.p.k);
+        let name = match self.variant {
+            PointNetVariant::Ssg => "pointnet_ssg_tail",
+            PointNetVariant::Msg => "pointnet_msg_tail",
+        };
+        let mut pb = PipelineBuilder::with_table(name, TensorTable::from_decls(self.decls.clone()));
+        for l in 0..3 {
+            let (input, din) = if l == 0 {
+                (last.gf, last.din)
+            } else {
+                (self.tact[l - 1], last.p.dims[l - 1])
+            };
+            pb.add_stage(
+                dense_mlp_kernel(
+                    &self.decls,
+                    format!("tail_mlp{l}"),
+                    input,
+                    last.weights[l],
+                    last.louts[l],
+                    n,
+                    k,
+                    din,
+                    last.p.dims[l],
+                ),
+                vec![],
+                vec![],
+                false,
+            );
+            pb.add_stage(
+                relu_kernel(
+                    &self.decls,
+                    format!("tail_relu{l}"),
+                    last.louts[l],
+                    self.tact[l],
+                ),
+                vec![],
+                vec![],
+                true,
+            );
+        }
+        pb.add_stage(
+            agg_kernel(
+                &self.decls,
+                "tail_agg".into(),
+                self.tact[2],
+                last.agg,
+                n,
+                k,
+                last.p.dims[2],
+            ),
+            vec![],
+            vec![],
+            true,
+        );
+        let mut din = self.fc_in_dim;
+        for (l, &dout) in self.fc_dims.iter().enumerate() {
+            let input = if l == 0 { last.agg } else { self.fc_act[l - 1] };
+            pb.add_stage(
+                fc_kernel(
+                    &self.decls,
+                    format!("tail_fc{l}"),
+                    input,
+                    l == 0,
+                    self.fc_w[l],
+                    self.fc_out[l],
+                    din,
+                    dout,
+                ),
+                vec![],
+                vec![],
+                false,
+            );
+            if l + 1 < self.fc_dims.len() {
+                pb.add_stage(
+                    relu_kernel(
+                        &self.decls,
+                        format!("tail_fcrelu{l}"),
+                        self.fc_out[l],
+                        self.fc_act[l],
+                    ),
+                    vec![],
+                    vec![],
+                    true,
+                );
+            }
+            din = dout;
+        }
+        pb.build().expect("pointnet tail graph is well-formed")
+    }
+
+    /// Deterministically fills the tail graph's input tensors (the final SA
+    /// stage's gathered features plus all MLP/FC weights), so the graph can
+    /// run standalone without driving the host-interactive front phases.
+    pub fn seed_tail_inputs(&self, mem: &mut Memory) {
+        let last = self.stages.last().expect("at least one stage");
+        fill_uniform(mem, last.gf, 0xA110, -1.0, 1.0);
+        for w in last.weights {
+            fill_uniform(mem, w, 0x9000 + w.0 as u64, -0.5, 0.5);
+        }
+        for &w in &self.fc_w {
+            fill_uniform(mem, w, 0xF000 + w.0 as u64, -0.5, 0.5);
+        }
     }
 
     /// Runs inference and returns the per-stage/phase timeline (Fig 19).
@@ -426,7 +650,7 @@ impl PointNet {
 impl SaStage {
     #[allow(clippy::too_many_arguments)]
     fn build(
-        decls: &mut Decls,
+        decls: &mut TensorTable,
         label: &str,
         p: SaParams,
         np_in: u64,
@@ -437,37 +661,38 @@ impl SaStage {
     ) -> SaStage {
         let din: u64 = feat_srcs.iter().map(FeatSrc::dims).sum();
         let (k, n) = (p.k, p.n);
-        let cpts = shared_cpts
-            .unwrap_or_else(|| decls.add(format!("{label}_CPTS"), vec![3, k], DataType::F32));
-        let mind = decls.add(format!("{label}_MIND"), vec![np_in], DataType::F32);
-        let mask = decls.add(format!("{label}_MASK"), vec![np_in, k], DataType::F32);
-        let neigh = decls.add(format!("{label}_NEIGH"), vec![n, k], DataType::I32);
-        let gf = decls.add(format!("{label}_GF"), vec![n, k, din], DataType::F32);
+        let cpts = shared_cpts.unwrap_or_else(|| {
+            decls.tensor_typed(format!("{label}_CPTS"), vec![3, k], DataType::F32)
+        });
+        let mind = decls.tensor_typed(format!("{label}_MIND"), vec![np_in], DataType::F32);
+        let mask = decls.tensor_typed(format!("{label}_MASK"), vec![np_in, k], DataType::F32);
+        let neigh = decls.tensor_typed(format!("{label}_NEIGH"), vec![n, k], DataType::I32);
+        let gf = decls.tensor_typed(format!("{label}_GF"), vec![n, k, din], DataType::F32);
         let louts = [
-            decls.add(format!("{label}_L0"), vec![n, k, p.dims[0]], DataType::F32),
-            decls.add(format!("{label}_L1"), vec![n, k, p.dims[1]], DataType::F32),
-            decls.add(format!("{label}_L2"), vec![n, k, p.dims[2]], DataType::F32),
+            decls.tensor_typed(format!("{label}_L0"), vec![n, k, p.dims[0]], DataType::F32),
+            decls.tensor_typed(format!("{label}_L1"), vec![n, k, p.dims[1]], DataType::F32),
+            decls.tensor_typed(format!("{label}_L2"), vec![n, k, p.dims[2]], DataType::F32),
         ];
-        let bufg = decls.add(format!("{label}_BUFG"), vec![n, k], DataType::F32);
+        let bufg = decls.tensor_typed(format!("{label}_BUFG"), vec![n, k], DataType::F32);
         let bufw = [
-            decls.add(format!("{label}_BW0"), vec![1, 1, p.dims[0]], DataType::F32),
-            decls.add(format!("{label}_BW1"), vec![1, 1, p.dims[1]], DataType::F32),
-            decls.add(format!("{label}_BW2"), vec![1, 1, p.dims[2]], DataType::F32),
+            decls.tensor_typed(format!("{label}_BW0"), vec![1, 1, p.dims[0]], DataType::F32),
+            decls.tensor_typed(format!("{label}_BW1"), vec![1, 1, p.dims[1]], DataType::F32),
+            decls.tensor_typed(format!("{label}_BW2"), vec![1, 1, p.dims[2]], DataType::F32),
         ];
         let weights = [
-            decls.add(format!("{label}_W0"), vec![p.dims[0], din], DataType::F32),
-            decls.add(
+            decls.tensor_typed(format!("{label}_W0"), vec![p.dims[0], din], DataType::F32),
+            decls.tensor_typed(
                 format!("{label}_W1"),
                 vec![p.dims[1], p.dims[0]],
                 DataType::F32,
             ),
-            decls.add(
+            decls.tensor_typed(
                 format!("{label}_W2"),
                 vec![p.dims[2], p.dims[1]],
                 DataType::F32,
             ),
         ];
-        let agg = decls.add(format!("{label}_AGG"), vec![1, k, p.dims[2]], DataType::F32);
+        let agg = decls.tensor_typed(format!("{label}_AGG"), vec![1, k, p.dims[2]], DataType::F32);
         // Kernels are compiled in `build_kernels` once the global table exists;
         // placeholders keep construction single-pass.
         let placeholder = {
@@ -651,7 +876,6 @@ impl SaStage {
                 (self.louts[l - 1], self.p.dims[l - 1])
             };
             let dout = self.p.dims[l];
-            let _ = din_l;
             self.copy_g[l] = {
                 let mut kb = KernelBuilder::new(format!("{}_copyg{l}", self.label), DataType::F32);
                 declare_all(&mut kb, decls);
@@ -698,63 +922,50 @@ impl SaStage {
                 );
                 compile(kb.build().expect("builds"), &[], true)
             };
-            self.mlp_inner[l] = {
-                // Fused single-region layer for core/near execution: the Base
-                // implementation is a tiled inner-product GEMM, not staged
-                // outer-product rounds (Fig 8).
-                let mut kb = KernelBuilder::new(format!("{}_mlpin{l}", self.label), DataType::F32);
-                declare_all(&mut kb, decls);
-                let kk = kb.parallel_loop("kk", 0, din_l as i64);
-                let j = kb.parallel_loop("j", 0, n as i64);
-                let c = kb.parallel_loop("c", 0, k as i64);
-                let o = kb.parallel_loop("o", 0, dout as i64);
-                let prod = ScalarExpr::mul(
-                    ScalarExpr::load(input, vec![Idx::var(j), Idx::var(c), Idx::var(kk)]),
-                    ScalarExpr::load(self.weights[l], vec![Idx::var(o), Idx::var(kk)]),
-                );
-                kb.assign_reduced(
+            // Fused single-region layer for core/near execution: the Base
+            // implementation is a tiled inner-product GEMM, not staged
+            // outer-product rounds (Fig 8). Same constructor as the pipeline
+            // graph's tail stages, so both paths share one kernel definition.
+            self.mlp_inner[l] = compile(
+                dense_mlp_kernel(
+                    decls,
+                    format!("{}_mlpin{l}", self.label),
+                    input,
+                    self.weights[l],
                     self.louts[l],
-                    vec![Idx::var(j), Idx::var(c), Idx::var(o)],
-                    prod,
-                    vec![(kk, infs_sdfg::ReduceOp::Sum)],
-                );
-                compile(kb.build().expect("builds"), &[], false)
-            };
-            self.relu[l] = {
-                let mut kb = KernelBuilder::new(format!("{}_relu{l}", self.label), DataType::F32);
-                declare_all(&mut kb, decls);
-                let j = kb.parallel_loop("j", 0, n as i64);
-                let c = kb.parallel_loop("c", 0, k as i64);
-                let o = kb.parallel_loop("o", 0, dout as i64);
-                kb.assign(
+                    n,
+                    k,
+                    din_l,
+                    dout,
+                ),
+                &[],
+                false,
+            );
+            self.relu[l] = compile(
+                relu_kernel(
+                    decls,
+                    format!("{}_relu{l}", self.label),
                     self.louts[l],
-                    vec![Idx::var(j), Idx::var(c), Idx::var(o)],
-                    ScalarExpr::un(
-                        ComputeOp::Relu,
-                        ScalarExpr::load(
-                            self.louts[l],
-                            vec![Idx::var(j), Idx::var(c), Idx::var(o)],
-                        ),
-                    ),
-                );
-                compile(kb.build().expect("builds"), &[], true)
-            };
+                    self.louts[l],
+                ),
+                &[],
+                true,
+            );
         }
         // AGG[0][c][o] = max_j L2[j][c][o].
-        self.aggregate = {
-            let mut kb = KernelBuilder::new(format!("{}_agg", self.label), DataType::F32);
-            declare_all(&mut kb, decls);
-            let j = kb.parallel_loop("j", 0, n as i64);
-            let c = kb.parallel_loop("c", 0, k as i64);
-            let o = kb.parallel_loop("o", 0, self.p.dims[2] as i64);
-            kb.assign_reduced(
+        self.aggregate = compile(
+            agg_kernel(
+                decls,
+                format!("{}_agg", self.label),
+                self.louts[2],
                 self.agg,
-                vec![Idx::constant(0), Idx::var(c), Idx::var(o)],
-                ScalarExpr::load(self.louts[2], vec![Idx::var(j), Idx::var(c), Idx::var(o)]),
-                vec![(j, ReduceOp::Max)],
-            );
-            compile(kb.build().expect("builds"), &[], true)
-        };
+                n,
+                k,
+                self.p.dims[2],
+            ),
+            &[],
+            true,
+        );
     }
 
     fn run(
