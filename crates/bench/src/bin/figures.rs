@@ -34,6 +34,7 @@ const ALL: &[&str] = &[
     "ablate_dtype",
     "chaos",
     "check",
+    "serve",
 ];
 
 fn run(name: &str, ctx: &Ctx) {
@@ -68,6 +69,10 @@ fn run(name: &str, ctx: &Ctx) {
         // The DESIGN.md §11 verification coverage report (EXPERIMENTS.md
         // "Check").
         "check" => figures::check(ctx),
+        // The DESIGN.md §14 serving soak: sharded+batched reactor vs the
+        // thread-per-conn baseline; writes BENCH_serve.json for CI's
+        // serve-soak step.
+        "serve" => figures::serve(ctx),
         other => {
             eprintln!("unknown figure '{other}'; known: all {ALL:?}");
             std::process::exit(2);

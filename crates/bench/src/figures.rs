@@ -1254,3 +1254,251 @@ pub fn pipeline(ctx: &Ctx) {
         println!("wrote {}", path.display());
     }
 }
+
+/// One serving configuration's soak result.
+struct ServeRun {
+    label: &'static str,
+    io: &'static str,
+    shards: u32,
+    batching: bool,
+    report: infs_serve::loadgen::LoadReport,
+    metrics: infs_serve::MetricsReport,
+    per_shard: Vec<u64>,
+}
+
+impl ServeRun {
+    /// Goodput: successful responses per wall second (the RPS the paper-style
+    /// comparison is about — rejections don't count).
+    fn rps(&self) -> f64 {
+        self.report.ok as f64 / (self.report.elapsed_ms.max(1) as f64 / 1000.0)
+    }
+
+    fn mean_occupancy(&self) -> f64 {
+        let execs = self.metrics.batch_executions;
+        if execs == 0 {
+            1.0
+        } else {
+            (execs + self.metrics.batch_joined) as f64 / execs as f64
+        }
+    }
+}
+
+/// Serving soak (DESIGN.md §14): the same deterministic open-loop load —
+/// `infs_serve::loadgen` over real loopback sockets — against two serving
+/// stacks with **equal total worker count**:
+///
+/// - *baseline*: the PR 2 thread-per-connection accept loop, batching off,
+///   one server with 4 workers;
+/// - *sharded*: the event-driven reactor, request batching on, 4 shards ×
+///   1 worker behind the consistent-hash tenant router.
+///
+/// Emits `results/serve.md` and `BENCH_serve.json` (client p50/p99/max
+/// latency, goodput RPS, cache hit rates, batch occupancy, per-shard request
+/// counts) — the record CI's `serve-soak` step schema-checks and gates on.
+pub fn serve(ctx: &Ctx) {
+    use infs_serve::loadgen::{self, LoadgenConfig};
+    use infs_serve::{serve_reactor, serve_tcp, ServeConfig, Server, ShardCluster};
+    use infs_shard::ReactorConfig;
+    use std::sync::Arc;
+
+    const WORKERS: usize = 4;
+    const SHARDS: u32 = 4;
+    // The rate deliberately exceeds 4 unbatched workers' drain rate: open
+    // loop + overload is the regime where coalescing identical in-flight
+    // requests multiplies capacity (and where a closed-loop client would
+    // hide the difference).
+    let lg = LoadgenConfig {
+        rate_rps: if ctx.quick { 2_000.0 } else { 4_000.0 },
+        duration_ms: if ctx.quick { 2_000 } else { 6_000 },
+        connections: 8,
+        // Enough tenants that the consistent-hash ring spreads them over all
+        // four shards (8 tenants on 4 shards leaves a shard idle ~40% of the
+        // time by the birthday bound), but few distinct bodies per shard:
+        // partitioned 4×1 queues only beat the pooled 4-worker baseline on
+        // tail latency when coalescing multiplies per-shard capacity.
+        tenants: 16,
+        seed: 0x5e12_f00d,
+        array_len: 256,
+        variants: 2,
+        deadline_ms: Some(30_000),
+    };
+
+    let baseline = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = Arc::new(Server::new(ServeConfig {
+            workers: WORKERS,
+            batching: false,
+            ..ServeConfig::default()
+        }));
+        let io = {
+            let server = server.clone();
+            std::thread::spawn(move || serve_tcp(&server, listener))
+        };
+        let report = loadgen::run(addr, &lg).expect("baseline load run");
+        let metrics = server.metrics();
+        server.begin_shutdown();
+        io.join().expect("io thread").expect("accept loop");
+        let shutdown = server.shutdown();
+        ServeRun {
+            label: "baseline",
+            io: "thread-per-conn",
+            shards: 1,
+            batching: false,
+            report,
+            metrics,
+            per_shard: vec![shutdown.served],
+        }
+    };
+
+    let sharded = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let cluster = Arc::new(ShardCluster::new(
+            &ServeConfig {
+                workers: WORKERS / SHARDS as usize,
+                batching: true,
+                ..ServeConfig::default()
+            },
+            SHARDS,
+        ));
+        let io = {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || serve_reactor(&cluster, listener, &ReactorConfig::default()))
+        };
+        let report = loadgen::run(addr, &lg).expect("sharded load run");
+        let metrics = cluster.metrics();
+        let per_shard = cluster.shard_requests();
+        cluster.begin_shutdown();
+        io.join().expect("io thread").expect("reactor");
+        cluster.shutdown();
+        ServeRun {
+            label: "sharded",
+            io: "reactor",
+            shards: SHARDS,
+            batching: true,
+            report,
+            metrics,
+            per_shard,
+        }
+    };
+
+    let mut t = Table::new(
+        "Serve soak: event-driven sharded+batched vs thread-per-conn (equal total workers, same open-loop load)",
+        &[
+            "config",
+            "io",
+            "shards",
+            "ok",
+            "rejected",
+            "RPS",
+            "p50 us",
+            "p99 us",
+            "mean batch",
+            "artifact hit%",
+            "jit hit%",
+        ],
+    );
+    let hit_pct = |h: u64, m: u64| {
+        infs_serve::MetricsReport::hit_rate(h, m)
+            .map_or_else(|| "-".to_string(), |r| format!("{:.1}", 100.0 * r))
+    };
+    for run in [&baseline, &sharded] {
+        t.row(vec![
+            run.label.into(),
+            run.io.into(),
+            run.shards.to_string(),
+            run.report.ok.to_string(),
+            run.metrics.rejected.to_string(),
+            Table::f(run.rps()),
+            run.report.latency.percentile(0.50).to_string(),
+            run.report.latency.percentile(0.99).to_string(),
+            Table::f(run.mean_occupancy()),
+            hit_pct(run.metrics.artifact_hits, run.metrics.artifact_misses),
+            hit_pct(run.metrics.jit_hits, run.metrics.jit_misses),
+        ]);
+    }
+    ctx.emit("serve", &t);
+
+    let entry = |run: &ServeRun| {
+        let shards: Vec<String> = run.per_shard.iter().map(u64::to_string).collect();
+        format!(
+            concat!(
+                "  \"{}\": {{\n",
+                "    \"io\": \"{}\",\n",
+                "    \"shards\": {},\n",
+                "    \"batching\": {},\n",
+                "    \"sent\": {},\n",
+                "    \"ok\": {},\n",
+                "    \"rejected\": {},\n",
+                "    \"lost\": {},\n",
+                "    \"rps\": {:.3},\n",
+                "    \"p50_us\": {},\n",
+                "    \"p99_us\": {},\n",
+                "    \"max_us\": {},\n",
+                "    \"artifact_hit_rate\": {:.6},\n",
+                "    \"jit_hit_rate\": {:.6},\n",
+                "    \"batch_executions\": {},\n",
+                "    \"batch_joined\": {},\n",
+                "    \"batch_max_occupancy\": {},\n",
+                "    \"mean_batch_occupancy\": {:.4},\n",
+                "    \"per_shard_requests\": [{}]\n",
+                "  }}"
+            ),
+            run.label,
+            run.io,
+            run.shards,
+            run.batching,
+            run.report.sent,
+            run.report.ok,
+            run.metrics.rejected,
+            run.report.lost,
+            run.rps(),
+            run.report.latency.percentile(0.50),
+            run.report.latency.percentile(0.99),
+            run.report.latency.max(),
+            infs_serve::MetricsReport::hit_rate(
+                run.metrics.artifact_hits,
+                run.metrics.artifact_misses
+            )
+            .unwrap_or(0.0),
+            infs_serve::MetricsReport::hit_rate(run.metrics.jit_hits, run.metrics.jit_misses)
+                .unwrap_or(0.0),
+            run.metrics.batch_executions,
+            run.metrics.batch_joined,
+            run.metrics.batch_max_occupancy,
+            run.mean_occupancy(),
+            shards.join(", "),
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"scale\": \"{}\",\n",
+            "  \"workers_total\": {},\n",
+            "  \"load\": {{ \"rate_rps\": {}, \"duration_ms\": {}, \"connections\": {}, ",
+            "\"tenants\": {}, \"variants\": {}, \"seed\": {} }},\n",
+            "{},\n",
+            "{},\n",
+            "  \"rps_speedup\": {:.4}\n",
+            "}}\n"
+        ),
+        if ctx.quick { "test" } else { "paper" },
+        WORKERS,
+        lg.rate_rps,
+        lg.duration_ms,
+        lg.connections,
+        lg.tenants,
+        lg.variants,
+        lg.seed,
+        entry(&baseline),
+        entry(&sharded),
+        sharded.rps() / baseline.rps().max(1e-9),
+    );
+    let path = ctx.out_dir.join("BENCH_serve.json");
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("[figures] failed to write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}

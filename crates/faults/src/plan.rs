@@ -12,6 +12,7 @@ const DOM_SRAM_FLIP: u64 = 2;
 const DOM_NOC: u64 = 3;
 const DOM_ARTIFACT: u64 = 4;
 const DOM_WORKER: u64 = 5;
+const DOM_SHARD: u64 = 6;
 
 /// Rates and seed for a [`FaultPlan`]. All `*_period` fields mean "roughly
 /// one fault per `period` events, pseudo-randomly placed"; `0` disables that
@@ -35,6 +36,11 @@ pub struct FaultConfig {
     pub artifact_corrupt_period: u64,
     /// One injected worker panic per ~`period` served requests.
     pub worker_panic_period: u64,
+    /// Number of whole *shards* (simulated machines behind the consistent-hash
+    /// router) dead from the start, chosen pseudo-randomly from the cluster's
+    /// shard range. Only the shard router consumes this; single-server plans
+    /// ignore it.
+    pub dead_shards: u32,
 }
 
 impl FaultConfig {
@@ -49,6 +55,7 @@ impl FaultConfig {
             noc_delay_max_cycles: 0,
             artifact_corrupt_period: 0,
             worker_panic_period: 0,
+            dead_shards: 0,
         }
     }
 
@@ -64,6 +71,21 @@ impl FaultConfig {
             noc_delay_max_cycles: 2_000,
             artifact_corrupt_period: 13,
             worker_panic_period: 97,
+            dead_shards: 0,
+        }
+    }
+
+    /// Derives the per-shard plan a cluster hands to shard `shard`: the same
+    /// rates, but a seed mixed with the shard index (separate [`mix64`]
+    /// domain), so shards fail *independently* — one shard's dead banks say
+    /// nothing about its ring neighbors' — while the whole cluster still
+    /// replays from the root seed alone. `dead_shards` is zeroed: whole-shard
+    /// outages are the *router's* schedule, not the member's.
+    pub fn for_shard(&self, shard: u32) -> FaultConfig {
+        FaultConfig {
+            seed: mix64(self.seed, DOM_SHARD, u64::from(shard).wrapping_add(1)),
+            dead_shards: 0,
+            ..self.clone()
         }
     }
 }
@@ -215,6 +237,28 @@ impl FaultPlan {
         self.fires(DOM_WORKER, self.cfg.worker_panic_period, seq)
     }
 
+    /// Initial whole-shard health for a cluster of `n_shards`: `dead_shards`
+    /// distinct shards are dead from the start (`false` slots). The shard
+    /// router kills these members at construction, so their tenants shed to
+    /// ring neighbors from the first request.
+    pub fn initial_shard_health(&self, n_shards: u32) -> Vec<bool> {
+        let mut alive = vec![true; n_shards as usize];
+        if self.cfg.dead_shards == 0 || n_shards == 0 {
+            return alive;
+        }
+        let mut rng = Xorshift64::new(mix64(self.cfg.seed, DOM_SHARD, 0));
+        let target = self.cfg.dead_shards.min(n_shards);
+        let mut killed = 0;
+        while killed < target {
+            let s = rng.next_below(u64::from(n_shards)) as usize;
+            if alive[s] {
+                alive[s] = false;
+                killed += 1;
+            }
+        }
+        alive
+    }
+
     /// Render the first `len` sequence slots of every schedule into a flat
     /// list. Used by determinism tests and the chaos report: two plans with
     /// the same config must render byte-identical schedules.
@@ -332,6 +376,44 @@ mod tests {
                 assert!((1..=2_000).contains(&d));
             }
         }
+    }
+
+    #[test]
+    fn per_shard_plans_are_independent_and_replayable() {
+        let root = FaultConfig::chaos(42);
+        let a = root.for_shard(0);
+        let b = root.for_shard(1);
+        assert_ne!(a.seed, b.seed, "shards must draw independent schedules");
+        assert_eq!(a.dead_shards, 0, "member plans carry no shard outages");
+        assert_eq!(a.worker_panic_period, root.worker_panic_period);
+        // Same root seed, same shard → same derived plan, always.
+        assert_eq!(a, FaultConfig::chaos(42).for_shard(0));
+        // Derived schedules really differ.
+        let pa = FaultPlan::new(a);
+        let pb = FaultPlan::new(b);
+        assert_ne!(pa.initial_health(64), pb.initial_health(64));
+    }
+
+    #[test]
+    fn initial_shard_health_kills_exactly_dead_shards() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 9,
+            dead_shards: 1,
+            ..FaultConfig::none()
+        });
+        let alive = plan.initial_shard_health(4);
+        assert_eq!(alive.len(), 4);
+        assert_eq!(alive.iter().filter(|a| !**a).count(), 1);
+        // Deterministic across identical plans; clamped to the shard count.
+        assert_eq!(alive, plan.initial_shard_health(4));
+        let all_dead = FaultPlan::new(FaultConfig {
+            seed: 9,
+            dead_shards: 99,
+            ..FaultConfig::none()
+        })
+        .initial_shard_health(4);
+        assert!(all_dead.iter().all(|a| !a));
+        assert!(plan.initial_shard_health(0).is_empty());
     }
 
     #[test]

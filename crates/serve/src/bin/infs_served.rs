@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH]
-//!             [--chaos SEED]
+//!             [--chaos SEED] [--shards N] [--legacy-io] [--no-batching]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `infs_serve::protocol`). Exits 0 after
@@ -13,9 +13,22 @@
 //! [`infs_faults::FaultConfig::chaos`] is injected: worker panics, artifact
 //! corruption, dead banks, SRAM flips, and NoC faults — see the README
 //! operations runbook.
+//!
+//! IO and topology (`DESIGN.md` §14):
+//!
+//! - default: one event-driven reactor thread multiplexes every connection
+//!   ([`infs_serve::serve_reactor`]);
+//! - `--legacy-io`: the PR 2 thread-per-connection accept loop
+//!   ([`infs_serve::serve_tcp`]) — kept as the benchmark baseline; implies a
+//!   single shard;
+//! - `--shards N` (N ≥ 2): N full server shards behind the consistent-hash
+//!   tenant router ([`infs_serve::ShardCluster`]); `--workers` counts **per
+//!   shard**, and with `--chaos` each shard runs an independently derived
+//!   fault plan (`dead_shards` whole shards may start dead).
 
 use infs_faults::FaultConfig;
-use infs_serve::{serve_tcp, ServeConfig, Server};
+use infs_serve::{serve_reactor, serve_tcp, ServeConfig, Server, ShardCluster, ShutdownStats};
+use infs_shard::ReactorConfig;
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -23,6 +36,8 @@ use std::sync::Arc;
 struct Args {
     addr: String,
     trace: Option<String>,
+    shards: u32,
+    legacy_io: bool,
     cfg: ServeConfig,
 }
 
@@ -30,6 +45,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         addr: "127.0.0.1:7199".to_string(),
         trace: None,
+        shards: 1,
+        legacy_io: false,
         cfg: ServeConfig::default(),
     };
     let mut it = std::env::args().skip(1);
@@ -54,14 +71,37 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--chaos: {e}"))?;
                 args.cfg.faults = Some(FaultConfig::chaos(seed));
             }
+            "--shards" => {
+                args.shards = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?
+            }
+            "--legacy-io" => args.legacy_io = true,
+            "--no-batching" => args.cfg.batching = false,
             "--help" | "-h" => return Err(
-                "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH] [--chaos SEED]"
+                "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH] [--chaos SEED] [--shards N] [--legacy-io] [--no-batching]"
                     .to_string(),
             ),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
+    if args.legacy_io && args.shards > 1 {
+        return Err("--legacy-io supports a single shard (drop --shards)".to_string());
+    }
     Ok(args)
+}
+
+fn report(stats: &ShutdownStats) {
+    println!(
+        "infs-served: shut down cleanly; served={} rejected={} artifact(h/m/e)={}/{}/{} jit(h/m)={}/{}",
+        stats.served,
+        stats.rejected,
+        stats.artifacts.0,
+        stats.artifacts.1,
+        stats.artifacts.2,
+        stats.jit.0,
+        stats.jit.1,
+    );
 }
 
 fn main() -> ExitCode {
@@ -90,27 +130,40 @@ fn main() -> ExitCode {
         infs_trace::enable();
     }
     let chaos_seed = args.cfg.faults.as_ref().map(|f| f.seed);
-    let server = Arc::new(Server::new(args.cfg));
+
     // The smoke scripts wait for this exact line before connecting.
     println!("infs-served listening on {addr}");
     if let Some(seed) = chaos_seed {
         println!("infs-served: CHAOS MODE (seed {seed}) — injecting deterministic faults");
     }
-    if let Err(e) = serve_tcp(&server, listener) {
-        eprintln!("infs-served: accept loop failed: {e}");
-        return ExitCode::FAILURE;
-    }
-    let stats = server.shutdown();
-    println!(
-        "infs-served: shut down cleanly; served={} rejected={} artifact(h/m/e)={}/{}/{} jit(h/m)={}/{}",
-        stats.served,
-        stats.rejected,
-        stats.artifacts.0,
-        stats.artifacts.1,
-        stats.artifacts.2,
-        stats.jit.0,
-        stats.jit.1,
-    );
+
+    let stats = if args.shards > 1 {
+        let cluster = Arc::new(ShardCluster::new(&args.cfg, args.shards));
+        println!(
+            "infs-served: {} shards × {} workers behind the tenant ring",
+            cluster.shards(),
+            args.cfg.workers
+        );
+        if let Err(e) = serve_reactor(&cluster, listener, &ReactorConfig::default()) {
+            eprintln!("infs-served: reactor failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        cluster.shutdown()
+    } else {
+        let server = Arc::new(Server::new(args.cfg));
+        let io = if args.legacy_io {
+            serve_tcp(&server, listener)
+        } else {
+            serve_reactor(&server, listener, &ReactorConfig::default()).map(|_| ())
+        };
+        if let Err(e) = io {
+            eprintln!("infs-served: accept loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        server.shutdown()
+    };
+    report(&stats);
+
     if let Some(path) = args.trace {
         infs_trace::disable();
         let metrics_path = format!("{path}.metrics.json");

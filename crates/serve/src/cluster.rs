@@ -1,0 +1,333 @@
+//! The shard router: N simulated machines behind a consistent-hash ring.
+//!
+//! A [`ShardCluster`] owns one full [`Server`] per shard — each with its own
+//! worker pool, admission queue, caches, and (in chaos mode) its own derived
+//! fault plan (`FaultConfig::for_shard`), so one shard's dead banks or
+//! worker panics never leak into another's schedule. Tenants are placed by
+//! [`HashRing`]: requests route to the tenant's owner shard, and when that
+//! shard is down (killed by [`ShardCluster::kill`], or dead from the start
+//! per the plan's `dead_shards`) they fall to the next distinct shard
+//! clockwise — the ring neighbor — with no coordination and no table to
+//! rebuild. A shard that is up but *full* sheds the overflow the same way:
+//! one backpressure rejection forwards the request to the neighbor before
+//! the client ever sees a retry hint.
+//!
+//! Cluster-scope verbs are answered by the router itself: `Metrics` merges
+//! every shard's counters, `Health` reports per-shard state
+//! ([`ShardHealth`]), and `Shutdown` drains every shard.
+
+use crate::config::ServeConfig;
+use crate::protocol::{
+    HealthReport, MetricsReport, Request, RequestBody, Response, ResponseStats, ShardHealth,
+    WireError,
+};
+use crate::server::{Reply, Server, ShutdownStats};
+use infs_faults::FaultPlan;
+use infs_shard::HashRing;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Virtual nodes per shard on the ring: enough to keep per-shard load within
+/// a few percent of even at 4–16 shards.
+const VNODES: u32 = 64;
+
+/// Anything the TCP front end can hand requests to: a single [`Server`] or a
+/// [`ShardCluster`]. Responses travel through the [`Reply`], from whatever
+/// thread produces them.
+pub trait Dispatch: Send + Sync {
+    /// Accept one request; never blocks on execution.
+    fn dispatch(&self, request: Request, reply: Reply);
+    /// True once graceful shutdown has begun.
+    fn is_shutting_down(&self) -> bool;
+}
+
+impl Dispatch for Server {
+    fn dispatch(&self, request: Request, reply: Reply) {
+        self.submit_with(request, reply);
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        Server::is_shutting_down(self)
+    }
+}
+
+struct ShardSlot {
+    server: Server,
+    /// False once the shard is dead (initial plan outage or `kill`); the
+    /// ring walk skips dead shards.
+    alive: AtomicBool,
+    /// Requests the router has sent here (admitted or not).
+    requests: AtomicU64,
+}
+
+impl ShardSlot {
+    fn takes_traffic(&self) -> bool {
+        self.alive.load(Ordering::SeqCst) && !self.server.is_shutting_down()
+    }
+}
+
+/// N simulated serving machines behind a consistent-hash tenant router.
+pub struct ShardCluster {
+    slots: Vec<ShardSlot>,
+    ring: HashRing,
+    started: Instant,
+}
+
+impl ShardCluster {
+    /// Boot `n_shards` servers from `base`. `base.workers` is **per shard**.
+    /// When `base.faults` is set, shard `i` runs under the derived plan
+    /// `base.faults.for_shard(i)`, and `base.faults.dead_shards` whole
+    /// shards start dead (their tenants served by ring neighbors from the
+    /// first request).
+    pub fn new(base: &ServeConfig, n_shards: u32) -> Self {
+        let n = n_shards.max(1);
+        let initial_alive = match &base.faults {
+            Some(fc) => FaultPlan::new(fc.clone()).initial_shard_health(n),
+            None => vec![true; n as usize],
+        };
+        let slots = (0..n)
+            .map(|i| {
+                let cfg = ServeConfig {
+                    faults: base.faults.as_ref().map(|f| f.for_shard(i)),
+                    ..base.clone()
+                };
+                ShardSlot {
+                    server: Server::new(cfg),
+                    alive: AtomicBool::new(initial_alive[i as usize]),
+                    requests: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        ShardCluster {
+            slots,
+            ring: HashRing::new(n, VNODES),
+            started: Instant::now(),
+        }
+    }
+
+    /// Number of shards (alive or not).
+    pub fn shards(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// The shard currently serving `tenant` (owner, or ring neighbor when
+    /// the owner is down). `None` when every shard is down.
+    pub fn route_of(&self, tenant: &str) -> Option<u32> {
+        self.ring
+            .route_with(tenant, |s| self.slots[s as usize].takes_traffic())
+    }
+
+    /// The shard that owns `tenant` when every shard is healthy.
+    pub fn owner_of(&self, tenant: &str) -> u32 {
+        self.ring.route(tenant)
+    }
+
+    /// Direct access to one shard's server (test/bench hook).
+    pub fn shard(&self, i: u32) -> &Server {
+        &self.slots[i as usize].server
+    }
+
+    /// Requests routed to each shard so far.
+    pub fn shard_requests(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|s| s.requests.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Kill shard `i`: it stops taking traffic immediately (its tenants
+    /// shed to ring neighbors) and drains whatever it already admitted.
+    pub fn kill(&self, i: u32) {
+        let slot = &self.slots[i as usize];
+        slot.alive.store(false, Ordering::SeqCst);
+        slot.server.begin_shutdown();
+    }
+
+    /// Synchronous convenience: dispatch and wait for the response.
+    pub fn call(&self, request: Request) -> Response {
+        let id = request.id;
+        let (tx, rx) = mpsc::channel();
+        self.dispatch(
+            request,
+            Reply::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        rx.recv().unwrap_or_else(|_| {
+            Response::failure(
+                id,
+                WireError::new(WireError::EXECUTION, "shard dropped the request"),
+                ResponseStats::default(),
+            )
+        })
+    }
+
+    /// Begin graceful shutdown on every shard (idempotent).
+    pub fn begin_shutdown(&self) {
+        for s in &self.slots {
+            s.server.begin_shutdown();
+        }
+    }
+
+    /// Drain and join every shard; counters are summed across shards.
+    pub fn shutdown(&self) -> ShutdownStats {
+        self.begin_shutdown();
+        let mut total: Option<ShutdownStats> = None;
+        for s in &self.slots {
+            let st = s.server.shutdown();
+            total = Some(match total {
+                None => st,
+                Some(t) => ShutdownStats {
+                    served: t.served + st.served,
+                    rejected: t.rejected + st.rejected,
+                    artifacts: (
+                        t.artifacts.0 + st.artifacts.0,
+                        t.artifacts.1 + st.artifacts.1,
+                        t.artifacts.2 + st.artifacts.2,
+                    ),
+                    jit: (t.jit.0 + st.jit.0, t.jit.1 + st.jit.1),
+                },
+            });
+        }
+        total.expect("cluster has at least one shard")
+    }
+
+    /// The cluster's merged `Metrics` report.
+    pub fn metrics(&self) -> MetricsReport {
+        let mut merged = MetricsReport::default();
+        for s in &self.slots {
+            merged.merge(&s.server.metrics());
+        }
+        merged.uptime_ms = self.started.elapsed().as_millis() as u64;
+        merged
+    }
+
+    /// The cluster's `Health` report: aggregate figures plus one
+    /// [`ShardHealth`] row per shard.
+    pub fn health(&self) -> HealthReport {
+        let mut agg = HealthReport {
+            status: HealthReport::OK.to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            ..HealthReport::default()
+        };
+        let mut worst_ok = true;
+        let mut all_draining = true;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let h = slot.server.health();
+            let dead = !slot.alive.load(Ordering::SeqCst);
+            let status = if dead {
+                HealthReport::DEAD.to_string()
+            } else {
+                h.status.clone()
+            };
+            if status != HealthReport::OK {
+                worst_ok = false;
+            }
+            if status != HealthReport::DRAINING {
+                all_draining = false;
+            }
+            agg.healthy_banks += if dead { 0 } else { h.healthy_banks };
+            agg.total_banks += h.total_banks;
+            agg.worker_faults += h.worker_faults;
+            agg.artifact_corruptions += h.artifact_corruptions;
+            agg.jit_corruptions += h.jit_corruptions;
+            agg.queue_depth += h.queue_depth;
+            agg.queue_capacity += h.queue_capacity;
+            agg.workers += h.workers;
+            agg.shards.push(ShardHealth {
+                shard: i as u32,
+                status,
+                healthy_banks: h.healthy_banks,
+                total_banks: h.total_banks,
+                worker_faults: h.worker_faults,
+                queue_depth: h.queue_depth,
+                requests: slot.requests.load(Ordering::Relaxed),
+            });
+        }
+        agg.status = if all_draining {
+            HealthReport::DRAINING.to_string()
+        } else if worst_ok {
+            HealthReport::OK.to_string()
+        } else {
+            HealthReport::DEGRADED.to_string()
+        };
+        agg
+    }
+
+    /// Route a tenant-keyed request: owner first; on a sheddable rejection
+    /// (backpressure, or the owner began draining between the aliveness
+    /// check and admission) forward once to the next alive ring neighbor.
+    fn route(&self, request: Request, reply: Reply) {
+        let mut walk = self
+            .ring
+            .successors(&request.tenant)
+            .filter(|&s| self.slots[s as usize].takes_traffic());
+        let Some(owner) = walk.next() else {
+            reply.send(Response::failure(
+                request.id,
+                WireError::new(WireError::SHARD_DOWN, "every shard is down or draining"),
+                ResponseStats::default(),
+            ));
+            return;
+        };
+        let neighbor = walk.next();
+        drop(walk);
+
+        let slot = &self.slots[owner as usize];
+        slot.requests.fetch_add(1, Ordering::Relaxed);
+        let rej = match slot.server.admit(request, reply) {
+            Ok(()) => return,
+            Err(rej) => rej,
+        };
+        let sheddable = rej.response.error.as_ref().is_some_and(|e| {
+            e.kind == WireError::BACKPRESSURE || e.kind == WireError::SHUTTING_DOWN
+        });
+        match (sheddable, neighbor) {
+            (true, Some(n)) => {
+                infs_trace::counter!("cluster.shed", 1u64);
+                let slot = &self.slots[n as usize];
+                slot.requests.fetch_add(1, Ordering::Relaxed);
+                if let Err(rej) = slot.server.admit(rej.request, rej.reply) {
+                    rej.reply.send(*rej.response);
+                }
+            }
+            _ => rej.reply.send(*rej.response),
+        }
+    }
+}
+
+impl Dispatch for ShardCluster {
+    fn dispatch(&self, request: Request, reply: Reply) {
+        match &request.body {
+            // Cluster-scope verbs are the router's to answer.
+            RequestBody::Metrics => {
+                let mut r = Response::success(request.id, ResponseStats::default());
+                r.metrics = Some(self.metrics());
+                reply.send(r);
+            }
+            RequestBody::Health => {
+                let mut r = Response::success(request.id, ResponseStats::default());
+                r.health = Some(self.health());
+                reply.send(r);
+            }
+            RequestBody::Shutdown => {
+                self.begin_shutdown();
+                reply.send(Response::success(request.id, ResponseStats::default()));
+            }
+            // Everything else — including Ping, so probes exercise a real
+            // shard's queue — routes by tenant.
+            _ => self.route(request, reply),
+        }
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        self.slots.iter().all(|s| s.server.is_shutting_down())
+    }
+}
+
+impl Drop for ShardCluster {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}

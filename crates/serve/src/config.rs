@@ -31,6 +31,10 @@ pub struct ServeConfig {
     /// panics, artifact corruption, and machine-level faults are injected
     /// per the seeded schedule — see `DESIGN.md` §10.
     pub faults: Option<FaultConfig>,
+    /// Coalesce identical in-flight requests into one execution with fan-out
+    /// of per-request responses (`DESIGN.md` §14). Off reproduces the
+    /// PR 2 one-execution-per-request behavior (the benchmark baseline).
+    pub batching: bool,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             sessions_per_worker: 4,
             system: SystemConfig::default(),
             faults: None,
+            batching: true,
         }
     }
 }

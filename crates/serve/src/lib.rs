@@ -72,20 +72,23 @@
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod cluster;
 mod config;
 pub mod demo;
 mod error;
+pub mod loadgen;
 pub mod net;
 pub mod protocol;
 pub mod queue;
 mod server;
 
+pub use cluster::{Dispatch, ShardCluster};
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use net::{serve_tcp, Client};
+pub use net::{serve_reactor, serve_tcp, Client};
 pub use protocol::{
     executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,
-    PipelineRequest, Request, RequestBody, Response, ResponseStats, ScalarOut, StageStats,
-    WireError, WireMode,
+    PipelineRequest, Request, RequestBody, Response, ResponseStats, ScalarOut, ShardHealth,
+    StageStats, WireError, WireMode,
 };
-pub use server::{Server, ShutdownStats, Submitted, Ticket};
+pub use server::{Reply, Server, ShutdownStats, Submitted, Ticket};

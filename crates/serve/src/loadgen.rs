@@ -1,0 +1,439 @@
+//! A deterministic open-loop load generator for the serve layer
+//! (`DESIGN.md` §14).
+//!
+//! Open-loop means requests are *scheduled*, not paced by responses: every
+//! request has a target send instant fixed before the clock starts
+//! (`i / rate`), and writers sleep until that instant regardless of how the
+//! server is doing. A server that falls behind therefore accumulates queue —
+//! exactly the regime that exposes tail latency and makes request batching
+//! pay — where a closed-loop client would politely slow down and hide it
+//! (coordinated omission).
+//!
+//! Every choice — tenant, kernel, variant, payload — derives from
+//! [`mix64`] of the seed and the request index, so two runs with the same
+//! [`LoadgenConfig`] issue byte-identical request streams. The variant count
+//! bounds how many *distinct* execute bodies circulate: concurrent requests
+//! that land on the same variant are batchable by the server's coalescer,
+//! so `variants` is the knob that trades cache-hit/batch rate against
+//! working-set size.
+
+use crate::protocol::{
+    ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response, WireMode,
+};
+use infs_faults::mix64;
+use infs_frontend::Kernel;
+use infs_shard::Histogram;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shape of one generated load run.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target arrival rate, requests per second, across all connections.
+    pub rate_rps: f64,
+    /// Length of the timed window.
+    pub duration_ms: u64,
+    /// Concurrent pipelined connections (requests round-robin over them).
+    pub connections: usize,
+    /// Distinct tenants in the mix (`t0` … `t{n-1}`); tenant choice drives
+    /// shard routing when the target is a cluster.
+    pub tenants: usize,
+    /// Master seed: same seed + same config ⇒ same request stream.
+    pub seed: u64,
+    /// Element count of the demo kernels' arrays.
+    pub array_len: u64,
+    /// Distinct parameter/payload variants per kernel: lower ⇒ more
+    /// identical in-flight bodies ⇒ more batching and cache hits.
+    pub variants: u64,
+    /// Per-request deadline forwarded to the server.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            rate_rps: 200.0,
+            duration_ms: 2_000,
+            connections: 8,
+            tenants: 8,
+            seed: 0x1057_dead_beef,
+            array_len: 256,
+            variants: 4,
+            deadline_ms: Some(10_000),
+        }
+    }
+}
+
+/// What one run observed, client-side.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests written to the wire.
+    pub sent: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Typed failures, by error kind (`backpressure`, `timeout`, …).
+    pub errors: BTreeMap<String, u64>,
+    /// Requests that never got a response before the read timeout.
+    pub lost: u64,
+    /// Wall time of the timed window, send of first to last response.
+    pub elapsed_ms: u64,
+    /// Completed responses (ok + typed failures) per second.
+    pub achieved_rps: f64,
+    /// End-to-end request latency in microseconds.
+    pub latency: Histogram,
+    /// Responses that report having ridden a batch (`stats.batched`).
+    pub batched_responses: u64,
+    /// Responses that report an artifact-cache hit.
+    pub artifact_hits: u64,
+}
+
+impl LoadReport {
+    /// Completed responses: everything the server answered.
+    pub fn completed(&self) -> u64 {
+        self.ok + self.errors.values().sum::<u64>()
+    }
+}
+
+/// The three demo kernels the generator cycles through.
+fn kernel_classes(n: u64) -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("scale", crate::demo::scale(n)),
+        ("vec_add", crate::demo::vec_add(n)),
+        ("stencil", crate::demo::stencil(n)),
+    ]
+}
+
+/// Deterministic payload for one (class, variant) — identical across every
+/// request that rolls the same variant, so those requests are batchable.
+fn payload(class: usize, variant: u64, len: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let bits = mix64(variant + 1, class as u64, i);
+            // Small, well-conditioned values: index-scaled fractions.
+            ((bits % 1000) as f32) / 500.0 - 1.0
+        })
+        .collect()
+}
+
+fn execute_body(class: usize, name: &str, artifact: &str, variant: u64, len: u64) -> RequestBody {
+    let p0 = 1.0 + variant as f32 * 0.5;
+    let (params, inputs, outputs) = match name {
+        "scale" => (
+            vec![p0],
+            vec![ArrayPayload {
+                array: 0,
+                data: payload(class, variant, len),
+            }],
+            vec![0],
+        ),
+        "vec_add" => (
+            vec![],
+            vec![
+                ArrayPayload {
+                    array: 0,
+                    data: payload(class, variant, len),
+                },
+                ArrayPayload {
+                    array: 1,
+                    data: payload(class, variant + 17, len),
+                },
+            ],
+            vec![2],
+        ),
+        _ => (
+            vec![p0],
+            vec![ArrayPayload {
+                array: 0,
+                data: payload(class, variant, len),
+            }],
+            vec![1],
+        ),
+    };
+    RequestBody::Execute(ExecuteRequest {
+        artifact: Some(artifact.to_string()),
+        binary: None,
+        region: name.to_string(),
+        syms: vec![],
+        params,
+        mode: WireMode::InfS,
+        inputs,
+        outputs,
+    })
+}
+
+fn io_err(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(ErrorKind::InvalidData, msg.into())
+}
+
+/// Round-trip one request on a dedicated warmup connection.
+fn call_once(stream: &mut TcpStream, request: &Request) -> std::io::Result<Response> {
+    let line = serde_json::to_string(request).map_err(|e| io_err(e.to_string()))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut reply = String::new();
+    if reader.read_line(&mut reply)? == 0 {
+        return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "warmup EOF"));
+    }
+    serde_json::from_str(reply.trim_end()).map_err(|e| io_err(format!("bad response: {e}")))
+}
+
+/// Pre-compile every demo kernel for every tenant so the timed window
+/// measures serving, not first-touch compilation, and so each shard of a
+/// cluster holds the artifacts its tenants will reference. Returns the
+/// (content-addressed, hence shard-independent) artifact id per class.
+fn warmup(addr: &str, cfg: &LoadgenConfig) -> std::io::Result<Vec<(&'static str, String)>> {
+    let classes = kernel_classes(cfg.array_len);
+    let mut stream = TcpStream::connect(addr)?;
+    let mut ids: Vec<(&'static str, String)> = Vec::new();
+    let mut id = 1u64;
+    for t in 0..cfg.tenants.max(1) {
+        for (name, kernel) in &classes {
+            let r = call_once(
+                &mut stream,
+                &Request {
+                    id,
+                    tenant: format!("t{t}"),
+                    deadline_ms: None,
+                    body: RequestBody::Compile(CompileRequest {
+                        kernel: kernel.clone(),
+                        representative_syms: vec![],
+                        optimize: true,
+                    }),
+                },
+            )?;
+            id += 1;
+            if !r.ok {
+                return Err(io_err(format!(
+                    "warmup compile {name} failed: {:?}",
+                    r.error
+                )));
+            }
+            if t == 0 {
+                ids.push((
+                    name,
+                    r.artifact
+                        .ok_or_else(|| io_err("compile response without artifact id"))?,
+                ));
+            }
+        }
+    }
+    Ok(ids)
+}
+
+struct Planned {
+    id: u64,
+    at: Duration,
+    line: Vec<u8>,
+}
+
+/// What one connection's reader accumulated.
+#[derive(Default)]
+struct ConnTally {
+    ok: u64,
+    errors: BTreeMap<String, u64>,
+    lost: u64,
+    batched: u64,
+    artifact_hits: u64,
+    latency: Histogram,
+}
+
+/// Run one open-loop load window against `addr`. Blocks until every
+/// response arrived or the post-window read timeout expires.
+///
+/// # Errors
+///
+/// Connection or warmup failures; mid-run socket errors surface as `lost`
+/// requests in the report instead.
+pub fn run(addr: impl ToSocketAddrs, cfg: &LoadgenConfig) -> std::io::Result<LoadReport> {
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io_err("unresolvable address"))?
+        .to_string();
+    let artifacts = warmup(&addr, cfg)?;
+    let conns = cfg.connections.max(1);
+    let total = ((cfg.rate_rps * cfg.duration_ms as f64) / 1000.0).round() as u64;
+    let total = total.max(1);
+
+    // Plan the whole window up front: serialization stays off the clock.
+    let mut plans: Vec<Vec<Planned>> = (0..conns).map(|_| Vec::new()).collect();
+    for i in 0..total {
+        let tenant = mix64(cfg.seed, 1, i) % cfg.tenants.max(1) as u64;
+        let class = (mix64(cfg.seed, 2, i) % artifacts.len() as u64) as usize;
+        let variant = mix64(cfg.seed, 3, i) % cfg.variants.max(1);
+        let (name, artifact) = &artifacts[class];
+        let request = Request {
+            id: i + 1,
+            tenant: format!("t{tenant}"),
+            deadline_ms: cfg.deadline_ms,
+            body: execute_body(class, name, artifact, variant, cfg.array_len),
+        };
+        let mut line = serde_json::to_string(&request)
+            .map_err(|e| io_err(e.to_string()))?
+            .into_bytes();
+        line.push(b'\n');
+        plans[(i % conns as u64) as usize].push(Planned {
+            id: i + 1,
+            at: Duration::from_secs_f64(i as f64 / cfg.rate_rps.max(1.0)),
+            line,
+        });
+    }
+
+    let started = Instant::now();
+    let tallies: Vec<ConnTally> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for plan in plans {
+            let addr = addr.clone();
+            handles.push(s.spawn(move || drive_connection(&addr, plan, started)));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conn thread"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut report = LoadReport {
+        sent: total,
+        ok: 0,
+        errors: BTreeMap::new(),
+        lost: 0,
+        elapsed_ms: elapsed.as_millis() as u64,
+        achieved_rps: 0.0,
+        latency: Histogram::new(),
+        batched_responses: 0,
+        artifact_hits: 0,
+    };
+    for t in tallies {
+        report.ok += t.ok;
+        report.lost += t.lost;
+        report.batched_responses += t.batched;
+        report.artifact_hits += t.artifact_hits;
+        report.latency.merge(&t.latency);
+        for (kind, n) in t.errors {
+            *report.errors.entry(kind).or_insert(0) += n;
+        }
+    }
+    report.achieved_rps = report.completed() as f64 / elapsed.as_secs_f64().max(1e-9);
+    Ok(report)
+}
+
+/// One connection: a writer thread pacing the schedule, this thread reading
+/// responses until all sent requests are answered (or time out).
+fn drive_connection(addr: &str, plan: Vec<Planned>, started: Instant) -> ConnTally {
+    let mut tally = ConnTally::default();
+    let expected = plan.len() as u64;
+    let Ok(stream) = TcpStream::connect(addr) else {
+        tally.lost = expected;
+        return tally;
+    };
+    let _ = stream.set_nodelay(true);
+    // Post-window grace: if a response hasn't arrived 10 s after the last
+    // send, count it lost rather than hanging the run.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let sends: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            tally.lost = expected;
+            return tally;
+        }
+    });
+
+    std::thread::scope(|s| {
+        let sends_w = Arc::clone(&sends);
+        let mut writer = stream;
+        s.spawn(move || {
+            for p in plan {
+                let target = started + p.at;
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                sends_w
+                    .lock()
+                    .expect("send map poisoned")
+                    .insert(p.id, Instant::now());
+                if writer.write_all(&p.line).is_err() {
+                    return;
+                }
+            }
+        });
+
+        let mut received = 0u64;
+        let mut line = String::new();
+        while received < expected {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let Ok(response) = serde_json::from_str::<Response>(line.trim_end()) else {
+                continue;
+            };
+            received += 1;
+            let sent_at = sends
+                .lock()
+                .expect("send map poisoned")
+                .remove(&response.id);
+            if let Some(at) = sent_at {
+                tally.latency.record(at.elapsed().as_micros() as u64);
+            }
+            if response.ok {
+                tally.ok += 1;
+                if response.stats.batched {
+                    tally.batched += 1;
+                }
+                if response.stats.artifact_cache_hit {
+                    tally.artifact_hits += 1;
+                }
+            } else {
+                let kind = response
+                    .error
+                    .map_or_else(|| "unknown".to_string(), |e| e.kind);
+                *tally.errors.entry(kind).or_insert(0) += 1;
+            }
+        }
+        tally.lost += expected - received;
+    });
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planning_is_deterministic_for_a_seed() {
+        let cfg = LoadgenConfig::default();
+        let a: Vec<u64> = (0..64).map(|i| mix64(cfg.seed, 1, i)).collect();
+        let b: Vec<u64> = (0..64).map(|i| mix64(cfg.seed, 1, i)).collect();
+        assert_eq!(a, b);
+        // Payloads are pure in (class, variant): batchable bodies are
+        // byte-identical.
+        assert_eq!(payload(0, 3, 64), payload(0, 3, 64));
+        assert_ne!(payload(0, 3, 64), payload(0, 4, 64));
+    }
+
+    #[test]
+    fn variant_bound_caps_distinct_bodies() {
+        let cfg = LoadgenConfig {
+            variants: 2,
+            ..LoadgenConfig::default()
+        };
+        let distinct: std::collections::HashSet<(u64, u64)> = (0..256)
+            .map(|i| {
+                (
+                    mix64(cfg.seed, 2, i) % 3,
+                    mix64(cfg.seed, 3, i) % cfg.variants,
+                )
+            })
+            .collect();
+        assert!(distinct.len() <= 6, "3 classes × 2 variants");
+        assert!(distinct.len() >= 4, "mix should actually spread");
+    }
+}

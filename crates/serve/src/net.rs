@@ -6,15 +6,18 @@
 //! session can be driven with `nc` during debugging, and the whole face fits
 //! in the standard library.
 
+use crate::cluster::Dispatch;
 use crate::protocol::{
     ArrayPayload, CompileRequest, ExecuteRequest, PipelineRequest, Request, RequestBody, Response,
     ResponseStats, WireError, WireMode,
 };
-use crate::server::Server;
+use crate::server::{Reply, Server};
 use infs_faults::RetryPolicy;
 use infs_frontend::Kernel;
+use infs_shard::{run_reactor, ConnId, LineHandler, Outbox, ReactorConfig, ReactorStats};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -95,6 +98,110 @@ fn serve_connection(server: &Arc<Server>, stream: TcpStream) {
             Err(_) => return,
         }
     }
+}
+
+/// Bridges the reactor's line-framing to a [`Dispatch`] target: parses each
+/// line into a [`Request`], hands it off without blocking the reactor
+/// thread, and routes the response back through the [`Outbox`] whenever a
+/// worker finishes it.
+struct ReactorBridge<D: Dispatch + ?Sized> {
+    dispatch: Arc<D>,
+    /// Requests dispatched but not yet answered — the reactor drains this
+    /// to zero (within its grace window) before honoring shutdown.
+    in_flight: Arc<AtomicUsize>,
+}
+
+fn encode_response(response: &Response) -> Vec<u8> {
+    serde_json::to_string(response).map_or_else(
+        |e| {
+            // A response that cannot serialize is a server bug; still answer
+            // the line rather than stalling the client.
+            format!(
+                "{{\"id\":{},\"ok\":false,\"error\":{{\"kind\":\"{}\",\"message\":\"unencodable response: {e}\"}}}}",
+                response.id,
+                WireError::EXECUTION
+            )
+            .into_bytes()
+        },
+        String::into_bytes,
+    )
+}
+
+impl<D: Dispatch + ?Sized> LineHandler for ReactorBridge<D> {
+    fn on_line(&self, conn: ConnId, line: &str, out: &Outbox) {
+        let request = match serde_json::from_str::<Request>(line) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = Response::failure(
+                    0,
+                    WireError::new(WireError::BAD_REQUEST, format!("unparseable request: {e}")),
+                    ResponseStats::default(),
+                );
+                out.send(conn, encode_response(&response));
+                return;
+            }
+        };
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let outbox = out.clone();
+        let in_flight = Arc::clone(&self.in_flight);
+        self.dispatch.dispatch(
+            request,
+            Reply::new(move |response| {
+                outbox.send(conn, encode_response(&response));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }),
+        );
+    }
+
+    fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+}
+
+/// Runs the event-driven IO path: one reactor thread multiplexes every
+/// connection (`DESIGN.md` §14) and requests flow into `dispatch` — a single
+/// [`Server`] or a [`crate::ShardCluster`]. Returns once `dispatch` reports
+/// shutdown (a `Shutdown` request from any connection, or
+/// `begin_shutdown` from another thread) and in-flight responses have
+/// flushed; the caller then drains workers with its own `shutdown()`.
+///
+/// # Errors
+///
+/// Returns the error if the listener cannot be made non-blocking; per-
+/// connection IO errors only drop that connection.
+pub fn serve_reactor<D>(
+    dispatch: &Arc<D>,
+    listener: TcpListener,
+    cfg: &ReactorConfig,
+) -> std::io::Result<ReactorStats>
+where
+    D: Dispatch + ?Sized + 'static,
+{
+    let stop = AtomicBool::new(false);
+    let outbox = Outbox::new();
+    let bridge = ReactorBridge {
+        dispatch: Arc::clone(dispatch),
+        in_flight: Arc::new(AtomicUsize::new(0)),
+    };
+    std::thread::scope(|s| {
+        // Shutdown watcher: the reactor thread never blocks on the dispatch
+        // target, so something has to notice `is_shutting_down()` flipping
+        // (possibly from a non-network caller) and poke the reactor awake.
+        s.spawn(|| {
+            while !stop.load(Ordering::SeqCst) {
+                if bridge.dispatch.is_shutting_down() {
+                    stop.store(true, Ordering::SeqCst);
+                    outbox.wake();
+                    break;
+                }
+                std::thread::sleep(cfg.poll_interval);
+            }
+        });
+        let result = run_reactor(listener, &bridge, cfg, &stop, &outbox);
+        // On a setup error the flag was never set; release the watcher.
+        stop.store(true, Ordering::SeqCst);
+        result
+    })
 }
 
 /// Thin synchronous client for the newline-delimited JSON protocol.

@@ -209,6 +209,9 @@ pub struct HealthReport {
     pub workers: usize,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
+    /// Per-shard health when the responder is a shard cluster; empty for a
+    /// single server.
+    pub shards: Vec<ShardHealth>,
 }
 
 impl HealthReport {
@@ -218,6 +221,28 @@ impl HealthReport {
     pub const DEGRADED: &'static str = "degraded";
     /// Status string once shutdown has begun.
     pub const DRAINING: &'static str = "draining";
+    /// Status string for a shard that is down (killed, or dead from the
+    /// cluster's fault plan); its tenants are served by ring neighbors.
+    pub const DEAD: &'static str = "dead";
+}
+
+/// One shard's state inside a cluster [`HealthReport`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index on the consistent-hash ring.
+    pub shard: u32,
+    /// `"ok"`, `"degraded"`, `"draining"`, or `"dead"`.
+    pub status: String,
+    /// Healthy L3 banks on this shard's machine.
+    pub healthy_banks: u32,
+    /// Total L3 banks on this shard's machine.
+    pub total_banks: u32,
+    /// Worker panics isolated on this shard since start.
+    pub worker_faults: u64,
+    /// Requests queued on this shard right now.
+    pub queue_depth: usize,
+    /// Requests the router has sent to this shard since start.
+    pub requests: u64,
 }
 
 /// Server-wide observability counters, returned by the `Metrics` verb.
@@ -252,6 +277,12 @@ pub struct MetricsReport {
     pub pipeline_hits: u64,
     /// Pipeline-cache misses (graph compilations) since start.
     pub pipeline_misses: u64,
+    /// Batches closed: executions that carried a whole coalesced batch.
+    pub batch_executions: u64,
+    /// Requests that joined an open batch and skipped execution entirely.
+    pub batch_joined: u64,
+    /// Largest single-batch occupancy observed (leader + joined waiters).
+    pub batch_max_occupancy: u64,
     /// Worker threads serving requests.
     pub workers: usize,
     /// Milliseconds since the server started.
@@ -263,6 +294,30 @@ impl MetricsReport {
     pub fn hit_rate(hits: u64, misses: u64) -> Option<f64> {
         let total = hits + misses;
         (total > 0).then(|| hits as f64 / total as f64)
+    }
+
+    /// Fold `other` into `self`: counters sum, `queue_depth`/`workers`
+    /// aggregate, gauges take the max. The shard cluster's `Metrics` verb
+    /// reports the cluster through this.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        self.served += other.served;
+        self.rejected += other.rejected;
+        self.queue_depth += other.queue_depth;
+        self.queue_capacity += other.queue_capacity;
+        self.artifact_hits += other.artifact_hits;
+        self.artifact_misses += other.artifact_misses;
+        self.artifact_evictions += other.artifact_evictions;
+        self.jit_hits += other.jit_hits;
+        self.jit_misses += other.jit_misses;
+        self.jit_template_hits += other.jit_template_hits;
+        self.jit_evictions += other.jit_evictions;
+        self.pipeline_hits += other.pipeline_hits;
+        self.pipeline_misses += other.pipeline_misses;
+        self.batch_executions += other.batch_executions;
+        self.batch_joined += other.batch_joined;
+        self.batch_max_occupancy = self.batch_max_occupancy.max(other.batch_max_occupancy);
+        self.workers += other.workers;
+        self.uptime_ms = self.uptime_ms.max(other.uptime_ms);
     }
 }
 
@@ -306,6 +361,9 @@ impl WireError {
     /// The worker thread handling the request panicked; the panic was
     /// isolated and the pool survived. Safe to retry.
     pub const WORKER_FAULT: &'static str = "worker-fault";
+    /// No shard on the ring can take the request (every shard is down or
+    /// draining). Safe to retry once shards recover.
+    pub const SHARD_DOWN: &'static str = "shard-down";
 
     /// A new error of `kind`.
     pub fn new(kind: &str, message: impl Into<String>) -> Self {
@@ -347,6 +405,14 @@ pub struct ResponseStats {
     pub executed: Option<String>,
     /// Whether the compiled region has an in-memory (tDFG) version.
     pub tensorizable: Option<bool>,
+    /// True when this response was served by joining another in-flight
+    /// request's batch: no compile, no execution — `compile_us` is 0 and
+    /// `execute_us` is the leader's (shared) execution time.
+    pub batched: bool,
+    /// Requests (leader + joined waiters) answered by the one execution
+    /// this response came from; 1 for unbatched requests, 0 when batching
+    /// does not apply (Ping/Metrics/Health/Shutdown).
+    pub batch_size: u64,
     /// Per-stage breakdown for pipeline requests (empty otherwise). The
     /// stage sums nest inside the top-level figures:
     /// `sum(stages[i].compile_us) <= compile_us` and

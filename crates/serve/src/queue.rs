@@ -17,6 +17,8 @@ pub enum PushError<T> {
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+    /// Consumers currently blocked inside [`AdmissionQueue::pop`].
+    waiters: usize,
 }
 
 /// A bounded MPMC queue: producers get an immediate `Full` rejection at
@@ -36,6 +38,7 @@ impl<T> AdmissionQueue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
+                waiters: 0,
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
@@ -90,8 +93,17 @@ impl<T> AdmissionQueue<T> {
             if inner.closed {
                 return None;
             }
+            inner.waiters += 1;
             inner = self.ready.wait(inner).unwrap();
+            inner.waiters -= 1;
         }
+    }
+
+    /// Consumers currently blocked in [`AdmissionQueue::pop`]. A rendezvous
+    /// hook for deterministic tests ("spin until N workers are parked") —
+    /// not a scheduling signal.
+    pub fn waiters(&self) -> usize {
+        self.inner.lock().unwrap().waiters
     }
 
     /// Closes admission (new pushes fail) and wakes every blocked consumer.
@@ -150,13 +162,20 @@ mod tests {
                 std::thread::spawn(move || q.pop())
             })
             .collect();
-        // Give consumers a moment to block, then close with one item queued.
-        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Deterministic rendezvous: wait until all three consumers are
+        // *observably parked* in `pop` before closing — no timing
+        // assumption, so a loaded CI machine can't turn this into a race.
+        // (If wakeup were broken this would hang and trip the test
+        // timeout rather than flake-pass.)
+        while q.waiters() < 3 {
+            std::thread::yield_now();
+        }
         q.push(9).unwrap_or_else(|_| panic!("open queue"));
         q.close();
         let got: Vec<Option<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         assert_eq!(got.iter().filter(|g| g.is_some()).count(), 1);
         assert_eq!(got.iter().filter(|g| g.is_none()).count(), 2);
+        assert_eq!(q.waiters(), 0);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use infs_faults::FaultPlan;
 use infs_isa::{fnv1a, Compiler, FatBinary, IsaError};
 use infs_runtime::JitCache;
 use infs_sdfg::ArrayId;
+use infs_shard::{BatchMap, BatchStats, JoinOutcome};
 use infs_sim::Machine;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -34,12 +35,56 @@ use std::time::{Duration, Instant};
 /// overflow on absurd client-supplied values.
 const MAX_DEADLINE_MS: u64 = 86_400_000;
 
+/// Where a response goes once a worker (or the batcher's fan-out) produces
+/// it. The synchronous [`Server::submit`] path wraps an `mpsc` channel; the
+/// reactor front end wraps a closure that hands the serialized response to
+/// its outbox.
+pub struct Reply(Box<dyn FnOnce(Response) + Send>);
+
+impl Reply {
+    /// A reply delivered by calling `f` (from whatever thread finishes the
+    /// request).
+    pub fn new(f: impl FnOnce(Response) + Send + 'static) -> Self {
+        Reply(Box::new(f))
+    }
+
+    /// Deliver the response.
+    pub fn send(self, response: Response) {
+        (self.0)(response);
+    }
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Reply(..)")
+    }
+}
+
 /// One admitted unit of work.
 struct Job {
     request: Request,
     deadline: Instant,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: Reply,
+    /// When this job leads an open batch: the batch key to close (fan the
+    /// response out to joined waiters) once the response exists.
+    batch_key: Option<u64>,
+}
+
+/// A request parked in an open batch, waiting for the leader's response.
+struct BatchWaiter {
+    id: u64,
+    enqueued: Instant,
+    reply: Reply,
+}
+
+/// Everything [`Server::admit`] hands back when admission fails: the intact
+/// request (the shard router sheds it to a ring neighbor), the reply, and
+/// the typed rejection to deliver if no one else takes it.
+pub(crate) struct RejectedAdmission {
+    pub(crate) request: Request,
+    pub(crate) reply: Reply,
+    pub(crate) response: Box<Response>,
 }
 
 /// A handle to an admitted request; [`Ticket::wait`] blocks for the response.
@@ -87,32 +132,63 @@ pub struct ShutdownStats {
 
 /// Pause/resume gate for the worker pool. Paused workers hold *after* popping
 /// a job and before serving it — so tests and benchmarks can deterministically
-/// fill the admission queue and observe backpressure.
+/// fill the admission queue and observe backpressure. While paused, single
+/// jobs can be let through with [`Gate::release`] permits, and the number of
+/// workers parked at the gate is observable — together these make
+/// "serve exactly one request now" a deterministic test step.
 struct Gate {
-    paused: Mutex<bool>,
+    state: Mutex<GateState>,
     cv: Condvar,
+}
+
+struct GateState {
+    paused: bool,
+    /// Jobs allowed through while paused.
+    permits: u64,
+    /// Workers currently parked in [`Gate::wait_open`].
+    waiting: usize,
 }
 
 impl Gate {
     fn new() -> Self {
         Gate {
-            paused: Mutex::new(false),
+            state: Mutex::new(GateState {
+                paused: false,
+                permits: 0,
+                waiting: 0,
+            }),
             cv: Condvar::new(),
         }
     }
 
     fn wait_open(&self) {
-        let mut paused = self.paused.lock().unwrap();
-        while *paused {
-            paused = self.cv.wait(paused).unwrap();
+        let mut st = self.state.lock().unwrap();
+        while st.paused && st.permits == 0 {
+            st.waiting += 1;
+            st = self.cv.wait(st).unwrap();
+            st.waiting -= 1;
+        }
+        if st.paused {
+            st.permits -= 1;
         }
     }
 
-    fn set(&self, value: bool) {
-        *self.paused.lock().unwrap() = value;
-        if !value {
+    fn set(&self, paused: bool) {
+        let mut st = self.state.lock().unwrap();
+        st.paused = paused;
+        if !paused {
+            st.permits = 0;
             self.cv.notify_all();
         }
+    }
+
+    fn release(&self, permits: u64) {
+        self.state.lock().unwrap().permits += permits;
+        self.cv.notify_all();
+    }
+
+    fn waiting(&self) -> usize {
+        self.state.lock().unwrap().waiting
     }
 }
 
@@ -135,6 +211,9 @@ struct Shared {
     fault_seq: AtomicU64,
     /// Per-server sequence for the artifact-corruption fault schedule.
     artifact_seq: AtomicU64,
+    /// Open batches: identical in-flight requests coalesced onto one
+    /// execution (`cfg.batching`); always present, bypassed when disabled.
+    batches: BatchMap<BatchWaiter>,
 }
 
 impl Shared {
@@ -143,6 +222,7 @@ impl Shared {
         let (artifact_hits, artifact_misses, artifact_evictions) = self.artifacts.stats();
         let (jit_hits, jit_misses) = self.jit.stats();
         let (pipeline_hits, pipeline_misses) = self.pipelines.stats();
+        let batch = self.batches.stats();
         MetricsReport {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -157,6 +237,9 @@ impl Shared {
             jit_evictions: self.jit.evictions(),
             pipeline_hits,
             pipeline_misses,
+            batch_executions: batch.executions,
+            batch_joined: batch.joined,
+            batch_max_occupancy: batch.max_occupancy,
             workers: self.cfg.workers.max(1),
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
@@ -197,6 +280,7 @@ impl Shared {
             queue_capacity: self.queue.capacity(),
             workers: self.cfg.workers.max(1),
             uptime_ms: self.started.elapsed().as_millis() as u64,
+            shards: Vec::new(),
         }
     }
 
@@ -261,6 +345,7 @@ impl Server {
             worker_faults: AtomicU64::new(0),
             fault_seq: AtomicU64::new(0),
             artifact_seq: AtomicU64::new(0),
+            batches: BatchMap::new(),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -280,27 +365,63 @@ impl Server {
         &self.shared.cfg
     }
 
-    /// Submits a request. Full queue → immediate backpressure rejection with
-    /// `retry_after_ms`; closed queue → shutting-down rejection; otherwise a
-    /// [`Ticket`].
-    pub fn submit(&self, request: Request) -> Submitted {
+    /// The shared admission path: coalesce into an open batch when possible,
+    /// otherwise take a queue slot. On rejection everything is handed back —
+    /// the request (so the shard router can shed it to a ring neighbor), the
+    /// reply, and the rejection response — so no caller ever loses a
+    /// request silently.
+    pub(crate) fn admit(
+        &self,
+        request: Request,
+        reply: Reply,
+    ) -> Result<(), Box<RejectedAdmission>> {
         let id = request.id;
         let now = Instant::now();
         let deadline_ms = request
             .deadline_ms
             .unwrap_or(self.shared.cfg.default_deadline_ms)
             .min(MAX_DEADLINE_MS);
-        let (tx, rx) = mpsc::channel();
+        let deadline = now + Duration::from_millis(deadline_ms);
+
+        // Batching happens *before* admission, so joining consumes no queue
+        // slot: a request rejected with retry-after that comes back while
+        // "its" execution is still open attaches to it instead of competing
+        // for capacity (and instead of spawning a duplicate execution).
+        let mut reply = reply;
+        let mut batch_key = None;
+        if self.shared.cfg.batching {
+            if let Some((key, guard)) = batch_identity(&request.body) {
+                let waiter = BatchWaiter {
+                    id,
+                    enqueued: now,
+                    reply,
+                };
+                match self.shared.batches.join_or_reserve(key, &guard, waiter) {
+                    JoinOutcome::Joined => {
+                        infs_trace::counter!("serve.batch_joined", 1u64);
+                        return Ok(());
+                    }
+                    JoinOutcome::Reserved(w) => {
+                        reply = w.reply;
+                        batch_key = Some(key);
+                    }
+                    // A 64-bit key collision between different bodies:
+                    // serve it unbatched, never from the other body's result.
+                    JoinOutcome::Collision(w) => reply = w.reply,
+                }
+            }
+        }
+
         let job = Job {
             request,
-            deadline: now + Duration::from_millis(deadline_ms),
+            deadline,
             enqueued: now,
-            reply: tx,
+            reply,
+            batch_key,
         };
-        match self.shared.queue.push(job) {
-            Ok(()) => Submitted::Admitted(Ticket { id, rx }),
-            Err(PushError::Full(_)) => {
-                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+        let (job, error) = match self.shared.queue.push(job) {
+            Ok(()) => return Ok(()),
+            Err(PushError::Full(job)) => {
                 let mut err = WireError::new(
                     WireError::BACKPRESSURE,
                     format!(
@@ -309,21 +430,57 @@ impl Server {
                     ),
                 );
                 err.retry_after_ms = Some(self.shared.cfg.retry_after_ms);
-                Submitted::Rejected(Box::new(Response::failure(
-                    id,
-                    err,
-                    ResponseStats::default(),
-                )))
+                (job, err)
             }
-            Err(PushError::Closed(_)) => {
+            Err(PushError::Closed(job)) => (
+                job,
+                WireError::new(WireError::SHUTTING_DOWN, "server is shutting down"),
+            ),
+        };
+        // The leader never entered the queue, so its reservation must not
+        // strand waiters that joined in the meantime: fail them with the
+        // same typed rejection (they retry, and typically re-join a batch
+        // whose leader *did* get a slot).
+        if let Some(key) = job.batch_key {
+            for w in self.shared.batches.cancel(key) {
                 self.shared.rejected.fetch_add(1, Ordering::Relaxed);
-                let err = WireError::new(WireError::SHUTTING_DOWN, "server is shutting down");
-                Submitted::Rejected(Box::new(Response::failure(
-                    id,
-                    err,
+                w.reply.send(Response::failure(
+                    w.id,
+                    error.clone(),
                     ResponseStats::default(),
-                )))
+                ));
             }
+        }
+        self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+        Err(Box::new(RejectedAdmission {
+            request: job.request,
+            reply: job.reply,
+            response: Box::new(Response::failure(id, error, ResponseStats::default())),
+        }))
+    }
+
+    /// Submits a request. Full queue → immediate backpressure rejection with
+    /// `retry_after_ms`; closed queue → shutting-down rejection; otherwise a
+    /// [`Ticket`].
+    pub fn submit(&self, request: Request) -> Submitted {
+        let id = request.id;
+        let (tx, rx) = mpsc::channel();
+        let reply = Reply::new(move |response| {
+            // A dead receiver (caller gone) is not a server error.
+            let _ = tx.send(response);
+        });
+        match self.admit(request, reply) {
+            Ok(()) => Submitted::Admitted(Ticket { id, rx }),
+            Err(rej) => Submitted::Rejected(rej.response),
+        }
+    }
+
+    /// Submits a request whose response is delivered through `reply` — the
+    /// nonblocking entry the reactor front end uses. Rejections are
+    /// delivered through the same reply, never dropped.
+    pub fn submit_with(&self, request: Request, reply: Reply) {
+        if let Err(rej) = self.admit(request, reply) {
+            rej.reply.send(*rej.response);
         }
     }
 
@@ -345,6 +502,30 @@ impl Server {
     /// Releases paused workers.
     pub fn resume(&self) {
         self.shared.gate.set(false);
+    }
+
+    /// While paused, lets exactly `n` popped jobs through the gate — the
+    /// deterministic single-step hook batching tests drive.
+    pub fn release(&self, n: u64) {
+        self.shared.gate.release(n);
+    }
+
+    /// Workers currently parked at the pause gate, each holding one popped
+    /// job. Spinning until this is nonzero is the deterministic rendezvous
+    /// for "a worker has picked up the request but not served it".
+    pub fn gate_waiting(&self) -> usize {
+        self.shared.gate.waiting()
+    }
+
+    /// Batching totals (executions, joins, max occupancy, collisions).
+    pub fn batch_stats(&self) -> BatchStats {
+        self.shared.batches.stats()
+    }
+
+    /// The in-process form of the `Metrics` verb (the shard cluster
+    /// aggregates these across members).
+    pub fn metrics(&self) -> MetricsReport {
+        self.shared.metrics()
     }
 
     /// True once shutdown has begun (the TCP accept loop polls this).
@@ -451,24 +632,41 @@ impl SessionPool {
     }
 }
 
+/// The coalescing identity of a batchable request body: the FNV-1a hash of
+/// its canonical JSON, plus that JSON as the exact guard (so a 64-bit hash
+/// collision degrades to an unbatched execution, never a wrong answer).
+/// Tenant, id, and deadline live on the envelope, not the body — identical
+/// work batches across tenants because the result is identical.
+fn batch_identity(body: &RequestBody) -> Option<(u64, String)> {
+    match body {
+        RequestBody::Compile(_) | RequestBody::Execute(_) | RequestBody::Pipeline(_) => {
+            let guard = serde_json::to_string(body).ok()?;
+            Some((fnv1a(guard.as_bytes()), guard))
+        }
+        // Control verbs are cheap and side-effecting; never coalesced.
+        _ => None,
+    }
+}
+
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
     infs_trace::name_thread(&format!("worker {index}"));
     let mut pool = SessionPool::new(shared.cfg.sessions_per_worker);
     while let Some(job) = shared.queue.pop() {
         shared.gate.wait_open();
-        // Destructure first so the reply channel survives a panicking
-        // handler — the client must get a typed error, not a hang.
+        // Destructure first so the reply survives a panicking handler — the
+        // client must get a typed error, not a hang.
         let Job {
             request,
             deadline,
             enqueued,
             reply,
+            batch_key,
         } = job;
         let id = request.id;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             handle(shared, &mut pool, request, deadline, enqueued)
         }));
-        let response = outcome.unwrap_or_else(|payload| {
+        let mut response = outcome.unwrap_or_else(|payload| {
             // The panic may have left pooled sessions half-mutated; discard
             // them all and rebuild from scratch. The worker itself survives.
             pool = SessionPool::new(shared.cfg.sessions_per_worker);
@@ -481,8 +679,42 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             Response::failure(id, fault.to_wire(), ResponseStats::default())
         });
         shared.served.fetch_add(1, Ordering::Relaxed);
-        // A dead receiver (client gone) is not a server error.
-        let _ = reply.send(response);
+        if let Some(key) = batch_key {
+            // Close the batch this job led — even on failure: identical
+            // requests fail identically, and retryable errors stay
+            // retryable for every member. Then fan the one response out.
+            let waiters = shared.batches.close(key);
+            let size = 1 + waiters.len() as u64;
+            response.stats.batch_size = size;
+            if !waiters.is_empty() {
+                infs_trace::counter!("serve.batch_fanout", waiters.len() as u64);
+            }
+            let now = Instant::now();
+            for w in waiters {
+                let mut r = response.clone();
+                r.id = w.id;
+                // The follower did no work of its own: its wall clock runs
+                // from *its* admission, its service time is (at most) the
+                // leader's, and everything else was time spent attached to
+                // the batch — so the PR 3 stats invariants
+                // (`total == queue_wait + service`,
+                //  `queue_wait + compile + execute <= total`) still hold.
+                let total = now.duration_since(w.enqueued).as_micros() as u64;
+                let service = response.stats.service_us.min(total);
+                r.stats.total_us = total;
+                r.stats.service_us = service;
+                r.stats.queue_wait_us = total - service;
+                r.stats.execute_us = response.stats.execute_us.min(service);
+                r.stats.compile_us = 0;
+                r.stats.batched = true;
+                for stage in &mut r.stats.stages {
+                    stage.compile_us = 0;
+                }
+                shared.served.fetch_add(1, Ordering::Relaxed);
+                w.reply.send(r);
+            }
+        }
+        reply.send(response);
     }
 }
 
@@ -530,6 +762,13 @@ fn handle(
     let picked = Instant::now();
     let mut stats = ResponseStats {
         queue_wait_us: picked.duration_since(enqueued).as_micros() as u64,
+        // Batchable work answers for at least itself; the batch leader's
+        // fan-out overwrites this with the real occupancy. Control verbs
+        // keep 0 (batching does not apply).
+        batch_size: u64::from(matches!(
+            &request.body,
+            RequestBody::Compile(_) | RequestBody::Execute(_) | RequestBody::Pipeline(_)
+        )),
         ..ResponseStats::default()
     };
     // Per-request root span: the queue wait is recorded retroactively as a
@@ -836,6 +1075,7 @@ fn handle_pipeline(
     }
 
     let t0 = Instant::now();
+    infs_trace::counter!("serve.executions", 1u64);
     let mut span = infs_trace::span!(
         "serve.pipeline",
         graph = compiled.graph().name.as_str(),
@@ -907,6 +1147,9 @@ fn run_region(
         session.memory().write_array(ArrayId(p.array), &p.data);
     }
     let t0 = Instant::now();
+    // The fan-out correctness tests pin "K identical requests, one
+    // execution" on this counter.
+    infs_trace::counter!("serve.executions", 1u64);
     let mut span = infs_trace::span!("serve.execute", region = e.region.as_str());
     let report = session
         .run(&e.region, &e.syms, &e.params)

@@ -1,0 +1,185 @@
+//! Log-bucket latency histograms for the soak benchmark.
+//!
+//! An HDR-style layout: exact buckets below 64, then 32 linear sub-buckets
+//! per power of two above that. Relative error is bounded by ~3% at every
+//! scale, the whole structure is a flat `Vec<u64>` (cheap to merge across
+//! shards), and recording is two shifts and an add — fine to leave on in the
+//! load generator's hot path.
+
+/// Sub-buckets per power-of-two octave above the exact range.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Values `< EXACT` get their own bucket (exact representation).
+const EXACT: u64 = SUB * 2;
+/// Octaves covered above the exact range; tops out near `2^(6 + 58) = 2^64`.
+const OCTAVES: u32 = 58;
+
+/// A mergeable log-bucket histogram of `u64` samples (we record
+/// microseconds, but the structure is unit-agnostic).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; (EXACT + u64::from(OCTAVES) * SUB) as usize],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < EXACT {
+            v as usize
+        } else {
+            // Highest set bit names the octave; the SUB_BITS bits below it
+            // name the linear sub-bucket within the octave.
+            let bits = 63 - v.leading_zeros();
+            let octave = bits - (SUB_BITS + 1);
+            let sub = (v >> (bits - SUB_BITS)) & (SUB - 1);
+            (EXACT as usize + (octave as usize) * SUB as usize + sub as usize)
+                .min(EXACT as usize + (OCTAVES as usize) * SUB as usize - 1)
+        }
+    }
+
+    /// Upper bound of bucket `i` (the value `percentile` reports).
+    fn bucket_top(i: usize) -> u64 {
+        if (i as u64) < EXACT {
+            i as u64
+        } else {
+            let rel = i as u64 - EXACT;
+            let octave = (rel >> SUB_BITS) as u32;
+            let sub = rel & (SUB - 1);
+            let base = 1u64 << (octave + SUB_BITS + 1);
+            let width = base >> SUB_BITS;
+            // The topmost bucket's bound is 2^64; saturate via u128.
+            let top = u128::from(base) + u128::from(sub + 1) * u128::from(width) - 1;
+            u64::try_from(top).unwrap_or(u64::MAX)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket upper bound, clamped to the
+    /// observed max; 0 when empty).
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_top(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold `other`'s samples into `self` (used to aggregate per-shard and
+    /// per-connection histograms).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_threshold() {
+        let mut h = Histogram::new();
+        for v in 0..EXACT {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(1.0), EXACT - 1);
+        assert_eq!(h.count(), EXACT);
+    }
+
+    #[test]
+    fn percentiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.percentile(q) as f64;
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "p{q}: got {got}, want ~{want}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), 100_000);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 70, 900, 1_000_000, 12] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [5u64, 80_000, 7] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max(), both.max());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile(q), both.percentile(q));
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1 << 62);
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+}

@@ -1,0 +1,41 @@
+//! `infs-shard`: event-driven serving infrastructure — see `DESIGN.md` §14
+//! ("Sharded, batched serving").
+//!
+//! The serve layer (PR 2) spoke newline-JSON over a thread-per-connection
+//! loop on one machine: fine for smoke tests, a dead end for the ROADMAP's
+//! "millions of users". This crate holds the three mechanisms that replace
+//! it, kept generic (no dependency on `infs-serve` — the serve crate
+//! depends on this one):
+//!
+//! * [`run_reactor`] — a single-threaded nonblocking TCP reactor
+//!   multiplexing every connection: nonblocking accept, newline framing
+//!   into a [`LineHandler`], and an [`Outbox`] that worker threads push
+//!   completed responses through, waking the reactor instead of letting it
+//!   nap on `WouldBlock`. No `epoll` syscall (the repo forbids `unsafe`);
+//!   the read sweep is O(connections) per wakeup, which is the right trade
+//!   for an execution-bound service.
+//! * [`BatchMap`] — single-flight coalescing keyed by content hash with an
+//!   exact-guard collision fallback: the first in-flight request with a key
+//!   leads (executes), same-key arrivals join and receive the leader's
+//!   result at fan-out. Blockbuster-style block fusion applied at the
+//!   request level: the artifact cache's content addressing already proves
+//!   two requests are the same computation.
+//! * [`HashRing`] — consistent hashing of tenants onto N shards with
+//!   virtual nodes; the clockwise successor walk doubles as the
+//!   shed-to-neighbor policy when a shard's `faults` plan takes it down.
+//!
+//! Plus [`Histogram`], the log-bucket latency histogram the load generator
+//! and soak benchmark record into.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod hist;
+pub mod reactor;
+pub mod ring;
+
+pub use batch::{BatchMap, BatchStats, JoinOutcome};
+pub use hist::Histogram;
+pub use reactor::{run_reactor, ConnId, LineHandler, Outbox, ReactorConfig, ReactorStats};
+pub use ring::HashRing;
