@@ -35,6 +35,7 @@ const ALL: &[&str] = &[
     "chaos",
     "check",
     "serve",
+    "tune",
 ];
 
 fn run(name: &str, ctx: &Ctx) {
@@ -73,6 +74,10 @@ fn run(name: &str, ctx: &Ctx) {
         // thread-per-conn baseline; writes BENCH_serve.json for CI's
         // serve-soak step.
         "serve" => figures::serve(ctx),
+        // The DESIGN.md §15 autotuning soak: tuned steady-state vs the static
+        // §4.1/Eq-2 placement plus the chaos retune drill; writes
+        // BENCH_tune.json for CI's tune-smoke step.
+        "tune" => figures::tune(ctx),
         other => {
             eprintln!("unknown figure '{other}'; known: all {ALL:?}");
             std::process::exit(2);

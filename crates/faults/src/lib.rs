@@ -22,6 +22,9 @@
 //! * [`RetryPolicy`] — bounded exponential backoff with *deterministic*
 //!   jitter for clients of the serving layer, honoring the server's
 //!   `retry_after_ms` backpressure hint as a floor.
+//! * [`RetuneTrigger`] — an edge detector over the machine's monotone
+//!   degradation counters; the serving layer's autotuner demotes an
+//!   artifact's incumbent variant when new events fire (`DESIGN.md` §15).
 //!
 //! The crate is a dependency leaf (std + serde only): the runtime, simulator,
 //! serving layer and bench harness all pull it in without cycles.
@@ -42,9 +45,11 @@
 mod health;
 mod plan;
 mod retry;
+mod retune;
 mod rng;
 
 pub use health::BankHealth;
 pub use plan::{FaultConfig, FaultPlan, NocFault, ScheduledFault, SramFlip};
 pub use retry::RetryPolicy;
+pub use retune::RetuneTrigger;
 pub use rng::{mix64, Xorshift64};

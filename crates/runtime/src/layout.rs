@@ -108,6 +108,49 @@ impl TransposedLayout {
         Self::with_tile_internal(tdfg, tile, hw)
     }
 
+    /// The *feasible* candidate tiles for a region, best-scored first — the
+    /// autotuner's tile-variant space (`DESIGN.md` §15).
+    ///
+    /// Unlike [`plan`](Self::plan), which commits to the first feasible
+    /// candidate (the §4.1 argmax), this returns the whole ranked list:
+    /// element 0 is exactly the tile `plan` would pick, and the tail is the
+    /// score-ordered alternatives whose grids also build. The score is a
+    /// static proxy for observed cycles, so a lower-ranked tile can win on
+    /// the simulator — that gap is what feedback-directed tuning closes.
+    ///
+    /// Regions with no admissible candidate enumeration (line-misaligned
+    /// arrays) return an empty list rather than an error: there is nothing
+    /// to explore.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::BadBounding`] for a non-origin lattice.
+    pub fn ranked_candidates(
+        tdfg: &Tdfg,
+        hints: &LayoutHints,
+        hw: &HwConfig,
+    ) -> Result<Vec<TileShape>, RuntimeError> {
+        let request = Self::request(tdfg, hints, hw)?;
+        if !request.array_is_line_aligned() {
+            return Ok(Vec::new());
+        }
+        let evaluated: Vec<(f64, bool, TileShape)> = valid_tilings(&request)
+            .into_par_iter()
+            .map(|tile| {
+                let feasible = Self::with_tile_internal(tdfg, tile.clone(), hw).is_ok();
+                (tile_score(&tile, &request), feasible, tile)
+            })
+            .collect();
+        // Stable sort on the score, exactly like `plan` — so element 0 is
+        // the tile `plan` commits to, including its tie-breaking.
+        let mut feasible: Vec<(f64, TileShape)> = evaluated
+            .into_iter()
+            .filter_map(|(score, ok, tile)| ok.then_some((score, tile)))
+            .collect();
+        feasible.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Ok(feasible.into_iter().map(|(_, tile)| tile).collect())
+    }
+
     /// All tile shapes the constraint solver admits for this region — the
     /// sweep space of Fig 16/17.
     ///

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH]
-//!             [--chaos SEED] [--shards N] [--legacy-io] [--no-batching]
+//!             [--chaos SEED] [--tune SEED] [--shards N] [--legacy-io]
+//!             [--no-batching]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `infs_serve::protocol`). Exits 0 after
@@ -12,7 +13,12 @@
 //! at shutdown. With `--chaos SEED`, the deterministic fault plan
 //! [`infs_faults::FaultConfig::chaos`] is injected: worker panics, artifact
 //! corruption, dead banks, SRAM flips, and NoC faults — see the README
-//! operations runbook.
+//! operations runbook. With `--tune SEED`, the online autotuner
+//! ([`infs_serve::TuneConfig::seeded`], `DESIGN.md` §15) routes a
+//! deterministic sampled fraction of Inf-S execute and fused-pipeline
+//! traffic through explorer variants and promotes whichever beats the static
+//! heuristics on observed cycles; the two seeds are independent, and the
+//! flags compose (a chaos-and-tune soak is the retune drill).
 //!
 //! IO and topology (`DESIGN.md` §14):
 //!
@@ -24,14 +30,45 @@
 //! - `--shards N` (N ≥ 2): N full server shards behind the consistent-hash
 //!   tenant router ([`infs_serve::ShardCluster`]); `--workers` counts **per
 //!   shard**, and with `--chaos` each shard runs an independently derived
-//!   fault plan (`dead_shards` whole shards may start dead).
+//!   fault plan (`dead_shards` whole shards may start dead). With `--tune`,
+//!   each shard keeps its own tuner under an independently derived seed.
 
 use infs_faults::FaultConfig;
-use infs_serve::{serve_reactor, serve_tcp, ServeConfig, Server, ShardCluster, ShutdownStats};
+use infs_serve::{
+    serve_reactor, serve_tcp, ServeConfig, Server, ShardCluster, ShutdownStats, TuneConfig,
+};
 use infs_shard::ReactorConfig;
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// The `--help` text. One line per flag, kept in lockstep with the README
+/// flag table and the crate docs above — `tests/help_golden.rs` pins the
+/// exact bytes so drift between the three is a test failure, not a surprise.
+const HELP: &str = "\
+infs-served — resident Infinity Stream compile-and-execute daemon
+
+usage: infs-served [FLAGS]
+
+  --addr HOST:PORT  listen address (default 127.0.0.1:7199)
+  --workers N       worker threads per shard (default: min(cores, 4))
+  --queue N         admission queue bound; beyond it requests are rejected
+                    with a typed backpressure error (default 64)
+  --trace PATH      enable tracing; write a Chrome trace to PATH (plus
+                    PATH.metrics.json) at shutdown
+  --chaos SEED      arm the deterministic fault plan: worker panics,
+                    artifact corruption, dead banks, SRAM flips, NoC faults
+  --tune SEED       enable online feedback-directed autotuning: route a
+                    deterministic sampled fraction of Inf-S traffic through
+                    explorer variants (tiles, tiers, residency) and promote
+                    variants that beat the static heuristics
+  --shards N        run N full server shards behind the consistent-hash
+                    tenant router (default 1; N >= 2 enables the router)
+  --legacy-io       thread-per-connection accept loop instead of the default
+                    event-driven reactor (benchmark baseline; single shard)
+  --no-batching     disable coalescing of identical in-flight requests
+  --help, -h        print this help and exit
+";
 
 struct Args {
     addr: String,
@@ -41,7 +78,13 @@ struct Args {
     cfg: ServeConfig,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// What `parse_args` asks `main` to do: serve, or print help and exit 0.
+enum Parsed {
+    Run(Box<Args>),
+    Help,
+}
+
+fn parse_args() -> Result<Parsed, String> {
     let mut args = Args {
         addr: "127.0.0.1:7199".to_string(),
         trace: None,
@@ -71,6 +114,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--chaos: {e}"))?;
                 args.cfg.faults = Some(FaultConfig::chaos(seed));
             }
+            "--tune" => {
+                let seed: u64 = value("--tune")?
+                    .parse()
+                    .map_err(|e| format!("--tune: {e}"))?;
+                args.cfg.tune = Some(TuneConfig::seeded(seed));
+            }
             "--shards" => {
                 args.shards = value("--shards")?
                     .parse()
@@ -78,17 +127,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--legacy-io" => args.legacy_io = true,
             "--no-batching" => args.cfg.batching = false,
-            "--help" | "-h" => return Err(
-                "usage: infs-served [--addr HOST:PORT] [--workers N] [--queue N] [--trace PATH] [--chaos SEED] [--shards N] [--legacy-io] [--no-batching]"
-                    .to_string(),
-            ),
+            "--help" | "-h" => return Ok(Parsed::Help),
             other => return Err(format!("unknown flag '{other}' (try --help)")),
         }
     }
     if args.legacy_io && args.shards > 1 {
         return Err("--legacy-io supports a single shard (drop --shards)".to_string());
     }
-    Ok(args)
+    Ok(Parsed::Run(Box::new(args)))
 }
 
 fn report(stats: &ShutdownStats) {
@@ -106,7 +152,11 @@ fn report(stats: &ShutdownStats) {
 
 fn main() -> ExitCode {
     let args = match parse_args() {
-        Ok(a) => a,
+        Ok(Parsed::Run(a)) => *a,
+        Ok(Parsed::Help) => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -130,11 +180,15 @@ fn main() -> ExitCode {
         infs_trace::enable();
     }
     let chaos_seed = args.cfg.faults.as_ref().map(|f| f.seed);
+    let tune_seed = args.cfg.tune.as_ref().map(|t| t.seed);
 
     // The smoke scripts wait for this exact line before connecting.
     println!("infs-served listening on {addr}");
     if let Some(seed) = chaos_seed {
         println!("infs-served: CHAOS MODE (seed {seed}) — injecting deterministic faults");
+    }
+    if let Some(seed) = tune_seed {
+        println!("infs-served: autotuning enabled (seed {seed})");
     }
 
     let stats = if args.shards > 1 {

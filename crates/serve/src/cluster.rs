@@ -22,8 +22,9 @@ use crate::protocol::{
     WireError,
 };
 use crate::server::{Reply, Server, ShutdownStats};
-use infs_faults::FaultPlan;
+use infs_faults::{mix64, FaultPlan};
 use infs_shard::HashRing;
+use infs_tune::TuneConfig;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -31,6 +32,9 @@ use std::time::Instant;
 /// Virtual nodes per shard on the ring: enough to keep per-shard load within
 /// a few percent of even at 4–16 shards.
 const VNODES: u32 = 64;
+
+/// Domain salt for deriving per-shard tuner seeds from the base tune seed.
+const TUNE_SHARD_SALT: u64 = 0x7475_6e65; // "tune"
 
 /// Anything the TCP front end can hand requests to: a single [`Server`] or a
 /// [`ShardCluster`]. Responses travel through the [`Reply`], from whatever
@@ -79,7 +83,11 @@ impl ShardCluster {
     /// When `base.faults` is set, shard `i` runs under the derived plan
     /// `base.faults.for_shard(i)`, and `base.faults.dead_shards` whole
     /// shards start dead (their tenants served by ring neighbors from the
-    /// first request).
+    /// first request). When `base.tune` is set, each shard gets its own
+    /// [`crate::Server`]-local tuner under a seed derived from the base seed
+    /// and the shard index — tuner state is shard-local by construction
+    /// (tables live with the shard's server), and the derived seeds keep the
+    /// shards' explore schedules decorrelated while staying replayable.
     pub fn new(base: &ServeConfig, n_shards: u32) -> Self {
         let n = n_shards.max(1);
         let initial_alive = match &base.faults {
@@ -90,6 +98,10 @@ impl ShardCluster {
             .map(|i| {
                 let cfg = ServeConfig {
                     faults: base.faults.as_ref().map(|f| f.for_shard(i)),
+                    tune: base.tune.as_ref().map(|t| TuneConfig {
+                        seed: mix64(t.seed, TUNE_SHARD_SALT, u64::from(i)),
+                        ..t.clone()
+                    }),
                     ..base.clone()
                 };
                 ShardSlot {

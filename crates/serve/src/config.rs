@@ -1,5 +1,6 @@
 use infs_faults::FaultConfig;
-use infs_sim::SystemConfig;
+use infs_sim::{RegionAuditor, SystemConfig};
+use infs_tune::TuneConfig;
 
 /// Configuration of a resident [`crate::Server`].
 #[derive(Debug, Clone)]
@@ -35,6 +36,18 @@ pub struct ServeConfig {
     /// of per-request responses (`DESIGN.md` §14). Off reproduces the
     /// PR 2 one-execution-per-request behavior (the benchmark baseline).
     pub batching: bool,
+    /// Online feedback-directed autotuning (`DESIGN.md` §15; the `--tune
+    /// SEED` flag). When set, a deterministic epsilon-greedy sampler routes
+    /// a fraction of Inf-S execute (and fused pipeline) traffic through
+    /// explorer variants — alternative tiles, forced tiers, the round-trip
+    /// residency policy — and promotes variants that beat the static
+    /// heuristics on observed cycles. `None` disables tuning entirely.
+    pub tune: Option<TuneConfig>,
+    /// Optional pre-execution region auditor installed on every session and
+    /// pipeline machine (see [`infs_sim::RegionAuditor`]); the tuning soak
+    /// installs `infs-check`'s validators here so every explored variant is
+    /// audited. `None` skips auditing (the production default).
+    pub auditor: Option<RegionAuditor>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +66,8 @@ impl Default for ServeConfig {
             system: SystemConfig::default(),
             faults: None,
             batching: true,
+            tune: None,
+            auditor: None,
         }
     }
 }

@@ -62,6 +62,84 @@ pub fn stencil(n: u64) -> Kernel {
     k.build().expect("demo kernel is well-formed")
 }
 
+/// `C[i][j] = A[i][j] + B[i][j] + A[i][j] + ...` — an elementwise matrix
+/// update ladder of `chain` adds over a `d`×`d` table. Region name
+/// `"mat_update"`, arrays 0 (A), 1 (B), 2 (C, the output).
+///
+/// Compiled with `optimize: false` this is the autotuner's bread and butter
+/// (`DESIGN.md` §15): high ops-per-element at large element counts is where
+/// the paper's Eq-2 heuristic overestimates the offload side (it models a
+/// 16-lane scalar core, not the bank-parallel stream engines) and wrongly
+/// keeps the region on the bitlines.
+pub fn mat_update(d: u64, chain: u32) -> Kernel {
+    let mut k = KernelBuilder::new("mat_update", DataType::F32);
+    let a = k.array("A", vec![d, d]);
+    let b = k.array("B", vec![d, d]);
+    let c = k.array("C", vec![d, d]);
+    let i = k.parallel_loop("i", 0, d as i64);
+    let j = k.parallel_loop("j", 0, d as i64);
+    let mut expr = ScalarExpr::load(a, vec![Idx::var(i), Idx::var(j)]);
+    for step in 0..chain {
+        let src = if step % 2 == 0 { b } else { a };
+        expr = ScalarExpr::add(expr, ScalarExpr::load(src, vec![Idx::var(i), Idx::var(j)]));
+    }
+    k.assign(c, vec![Idx::var(i), Idx::var(j)], expr);
+    k.build().expect("demo kernel is well-formed")
+}
+
+/// The same ladder with a multiply every fourth step — region name
+/// `"mat_muladd"`, arrays 0 (A), 1 (B), 2 (C). The multiplies raise the
+/// bit-serial latency, so the in-memory side of Eq-2 is costed more honestly
+/// while the offload side stays overestimated: the widest tuner win in the
+/// `figures tune` soak.
+pub fn mat_muladd(d: u64, chain: u32) -> Kernel {
+    let mut k = KernelBuilder::new("mat_muladd", DataType::F32);
+    let a = k.array("A", vec![d, d]);
+    let b = k.array("B", vec![d, d]);
+    let c = k.array("C", vec![d, d]);
+    let i = k.parallel_loop("i", 0, d as i64);
+    let j = k.parallel_loop("j", 0, d as i64);
+    let mut expr = ScalarExpr::load(a, vec![Idx::var(i), Idx::var(j)]);
+    for step in 0..chain {
+        let src = if step % 2 == 0 { b } else { a };
+        let load = ScalarExpr::load(src, vec![Idx::var(i), Idx::var(j)]);
+        expr = if step % 4 == 0 {
+            ScalarExpr::mul(expr, load)
+        } else {
+            ScalarExpr::add(expr, load)
+        };
+    }
+    k.assign(c, vec![Idx::var(i), Idx::var(j)], expr);
+    k.build().expect("demo kernel is well-formed")
+}
+
+/// 5-point 2-D stencil `B[i][j] = A[i-1][j] + A[i+1][j] + A[i][j-1] +
+/// A[i][j+1] + A[i][j]` over the interior of a `d`×`d` table — region name
+/// `"mat_stencil"`, arrays 0 (A), 1 (B). At moderate sizes Eq-2 places it
+/// correctly, so it doubles as the tuner's no-regression control workload.
+pub fn mat_stencil(d: u64) -> Kernel {
+    let mut k = KernelBuilder::new("mat_stencil", DataType::F32);
+    let a = k.array("A", vec![d, d]);
+    let b = k.array("B", vec![d, d]);
+    let i = k.parallel_loop("i", 1, d as i64 - 1);
+    let j = k.parallel_loop("j", 1, d as i64 - 1);
+    let sum = ScalarExpr::add(
+        ScalarExpr::add(
+            ScalarExpr::load(a, vec![Idx::var_plus(i, -1), Idx::var(j)]),
+            ScalarExpr::load(a, vec![Idx::var_plus(i, 1), Idx::var(j)]),
+        ),
+        ScalarExpr::add(
+            ScalarExpr::load(a, vec![Idx::var(i), Idx::var_plus(j, -1)]),
+            ScalarExpr::add(
+                ScalarExpr::load(a, vec![Idx::var(i), Idx::var_plus(j, 1)]),
+                ScalarExpr::load(a, vec![Idx::var(i), Idx::var(j)]),
+            ),
+        ),
+    );
+    k.assign(b, vec![Idx::var(i), Idx::var(j)], sum);
+    k.build().expect("demo kernel is well-formed")
+}
+
 /// The demo pipeline: the three demo kernels chained over one shared table —
 /// graph name `"demo_pipeline"`, tensors 0 (X, the input), 1 (Y), 2 (Z) and
 /// 3 (W, the output).
@@ -149,7 +227,14 @@ mod tests {
 
     #[test]
     fn demo_kernels_compile() {
-        for k in [scale(64), vec_add(64), stencil(64)] {
+        for k in [
+            scale(64),
+            vec_add(64),
+            stencil(64),
+            mat_update(16, 8),
+            mat_muladd(16, 8),
+            mat_stencil(16),
+        ] {
             infs_isa::Compiler::default().compile(k, &[]).unwrap();
         }
     }

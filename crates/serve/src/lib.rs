@@ -39,7 +39,15 @@
 //!   `Health` verb reports `ok`/`degraded`/`draining` plus bank and fault
 //!   counters; and [`ServeConfig::faults`] (the `--chaos SEED` flag) arms a
 //!   deterministic [`infs_faults::FaultPlan`] for chaos drills — see the
-//!   README operations runbook and `tests/chaos_smoke.rs`.
+//!   README operations runbook and `tests/chaos_smoke.rs`;
+//! - **feedback-directed autotuning** (`DESIGN.md` §15): with
+//!   [`ServeConfig::tune`] (the `--tune SEED` flag) set, an
+//!   [`infs_tune::Tuner`] routes a deterministic sampled fraction of Inf-S
+//!   execute and fused-pipeline traffic through explorer variants —
+//!   alternative tiles, forced tiers, the round-trip residency policy —
+//!   and promotes whichever variant actually beats the static §4.1/Eq-2
+//!   heuristics on observed simulated cycles. Degradation events demote the
+//!   incumbent and re-tune against post-fault reality.
 //!
 //! Every response carries a [`ResponseStats`] block — queue wait, compile
 //! time, artifact/JIT cache hit flags, simulated cycles, and where the region
@@ -85,6 +93,7 @@ mod server;
 pub use cluster::{Dispatch, ShardCluster};
 pub use config::ServeConfig;
 pub use error::ServeError;
+pub use infs_tune::{TuneConfig, TuneStats, Tuner, Variant};
 pub use net::{serve_reactor, serve_tcp, Client};
 pub use protocol::{
     executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,

@@ -283,6 +283,18 @@ pub struct MetricsReport {
     pub batch_joined: u64,
     /// Largest single-batch occupancy observed (leader + joined waiters).
     pub batch_max_occupancy: u64,
+    /// Autotuner: requests routed through an explorer variant
+    /// (`DESIGN.md` §15; all four `tune_*` counters are 0 when tuning is
+    /// disabled).
+    pub tune_explored: u64,
+    /// Autotuner: requests served by the incumbent variant.
+    pub tune_exploited: u64,
+    /// Autotuner: variants promoted to incumbent.
+    pub tune_promotions: u64,
+    /// Autotuner: fault-driven demotions back to the baseline heuristics.
+    pub tune_demotions: u64,
+    /// Autotuner: artifacts with a live tune table.
+    pub tune_artifacts: usize,
     /// Worker threads serving requests.
     pub workers: usize,
     /// Milliseconds since the server started.
@@ -316,6 +328,11 @@ impl MetricsReport {
         self.batch_executions += other.batch_executions;
         self.batch_joined += other.batch_joined;
         self.batch_max_occupancy = self.batch_max_occupancy.max(other.batch_max_occupancy);
+        self.tune_explored += other.tune_explored;
+        self.tune_exploited += other.tune_exploited;
+        self.tune_promotions += other.tune_promotions;
+        self.tune_demotions += other.tune_demotions;
+        self.tune_artifacts += other.tune_artifacts;
         self.workers += other.workers;
         self.uptime_ms = self.uptime_ms.max(other.uptime_ms);
     }
@@ -413,6 +430,13 @@ pub struct ResponseStats {
     /// this response came from; 1 for unbatched requests, 0 when batching
     /// does not apply (Ping/Metrics/Health/Shutdown).
     pub batch_size: u64,
+    /// Autotuner variant label this request ran under (`"baseline"`,
+    /// `"tile:4x64"`, `"tier:near-memory"`, …); `None` when tuning is off
+    /// or does not apply to the request (`DESIGN.md` §15).
+    pub tuned_variant: Option<String>,
+    /// True when the autotuner routed this request through an explorer
+    /// variant (sampled traffic) rather than the incumbent.
+    pub tuned_explore: bool,
     /// Per-stage breakdown for pipeline requests (empty otherwise). The
     /// stage sums nest inside the top-level figures:
     /// `sum(stages[i].compile_us) <= compile_us` and

@@ -13,16 +13,17 @@ use crate::error::ServeError;
 use crate::protocol::{
     executed_label, ArrayPayload, CompileRequest, ExecuteRequest, HealthReport, MetricsReport,
     PipelineRequest, Request, RequestBody, Response, ResponseStats, ScalarOut, StageStats,
-    WireError,
+    WireError, WireMode,
 };
 use crate::queue::{AdmissionQueue, PushError};
 use infinity_stream::{Session, SessionError};
-use infs_faults::FaultPlan;
+use infs_faults::{FaultPlan, RetuneTrigger};
 use infs_isa::{fnv1a, Compiler, FatBinary, IsaError};
-use infs_runtime::JitCache;
+use infs_runtime::{JitCache, Tier, TransposedLayout};
 use infs_sdfg::ArrayId;
 use infs_shard::{BatchMap, BatchStats, JoinOutcome};
 use infs_sim::Machine;
+use infs_tune::{Tuner, Variant};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -214,6 +215,14 @@ struct Shared {
     /// Open batches: identical in-flight requests coalesced onto one
     /// execution (`cfg.batching`); always present, bypassed when disabled.
     batches: BatchMap<BatchWaiter>,
+    /// The online autotuner (`cfg.tune`, `DESIGN.md` §15); `None` when
+    /// tuning is disabled.
+    tuner: Option<Arc<Tuner>>,
+    /// Live bank-quarantine watermark: the highest `banks_quarantined` count
+    /// observed on any session's machine, so the `Health` verb reports
+    /// quarantines that landed *after* boot (SRAM-flip scrubs), not just the
+    /// plan's initial dead banks.
+    banks_lost: AtomicU64,
 }
 
 impl Shared {
@@ -223,6 +232,7 @@ impl Shared {
         let (jit_hits, jit_misses) = self.jit.stats();
         let (pipeline_hits, pipeline_misses) = self.pipelines.stats();
         let batch = self.batches.stats();
+        let tune = self.tuner.as_ref().map(|t| t.stats()).unwrap_or_default();
         MetricsReport {
             served: self.served.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -240,6 +250,11 @@ impl Shared {
             batch_executions: batch.executions,
             batch_joined: batch.joined,
             batch_max_occupancy: batch.max_occupancy,
+            tune_explored: tune.explored,
+            tune_exploited: tune.exploited,
+            tune_promotions: tune.promotions,
+            tune_demotions: tune.demotions,
+            tune_artifacts: tune.artifacts,
             workers: self.cfg.workers.max(1),
             uptime_ms: self.started.elapsed().as_millis() as u64,
         }
@@ -251,10 +266,18 @@ impl Shared {
     /// each worker's machines.
     fn health(&self) -> HealthReport {
         let total_banks = self.cfg.system.n_banks;
-        let healthy_banks = match &self.faults {
+        // Initial plan health minus quarantines observed at runtime (the
+        // worst session's watermark — exact for single-session servers,
+        // a conservative fleet signal otherwise).
+        let initial_healthy = match &self.faults {
             Some(plan) => plan.initial_health(total_banks).healthy_count(),
             None => total_banks,
         };
+        let lost = self
+            .banks_lost
+            .load(Ordering::Relaxed)
+            .min(u64::from(initial_healthy)) as u32;
+        let healthy_banks = initial_healthy - lost;
         let worker_faults = self.worker_faults.load(Ordering::Relaxed);
         let artifact_corruptions = self.artifacts.corruptions();
         let jit_corruptions = self.jit.corruptions();
@@ -331,6 +354,7 @@ impl Server {
             Arc::new(JitCache::bounded(cfg.jit_capacity))
         };
         let faults = cfg.faults.clone().map(|fc| Arc::new(FaultPlan::new(fc)));
+        let tuner = cfg.tune.clone().map(|tc| Arc::new(Tuner::new(tc)));
         let shared = Arc::new(Shared {
             queue: AdmissionQueue::new(cfg.queue_capacity),
             artifacts: ArtifactCache::new(cfg.artifact_capacity),
@@ -346,6 +370,8 @@ impl Server {
             fault_seq: AtomicU64::new(0),
             artifact_seq: AtomicU64::new(0),
             batches: BatchMap::new(),
+            tuner,
+            banks_lost: AtomicU64::new(0),
             cfg,
         });
         let workers = (0..shared.cfg.workers.max(1))
@@ -585,6 +611,11 @@ impl Server {
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.shared.faults.clone()
     }
+
+    /// The online autotuner, when tuning is enabled (`DESIGN.md` §15).
+    pub fn tuner(&self) -> Option<Arc<Tuner>> {
+        self.shared.tuner.clone()
+    }
 }
 
 impl Drop for Server {
@@ -593,13 +624,21 @@ impl Drop for Server {
     }
 }
 
+/// A warm session plus the per-session state that must travel with it: the
+/// retune trigger watermarking the machine's monotone degradation counters
+/// (fault counters survive `Session::reset`, so the watermark must too).
+struct PooledSession {
+    session: Session,
+    retune: RetuneTrigger,
+}
+
 /// A worker's pool of warm sessions, keyed by artifact id × execution mode.
 /// Bounded; eviction drops the least-recently-used session (it is just
 /// rebuilt on the next request for that pair).
 struct SessionPool {
     cap: usize,
     clock: u64,
-    sessions: HashMap<(u64, u8), (Session, u64)>,
+    sessions: HashMap<(u64, u8), (PooledSession, u64)>,
 }
 
 impl SessionPool {
@@ -612,11 +651,11 @@ impl SessionPool {
     }
 
     /// Removes a pooled session for exclusive use (put it back after).
-    fn take(&mut self, key: (u64, u8)) -> Option<Session> {
+    fn take(&mut self, key: (u64, u8)) -> Option<PooledSession> {
         self.sessions.remove(&key).map(|(s, _)| s)
     }
 
-    fn put(&mut self, key: (u64, u8), session: Session) {
+    fn put(&mut self, key: (u64, u8), session: PooledSession) {
         self.clock += 1;
         if self.sessions.len() >= self.cap && !self.sessions.contains_key(&key) {
             if let Some(&victim) = self
@@ -930,6 +969,60 @@ fn resolve_binary(shared: &Shared, e: &ExecuteRequest) -> Result<(u64, Arc<FatBi
     }
 }
 
+/// The tuner's table key for an execute target: the content-addressed
+/// artifact id refined by region name and symbol binding, because the tile
+/// candidate space (and hence the whole variant table) depends on the
+/// concrete instantiation, not just the artifact.
+fn tune_key(artifact_id: u64, e: &ExecuteRequest) -> u64 {
+    fnv1a(format!("{artifact_id:016x}|{}|{:?}", e.region, e.syms).as_bytes())
+}
+
+/// Enumerates the candidate variant space for one execute target
+/// (`DESIGN.md` §15): the static-heuristic baseline, up to four of the
+/// layout planner's next-ranked feasible tiles (element 0 of the ranking
+/// *is* the §4.1 pick the baseline already runs), and the two forced tiers.
+/// Host-only (non-tensorizable) instantiations get just the baseline —
+/// there is no placement to tune.
+fn execute_candidates(shared: &Shared, binary: &FatBinary, e: &ExecuteRequest) -> Vec<Variant> {
+    let mut list = vec![Variant::Baseline];
+    let Some(instance) = binary
+        .region(&e.region)
+        .and_then(|r| r.instantiate(&e.syms).ok())
+    else {
+        return list;
+    };
+    let Some(tdfg) = &instance.tdfg else {
+        return list;
+    };
+    let hw = shared.cfg.system.hw();
+    if let Ok(ranked) = TransposedLayout::ranked_candidates(tdfg, &instance.hints, &hw) {
+        for tile in ranked.iter().skip(1).take(4) {
+            list.push(Variant::Tile(tile.dims().to_vec()));
+        }
+    }
+    list.push(Variant::ForceInMemory);
+    list.push(Variant::ForceNearMemory);
+    list
+}
+
+/// Applies a decided variant's overrides to the session machine. The machine
+/// clamps forced tiers to what health and feasibility allow, so an explorer
+/// variant can never place a region somewhere it cannot run. Tile dims the
+/// geometry layer rejects (impossible for planner-ranked tiles; defensive
+/// against rebuilt tables) silently fall back to the heuristic.
+fn apply_variant(machine: &mut Machine, variant: &Variant) {
+    match variant {
+        Variant::Baseline | Variant::Roundtrip => {}
+        Variant::Tile(dims) => {
+            if let Ok(tile) = infs_geom::TileShape::new(dims.clone()) {
+                machine.set_tile_override(Some(tile));
+            }
+        }
+        Variant::ForceInMemory => machine.set_tier_override(Some(Tier::InMemory)),
+        Variant::ForceNearMemory => machine.set_tier_override(Some(Tier::NearMemory)),
+    }
+}
+
 fn handle_execute(
     shared: &Shared,
     pool: &mut SessionPool,
@@ -968,11 +1061,11 @@ fn handle_execute(
     stats.tensorizable = binary.region(&e.region).map(|r| r.tensorizable);
 
     let key = (artifact_id, e.mode.index());
-    let mut session = match pool.take(key) {
-        Some(mut s) => {
+    let mut pooled = match pool.take(key) {
+        Some(mut p) => {
             // Pooled machine, unrelated tenant: wipe functional state.
-            s.reset();
-            s
+            p.session.reset();
+            p
         }
         None => {
             let mut s = Session::with_jit(
@@ -987,11 +1080,57 @@ fn handle_execute(
             if let Some(plan) = &shared.faults {
                 s.machine().set_fault_plan(plan.clone());
             }
-            s
+            // Audit hook (the tuning soak installs `infs-check` here): every
+            // run — incumbent or explorer — is validated before commit.
+            if let Some(auditor) = &shared.cfg.auditor {
+                s.machine().set_region_auditor(Some(auditor.clone()));
+            }
+            PooledSession {
+                session: s,
+                retune: RetuneTrigger::new(),
+            }
         }
     };
-    let result = run_region(&mut session, e, deadline, stats);
-    pool.put(key, session);
+
+    // Tuning covers full Inf-S executes: that is the mode where the §4.1
+    // tile and Eq-2 tier decisions — the variant space — actually apply.
+    let tuned = match &shared.tuner {
+        Some(tuner) if e.mode == WireMode::InfS => {
+            let tk = tune_key(artifact_id, e);
+            let d = tuner.decide(tk, || execute_candidates(shared, &binary, e));
+            apply_variant(pooled.session.machine(), &d.variant);
+            Some((tuner, tk, d))
+        }
+        _ => None,
+    };
+    let result = run_region(&mut pooled.session, e, deadline, stats);
+    {
+        let machine = pooled.session.machine();
+        machine.set_tile_override(None);
+        machine.set_tier_override(None);
+        // Fault-driven retune: degradation events that landed since this
+        // session's last run (bank quarantines, regions pushed off their
+        // Eq-2 tier — overridden runs never count) invalidate every cycle
+        // measured on the healthier machine. Demote instead of recording:
+        // fault-polluted cycles must not enter the table.
+        let events = pooled
+            .retune
+            .observe(machine.fault_counters().degradation_events());
+        shared.banks_lost.fetch_max(
+            machine.fault_counters().banks_quarantined,
+            Ordering::Relaxed,
+        );
+        if let Some((tuner, tk, d)) = &tuned {
+            stats.tuned_variant = Some(d.variant.label());
+            stats.tuned_explore = d.explore;
+            if events > 0 {
+                tuner.degrade(*tk);
+            } else if result.is_ok() {
+                tuner.record(*tk, d, stats.cycles);
+            }
+        }
+    }
+    pool.put(key, pooled);
     Ok(Payload {
         artifact: Some(format_id(artifact_id)),
         ..result?
@@ -1068,20 +1207,41 @@ fn handle_pipeline(
     if let Some(plan) = &shared.faults {
         machine.set_fault_plan(plan.clone());
     }
+    if let Some(auditor) = &shared.cfg.auditor {
+        machine.set_region_auditor(Some(auditor.clone()));
+    }
     for payload in &p.inputs {
         machine
             .memory()
             .write_array(ArrayId(payload.array), &payload.data);
     }
 
+    // Residency-policy tuning (`DESIGN.md` §15): a fused pipeline request may
+    // be routed through the per-kernel round trip instead — legal because
+    // the two schedules produce bitwise-identical outputs (the PR 7
+    // invariant) — to learn which is actually cheaper for this graph.
+    // Explicit round-trip requests are a baseline measurement; never tuned.
+    let tuned = match &shared.tuner {
+        Some(tuner) if p.fused => {
+            let tk = fnv1a(format!("pipeline|{key:016x}|{}", p.mode.index()).as_bytes());
+            let d = tuner.decide(tk, || vec![Variant::Baseline, Variant::Roundtrip]);
+            Some((tuner, tk, d))
+        }
+        _ => None,
+    };
+    let run_fused = match &tuned {
+        Some((_, _, d)) => d.variant != Variant::Roundtrip,
+        None => p.fused,
+    };
+
     let t0 = Instant::now();
     infs_trace::counter!("serve.executions", 1u64);
     let mut span = infs_trace::span!(
         "serve.pipeline",
         graph = compiled.graph().name.as_str(),
-        fused = p.fused,
+        fused = run_fused,
     );
-    let report = if p.fused {
+    let report = if run_fused {
         compiled.run_fused(&mut machine, p.mode.exec_mode())
     } else {
         compiled.run_roundtrip(&mut machine, p.mode.exec_mode())
@@ -1089,6 +1249,11 @@ fn handle_pipeline(
     .map_err(|e| WireError::new(WireError::EXECUTION, e.to_string()))?;
     span.arg("cycles", report.total_cycles);
     drop(span);
+    if let Some((tuner, tk, d)) = &tuned {
+        stats.tuned_variant = Some(d.variant.label());
+        stats.tuned_explore = d.explore;
+        tuner.record(*tk, d, report.total_cycles);
+    }
     stats.execute_us = t0.elapsed().as_micros() as u64;
     stats.cycles = report.total_cycles;
     stats.executed = report

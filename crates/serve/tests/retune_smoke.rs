@@ -1,0 +1,152 @@
+//! The chaos-retune acceptance test (`DESIGN.md` §15): banks die mid-soak
+//! under a seeded SRAM-flip schedule, the tuner demotes its promoted variant
+//! back to the heuristic baseline, re-converges on the surviving banks, and
+//! during the whole transition every response is either a success with
+//! bitwise-identical output or a typed error — never a hang or a wrong bit.
+
+use infs_faults::FaultConfig;
+use infs_serve::{
+    demo, ArrayPayload, CompileRequest, ExecuteRequest, Request, RequestBody, Response,
+    ServeConfig, Server, TuneConfig, WireError, WireMode,
+};
+
+const D: u64 = 256;
+const CHAIN: u32 = 8;
+const REQUESTS: u64 = 96;
+
+/// Every error kind the retune transition may legitimately produce; anything
+/// else is a hole in the degradation ladder.
+fn assert_typed(r: &Response) {
+    if r.ok {
+        return;
+    }
+    let kind = r
+        .error
+        .as_ref()
+        .map(|e| e.kind.as_str())
+        .expect("failure responses carry an error");
+    let allowed = [
+        WireError::WORKER_FAULT,
+        WireError::BACKPRESSURE,
+        WireError::TIMEOUT,
+    ];
+    assert!(allowed.contains(&kind), "untyped failure kind '{kind}'");
+}
+
+fn compile(server: &Server) -> String {
+    let r = server.call(Request {
+        id: 0,
+        tenant: "retune".into(),
+        deadline_ms: None,
+        body: RequestBody::Compile(CompileRequest {
+            kernel: demo::mat_update(D, CHAIN),
+            representative_syms: vec![],
+            optimize: false, // past Eq-2's crossover: the tuner promotes
+        }),
+    });
+    assert!(r.ok, "compile failed: {:?}", r.error);
+    r.artifact.expect("compile yields an artifact")
+}
+
+fn execute(server: &Server, id: u64, artifact: &str) -> Response {
+    let a: Vec<f32> = (0..D * D).map(|x| 1.0 + (x % 7) as f32 * 0.125).collect();
+    let b: Vec<f32> = (0..D * D).map(|x| 0.5 + (x % 5) as f32 * 0.25).collect();
+    server.call(Request {
+        id,
+        tenant: "retune".into(),
+        deadline_ms: None,
+        body: RequestBody::Execute(ExecuteRequest {
+            artifact: Some(artifact.to_string()),
+            binary: None,
+            region: "mat_update".into(),
+            syms: vec![],
+            params: vec![],
+            mode: WireMode::InfS,
+            inputs: vec![
+                ArrayPayload { array: 0, data: a },
+                ArrayPayload { array: 1, data: b },
+            ],
+            outputs: vec![2],
+        }),
+    })
+}
+
+#[test]
+fn mid_soak_bank_deaths_demote_then_reconverge() {
+    // Healthy untuned reference for the bitwise gate.
+    let reference: Vec<u32> = {
+        let s = Server::new(ServeConfig {
+            workers: 1,
+            batching: false,
+            auditor: Some(infs_check::auditor()),
+            ..ServeConfig::default()
+        });
+        let artifact = compile(&s);
+        let r = execute(&s, 1, &artifact);
+        assert!(r.ok, "reference execute failed: {:?}", r.error);
+        let bits = r.outputs[0].data.iter().map(|v| v.to_bits()).collect();
+        s.shutdown();
+        bits
+    };
+
+    // Same schedule as the `figures tune` retune drill: roughly one SRAM
+    // flip per twelve region runs, each quarantining one bank.
+    let server = Server::new(ServeConfig {
+        workers: 1,
+        batching: false,
+        auditor: Some(infs_check::auditor()),
+        tune: Some(TuneConfig {
+            explore_percent: 40,
+            min_samples: 2,
+            ..TuneConfig::seeded(0x7C3A_11E5)
+        }),
+        faults: Some(FaultConfig {
+            seed: 0xD2111,
+            sram_flip_period: 12,
+            ..FaultConfig::none()
+        }),
+        ..ServeConfig::default()
+    });
+    let artifact = compile(&server);
+    let mut last_exploit_variant = None;
+    for i in 0..REQUESTS {
+        let r = execute(&server, 1 + i, &artifact);
+        assert_typed(&r);
+        if !r.ok {
+            continue; // typed transition noise; the next request proceeds
+        }
+        let bits: Vec<u32> = r.outputs[0].data.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits, reference,
+            "request {i} (variant {:?}) diverges bitwise during retune",
+            r.stats.tuned_variant
+        );
+        if !r.stats.tuned_explore {
+            last_exploit_variant = r.stats.tuned_variant.clone();
+        }
+    }
+
+    // The schedule actually bit, the tuner walked the full promote →
+    // demote → re-promote arc, and health reports the lost banks.
+    let m = server.metrics();
+    assert!(m.tune_promotions >= 1, "soak never promoted: {m:?}");
+    assert!(
+        m.tune_demotions >= 1,
+        "bank deaths never demoted the incumbent: {m:?}"
+    );
+    let h = server.health();
+    assert!(
+        h.healthy_banks < h.total_banks,
+        "no banks quarantined: {}/{}",
+        h.healthy_banks,
+        h.total_banks
+    );
+    // Re-convergence: after the demotions the exploit path settled back on
+    // the near-memory override (the surviving banks still favour it).
+    assert_eq!(
+        last_exploit_variant.as_deref(),
+        Some("tier:near-memory"),
+        "soak ended without re-converging"
+    );
+    server.shutdown();
+}

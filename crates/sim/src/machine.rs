@@ -82,6 +82,11 @@ pub struct RegionReport {
     /// The three-way JIT resolution for in-memory execution: concrete hit,
     /// template (copy-and-patch) hit, or full lowering.
     pub jit_outcome: Option<JitOutcome>,
+    /// Per-variant cycle attribution for the autotuner (`DESIGN.md` §15):
+    /// the override(s) active while these cycles were measured — e.g.
+    /// `"tile:4x64"` or `"tier:near-memory"` — or `None` when the run used
+    /// the static §4.1/Eq-2 heuristics unmodified.
+    pub variant: Option<String>,
 }
 
 /// One stage of a pipelined multi-kernel run (see [`Machine::run_pipeline`]).
@@ -241,6 +246,17 @@ pub struct FaultCounters {
     pub noc_penalty_cycles: u64,
 }
 
+impl FaultCounters {
+    /// Monotone count of the events that invalidate a placement decision:
+    /// bank quarantines plus regions degraded off their Eq-2 tier. The
+    /// serving layer's autotuner watches this through an
+    /// [`infs_faults::RetuneTrigger`] and demotes an artifact's incumbent
+    /// variant when it advances (`DESIGN.md` §15).
+    pub fn degradation_events(&self) -> u64 {
+        self.banks_quarantined + self.degraded_to_near + self.degraded_to_host
+    }
+}
+
 /// The simulated machine: functional memory plus the timing state of one
 /// configuration, fed a sequence of region invocations by a workload driver.
 ///
@@ -277,6 +293,11 @@ pub struct Machine {
     touched: HashSet<u32>,
     assume_transposed: bool,
     tile_override: Option<TileShape>,
+    /// Forces the Inf-S placement onto a specific tier (autotuner explorer
+    /// variants, `DESIGN.md` §15). Clamped to what the health mask and the
+    /// region's in-memory feasibility actually allow — an override can never
+    /// make a region run somewhere it could not.
+    tier_override: Option<Tier>,
     functional: bool,
     /// Which L3 banks are healthy. Starts all-healthy; a fault plan or
     /// explicit mask degrades it, and — like real silicon — it never heals
@@ -332,6 +353,7 @@ impl Machine {
             touched: HashSet::new(),
             assume_transposed: false,
             tile_override: None,
+            tier_override: None,
             functional: true,
             health,
             faults: None,
@@ -432,9 +454,22 @@ impl Machine {
     }
 
     /// Forces a specific tile shape instead of the runtime heuristic — the
-    /// Fig 16/17 sweep hook.
+    /// Fig 16/17 sweep hook, and the autotuner's tile-variant hook
+    /// (`DESIGN.md` §15).
     pub fn set_tile_override(&mut self, tile: Option<TileShape>) {
         self.tile_override = tile;
+    }
+
+    /// Forces the Inf-S placement onto a specific tier instead of the Eq-2
+    /// decision — the autotuner's tier-variant hook (`DESIGN.md` §15). Only
+    /// `ExecMode::InfS`/`InfSNoJit` consult it, and the override is clamped
+    /// to feasibility: a forced in-memory placement falls back to the Eq-2
+    /// tier when the region has no schedulable tDFG or the healthy-bank
+    /// quorum is gone, and a forced near-memory placement degrades to the
+    /// host when no banks survive. Overridden runs never count as
+    /// degradation events — the tuner asked for the placement.
+    pub fn set_tier_override(&mut self, tier: Option<Tier>) {
+        self.tier_override = tier;
     }
 
     /// Marks every array L3-resident (warm, untransposed) — the §6 assumption
@@ -667,8 +702,14 @@ impl Machine {
             }
             ExecMode::InfS | ExecMode::InfSNoJit => {
                 let nojit = mode == ExecMode::InfSNoJit;
-                let tier = self.tier_with_health(region, nojit, &self.health);
-                if !self.health.fully_healthy() {
+                let tier = match self.tier_override {
+                    Some(forced) => self.clamp_forced_tier(forced, region),
+                    None => self.tier_with_health(region, nojit, &self.health),
+                };
+                // Degradation accounting tracks the *heuristic* placement
+                // only: a tuner-forced tier is a choice, not a fault, so it
+                // must not advance the retune trigger it feeds.
+                if self.tier_override.is_none() && !self.health.fully_healthy() {
                     let baseline = self.tier_with_health(
                         region,
                         nojit,
@@ -686,6 +727,7 @@ impl Machine {
             }
         }?;
         self.charge_noc_fault(seq, &mut report);
+        report.variant = self.variant_label();
         span.arg("cycles", report.cycles);
         span.arg("executed", executed_trace_label(report.executed));
         Ok(report)
@@ -752,6 +794,38 @@ impl Machine {
             }
             Tier::InMemory => {}
         }
+    }
+
+    /// Clamps a tuner-forced tier to what the machine can actually honor:
+    /// in-memory requires the healthy-bank quorum and a feasible layout,
+    /// near-memory requires at least one live bank (the stream engines sit
+    /// at the banks), and the host is always available.
+    fn clamp_forced_tier(&self, forced: Tier, region: &RegionInstance) -> Tier {
+        match forced {
+            Tier::InMemory
+                if infs_runtime::in_memory_quorum(&self.health)
+                    && self.can_run_in_memory(region, &self.health) =>
+            {
+                Tier::InMemory
+            }
+            Tier::Host => Tier::Host,
+            _ if self.health.any_healthy() => Tier::NearMemory,
+            _ => Tier::Host,
+        }
+    }
+
+    /// The attribution label for the overrides currently active (`None` when
+    /// the machine runs the static heuristics unmodified) — what
+    /// [`RegionReport::variant`] carries back to the autotuner.
+    fn variant_label(&self) -> Option<String> {
+        let mut parts = Vec::new();
+        if let Some(tile) = &self.tile_override {
+            parts.push(format!("tile:{tile}"));
+        }
+        if let Some(tier) = self.tier_override {
+            parts.push(format!("tier:{}", tier.label()));
+        }
+        (!parts.is_empty()).then(|| parts.join("+"))
     }
 
     /// The Inf-S placement for a region under a given health mask: the Eq 2
@@ -912,6 +986,7 @@ impl Machine {
             executed: Executed::Core,
             jit_hit: None,
             jit_outcome: None,
+            variant: None,
         })
     }
 
@@ -951,6 +1026,7 @@ impl Machine {
             executed: Executed::NearMemory,
             jit_hit: None,
             jit_outcome: None,
+            variant: None,
         })
     }
 
@@ -1088,6 +1164,7 @@ impl Machine {
             executed: Executed::InMemory,
             jit_hit: Some(hit),
             jit_outcome: Some(outcome),
+            variant: None,
         })
     }
 
